@@ -1,0 +1,11 @@
+let () =
+  let config = Sw_arch.Config.sw26010pro in
+  let spec = Sw_core.Spec.make ~m:512 ~n:512 ~k:512 () in
+  let c = Sw_core.Compile.compile ~config spec in
+  let write p s = Out_channel.with_open_text p (fun oc -> output_string oc s) in
+  write "test/golden/gemm512_tree.txt" (Sw_tree.Tree.to_string c.Sw_core.Compile.tree);
+  write "test/golden/gemm512_cpe.c" (Sw_core.Cemit.cpe_file c);
+  write "test/golden/gemm512_mpe.c" (Sw_core.Cemit.mpe_file c);
+  let fused = Sw_core.Compile.compile ~config (Sw_core.Spec.make ~fusion:(Sw_core.Spec.Epilogue "relu") ~batch:2 ~m:512 ~n:512 ~k:512 ()) in
+  write "test/golden/fused_batched_tree.txt" (Sw_tree.Tree.to_string fused.Sw_core.Compile.tree);
+  print_endline "golden files written"

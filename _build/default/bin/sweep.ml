@@ -1,0 +1,45 @@
+(* Randomized end-to-end sweep: 250 trials over meshes (1x1..3x3), kernel
+   shapes, problem sizes, batch sizes, transposes, alpha/beta, fusion
+   patterns and optimization levels; each generated program is executed
+   functionally on the simulated cluster and checked against the reference.
+   Heavier than the unit suite; run with `dune exec bin/sweep.exe`. *)
+open Sw_core
+open Sw_arch
+
+let () =
+  let rng = Random.State.make [| 20260705 |] in
+  let failures = ref 0 and total = ref 0 in
+  for trial = 1 to 250 do
+    let mesh = 1 + Random.State.int rng 3 in
+    let mk = (2 * (1 + Random.State.int rng 2), 2 * (1 + Random.State.int rng 2), 2) in
+    let config = Config.tiny ~mesh ~mk () in
+    let m = 1 + Random.State.int rng 40 in
+    let n = 1 + Random.State.int rng 40 in
+    let k = 1 + Random.State.int rng 40 in
+    let batch = if Random.State.bool rng then Some (1 + Random.State.int rng 3) else None in
+    let alpha = Random.State.float rng 4.0 -. 2.0 in
+    let beta = Random.State.float rng 4.0 -. 2.0 in
+    let ta = Random.State.bool rng and tb = Random.State.bool rng in
+    let fusion =
+      match Random.State.int rng 4 with
+      | 0 -> Spec.Prologue "quant"
+      | 1 -> Spec.Epilogue "relu"
+      | 2 -> Spec.Epilogue "tanh"
+      | _ -> Spec.No_fusion
+    in
+    let options = List.nth (List.map snd Options.breakdown) (Random.State.int rng 4) in
+    let spec = Spec.make ?batch ~alpha ~beta ~ta ~tb ~fusion ~m ~n ~k () in
+    incr total;
+    (match Runner.verify ~seed:trial (Compile.compile ~options ~config spec) with
+     | Ok () -> ()
+     | Error e ->
+         incr failures;
+         Printf.printf "FAIL trial %d mesh=%d mk=? %s [%s]: %s\n%!" trial mesh
+           (Spec.to_string spec) (Options.name options) e
+     | exception e ->
+         incr failures;
+         Printf.printf "EXN trial %d %s: %s\n%!" trial (Spec.to_string spec)
+           (Printexc.to_string e))
+  done;
+  Printf.printf "sweep: %d trials, %d failures\n" !total !failures;
+  exit (if !failures = 0 then 0 else 1)

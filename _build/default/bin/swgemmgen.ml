@@ -1,0 +1,313 @@
+(* swgemmgen: command-line front end of the GEMM code generator.
+
+   Mirrors the workflow of the paper's tool: take naive C GEMM code (or an
+   explicit shape), generate athread code for one SW26010Pro cluster, and
+   optionally simulate it (functionally, to validate; timing-only, to
+   estimate performance) or compare against the xMath baseline. *)
+
+open Cmdliner
+open Sw_core
+open Sw_arch
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let shape_arg =
+  let doc = "Problem shape M,N,K (e.g. --shape 4096,4096,4096)." in
+  Arg.(value & opt (some (t3 ~sep:',' int int int)) None & info [ "shape" ] ~doc)
+
+let input_arg =
+  let doc = "C source file containing the naive GEMM loop nest." in
+  Arg.(value & pos ~rev:false 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let batch_arg =
+  let doc = "Batch size (batched GEMM, --batch of the paper's tool)." in
+  Arg.(value & opt (some int) None & info [ "batch" ] ~doc)
+
+let fusion_arg =
+  let doc =
+    "Fusion pattern: 'prologue:<fn>' or 'epilogue:<fn>' with fn one of \
+     quant, relu, tanh, sigmoid."
+  in
+  Arg.(value & opt (some string) None & info [ "fusion" ] ~doc)
+
+let no_asm_arg =
+  let doc = "Bypass the inline assembly kernel (--no-use-asm)." in
+  Arg.(value & flag & info [ "no-use-asm" ] ~doc)
+
+let no_rma_arg =
+  let doc = "Disable the RMA broadcast decomposition." in
+  Arg.(value & flag & info [ "no-rma" ] ~doc)
+
+let no_hiding_arg =
+  let doc = "Disable memory latency hiding (software pipelining)." in
+  Arg.(value & flag & info [ "no-hiding" ] ~doc)
+
+let bind_arg =
+  let doc = "Bind an integer size parameter, e.g. --bind M=4096 (repeatable)." in
+  Arg.(value & opt_all (pair ~sep:'=' string int) [] & info [ "bind" ] ~doc)
+
+let fbind_arg =
+  let doc = "Bind a double parameter, e.g. --fbind alpha=1.0 (repeatable)." in
+  Arg.(value & opt_all (pair ~sep:'=' string float) [] & info [ "fbind" ] ~doc)
+
+let ta_arg =
+  let doc = "Use op(A) = A^T (A stored K x M)." in
+  Arg.(value & flag & info [ "ta" ] ~doc)
+
+let tb_arg =
+  let doc = "Use op(B) = B^T (B stored N x K)." in
+  Arg.(value & flag & info [ "tb" ] ~doc)
+
+let tiny_arg =
+  let doc = "Use the scaled-down test configuration (2x2 mesh) instead of SW26010Pro." in
+  Arg.(value & flag & info [ "tiny" ] ~doc)
+
+let emit_arg =
+  let doc = "Directory to write the generated MPE/CPE C files into." in
+  Arg.(value & opt (some string) None & info [ "emit" ] ~doc)
+
+let dump_tree_arg =
+  let doc = "Print the final schedule tree." in
+  Arg.(value & flag & info [ "dump-tree" ] ~doc)
+
+let dump_ast_arg =
+  let doc = "Print the generated AST." in
+  Arg.(value & flag & info [ "dump-ast" ] ~doc)
+
+let parse_fusion = function
+  | None -> Ok Spec.No_fusion
+  | Some s -> (
+      match String.split_on_char ':' s with
+      | [ "prologue"; fn ] -> Ok (Spec.Prologue fn)
+      | [ "epilogue"; fn ] -> Ok (Spec.Epilogue fn)
+      | _ -> Error (`Msg "fusion must be prologue:<fn> or epilogue:<fn>"))
+
+let build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb =
+  match (input, shape) with
+  | Some file, None -> (
+      let src = In_channel.with_open_text file In_channel.input_all in
+      match
+        Sw_frontend.Extract.spec_of_source ~bindings:binds ~fbindings:fbinds src
+      with
+      | Ok spec -> Ok spec
+      | Error e -> Error (`Msg ("front-end: " ^ e)))
+  | None, Some (m, n, k) -> (
+      match parse_fusion fusion with
+      | Error e -> Error e
+      | Ok fusion -> (
+          try Ok (Spec.make ?batch ~ta ~tb ~fusion ~m ~n ~k ())
+          with Invalid_argument e -> Error (`Msg e)))
+  | Some _, Some _ -> Error (`Msg "give either a C file or --shape, not both")
+  | None, None -> Error (`Msg "give a C file or --shape M,N,K")
+
+let build_options ~no_asm ~no_rma ~no_hiding =
+  {
+    Options.use_asm = not no_asm;
+    use_rma = not no_rma;
+    hiding = (not no_hiding) && not no_rma;
+  }
+
+let config_of ~tiny = if tiny then Config.tiny () else Config.sw26010pro
+
+(* ------------------------------------------------------------------ *)
+(* compile                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let run input shape batch fusion binds fbinds ta tb no_asm no_rma no_hiding
+      tiny emit dump_tree dump_ast =
+    match build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb with
+    | Error e -> Error e
+    | Ok spec -> (
+        let config = config_of ~tiny in
+        let options = build_options ~no_asm ~no_rma ~no_hiding in
+        match Compile.generation_seconds (fun () ->
+                  Compile.compile ~options ~config spec)
+        with
+        | exception Compile.Compile_error e -> Error (`Msg e)
+        | compiled, secs ->
+            Printf.printf "compiled %s [%s] in %.3f ms\n"
+              (Spec.to_string compiled.Compile.spec)
+              (Options.name options) (1000.0 *. secs);
+            Printf.printf "  %s\n" (Tile_model.to_string compiled.Compile.tiles);
+            Printf.printf "  SPM bytes per CPE: %d of %d\n"
+              (Sw_ast.Ast.spm_bytes compiled.Compile.program)
+              config.Config.spm_bytes;
+            if dump_tree then
+              print_string (Sw_tree.Tree.to_string compiled.Compile.tree);
+            if dump_ast then
+              print_string (Sw_ast.Ast.to_string compiled.Compile.program.Sw_ast.Ast.body);
+            (match emit with
+            | Some dir ->
+                let mpe, cpe = Cemit.write_files compiled ~dir in
+                Printf.printf "  wrote %s and %s\n" mpe cpe
+            | None -> ());
+            Ok ())
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ input_arg $ shape_arg $ batch_arg $ fusion_arg $ bind_arg
+       $ fbind_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg $ no_hiding_arg
+       $ tiny_arg $ emit_arg $ dump_tree_arg $ dump_ast_arg))
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Generate athread code for a GEMM problem") term
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let verify_cmd =
+  let run input shape batch fusion binds fbinds ta tb no_asm no_rma no_hiding
+      tiny =
+    match build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb with
+    | Error e -> Error e
+    | Ok spec -> (
+        let config = config_of ~tiny in
+        let options = build_options ~no_asm ~no_rma ~no_hiding in
+        match Compile.compile ~options ~config spec with
+        | exception Compile.Compile_error e -> Error (`Msg e)
+        | compiled -> (
+            match Runner.verify compiled with
+            | Ok () ->
+                Printf.printf "verification PASSED for %s [%s]\n"
+                  (Spec.to_string compiled.Compile.spec)
+                  (Options.name options);
+                Ok ()
+            | Error e -> Error (`Msg ("verification FAILED: " ^ e))))
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ input_arg $ shape_arg $ batch_arg $ fusion_arg $ bind_arg
+       $ fbind_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg $ no_hiding_arg
+       $ tiny_arg))
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Execute the generated code functionally on the simulated cluster \
+          and compare against the reference DGEMM (use --tiny for large \
+          shapes)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* perf                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let perf_cmd =
+  let run input shape batch fusion binds fbinds ta tb no_asm no_rma no_hiding
+      tiny =
+    match build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb with
+    | Error e -> Error e
+    | Ok spec -> (
+        let config = config_of ~tiny in
+        let options = build_options ~no_asm ~no_rma ~no_hiding in
+        match Compile.compile ~options ~config spec with
+        | exception Compile.Compile_error e -> Error (`Msg e)
+        | compiled ->
+            let p = Runner.measure compiled in
+            let x = Sw_xmath.Xmath.measure config compiled.Compile.spec in
+            Printf.printf "%s [%s]\n"
+              (Spec.to_string compiled.Compile.spec)
+              (Options.name options);
+            Printf.printf "  generated: %10.2f Gflops (%5.2f%% of peak)%s\n"
+              p.Runner.gflops
+              (100.0 *. p.Runner.gflops /. Config.peak_gflops config)
+              (if p.Runner.exact then "" else "  [extrapolated]");
+            Printf.printf "  xMath:     %10.2f Gflops (%5.2f%% of peak)\n"
+              x.Sw_xmath.Xmath.gflops
+              (100.0 *. x.Sw_xmath.Xmath.gflops /. Config.peak_gflops config);
+            Printf.printf "  speedup:   %10.2fx\n"
+              (p.Runner.gflops /. x.Sw_xmath.Xmath.gflops);
+            Ok ())
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ input_arg $ shape_arg $ batch_arg $ fusion_arg $ bind_arg
+       $ fbind_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg $ no_hiding_arg
+       $ tiny_arg))
+  in
+  Cmd.v
+    (Cmd.info "perf" ~doc:"Estimate performance and compare against xMath")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* breakdown                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let breakdown_cmd =
+  let run shape tiny =
+    match shape with
+    | None -> Error (`Msg "give --shape M,N,K")
+    | Some (m, n, k) -> (
+        let config = config_of ~tiny in
+        match Spec.make ~m ~n ~k () with
+        | exception Invalid_argument e -> Error (`Msg e)
+        | spec ->
+            Printf.printf "performance breakdown for %dx%dx%d (peak %.2f Gflops)\n"
+              m n k (Config.peak_gflops config);
+            List.iter
+              (fun (name, options) ->
+                let compiled = Compile.compile ~options ~config spec in
+                let p = Runner.measure compiled in
+                Printf.printf "  %-16s %10.2f Gflops\n" name p.Runner.gflops)
+              Options.breakdown;
+            let x = Sw_xmath.Xmath.measure config spec in
+            Printf.printf "  %-16s %10.2f Gflops\n" "xMath" x.Sw_xmath.Xmath.gflops;
+            Ok ())
+  in
+  let term = Term.(term_result (const run $ shape_arg $ tiny_arg)) in
+  Cmd.v
+    (Cmd.info "breakdown"
+       ~doc:"Per-optimization performance attribution (Fig. 13 of the paper)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* tune                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tune_cmd =
+  let run shape tiny =
+    match shape with
+    | None -> Error (`Msg "give --shape M,N,K")
+    | Some (m, n, k) -> (
+        let config = config_of ~tiny in
+        match Spec.make ~m ~n ~k () with
+        | exception Invalid_argument e -> Error (`Msg e)
+        | spec ->
+            Printf.printf
+              "micro-kernel shape search at %dx%dx%d (vendor shape %dx%dx%d):\n"
+              m n k config.Config.mk_m config.Config.mk_n config.Config.mk_k;
+            let results = Tuner.search ~config spec in
+            print_string (Tuner.report results);
+            let (bm, bn, bk), bg = Tuner.best results in
+            Printf.printf "best: %dx%dx%d (%.2f Gflops)\n" bm bn bk bg;
+            Ok ())
+  in
+  let term = Term.(term_result (const run $ shape_arg $ tiny_arg)) in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Search micro-kernel shapes (the auto-tuning alternative the \
+          paper's analytic model replaces)")
+    term
+
+(* ------------------------------------------------------------------ *)
+
+let default = Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "swgemmgen" ~version:"1.0.0"
+      ~doc:
+        "Automatic generation of high-performance GEMM kernels for the \
+         SW26010Pro"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ compile_cmd; verify_cmd; perf_cmd; breakdown_cmd; tune_cmd ]))

@@ -1,0 +1,1 @@
+examples/batched_inference.ml: Compile Config List Printf Runner Spec Sw_arch Sw_core Sw_xmath

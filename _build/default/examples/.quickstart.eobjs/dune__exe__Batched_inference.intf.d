@@ -1,0 +1,1 @@
+examples/batched_inference.mli:

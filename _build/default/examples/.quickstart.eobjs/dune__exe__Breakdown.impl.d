@@ -1,0 +1,1 @@
+examples/breakdown.ml: Compile Config List Options Printf Runner Spec Sw_arch Sw_core Sw_tree Sw_xmath

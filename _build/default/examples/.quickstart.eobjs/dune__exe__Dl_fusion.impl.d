@@ -1,0 +1,1 @@
+examples/dl_fusion.ml: Compile Config List Printf Runner Spec Sw_arch Sw_core Sw_xmath

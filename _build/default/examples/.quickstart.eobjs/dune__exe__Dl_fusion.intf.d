@@ -1,0 +1,1 @@
+examples/dl_fusion.mli:

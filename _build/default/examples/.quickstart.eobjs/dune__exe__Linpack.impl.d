@@ -1,0 +1,1 @@
+examples/linpack.ml: Array Compile Config Interp List Lu Matrix Mem Printf Runner Spec Sw_arch Sw_blas Sw_core

@@ -1,0 +1,1 @@
+examples/mlp_forward.ml: Array Compile Config Dgemm Interp List Matrix Mem Printf Runner Spec Sw_arch Sw_blas Sw_core Sw_xmath

@@ -1,0 +1,1 @@
+examples/multi_cluster.ml: Config List Multi_sim Plan Printf Spec Sw_arch Sw_core Sw_multi

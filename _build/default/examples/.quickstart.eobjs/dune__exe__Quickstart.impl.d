@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cemit Compile Config List Printf Runner Spec String Sw_arch Sw_ast Sw_core Sw_frontend Sw_xmath Tile_model

@@ -1,0 +1,1 @@
+lib/arch/cluster.ml: Array Config Engine Hashtbl List Mem Printf Spm Sw_ast Sw_kernels Trace

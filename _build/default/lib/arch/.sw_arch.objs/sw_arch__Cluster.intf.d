@@ -1,0 +1,1 @@
+lib/arch/cluster.mli: Config Engine Hashtbl Mem Spm Sw_ast Trace

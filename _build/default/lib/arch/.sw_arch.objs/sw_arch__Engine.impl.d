@@ -1,0 +1,1 @@
+lib/arch/engine.ml: Array Effect Float List Printf

@@ -1,0 +1,1 @@
+lib/arch/interp.ml: Aff Cluster Comm Config Engine List Option Pred Printf Spm Sw_ast Sw_poly Sw_tree

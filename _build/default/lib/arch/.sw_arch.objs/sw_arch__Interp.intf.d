@@ -1,0 +1,1 @@
+lib/arch/interp.mli: Config Mem Sw_ast Trace

@@ -1,0 +1,1 @@
+lib/arch/mem.ml: Array Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/arch/spm.ml: Array Hashtbl List Printf

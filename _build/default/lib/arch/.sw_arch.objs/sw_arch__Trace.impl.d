@@ -1,0 +1,1 @@
+lib/arch/trace.ml: Array Bytes Float List Printf String

@@ -1,0 +1,1 @@
+lib/arch/trace.mli:

@@ -1,0 +1,66 @@
+(** Machine model of one SW26010Pro cluster (core group).
+
+    The paper reports percentages of an undisclosed theoretical peak; every
+    absolute constant below is therefore a calibration, chosen once so that
+    the simulator reproduces the paper's published ratios (the §8.1
+    breakdown means, the §8.2 peak fractions, the batched/fusion speedups)
+    and then frozen. [test/test_calibration.ml] asserts the model stays
+    inside the documented bands. See DESIGN.md §4. *)
+
+type t = {
+  name : string;
+  mesh_rows : int;  (** 8 on SW26010Pro *)
+  mesh_cols : int;  (** 8; the mesh must be square for the RMA scheme *)
+  spm_bytes : int;  (** 256 KiB per CPE on SW26010Pro (§2.1) *)
+  cpe_freq_hz : float;
+  cpe_simd_flops_per_cycle : float;
+      (** double-precision flops/cycle of the 512-bit FMA pipeline *)
+  cpe_naive_flops_per_cycle : float;
+      (** scalar, unpipelined flops/cycle of compiler-generated loop code *)
+  micro_kernel_efficiency : float;
+      (** fraction of SIMD peak the vendor assembly kernel sustains *)
+  kernel_call_overhead_s : float;
+      (** per-invocation cost: call, loop control, pipeline ramp *)
+  mem_bw_bytes_per_s : float;
+      (** shared memory-controller bandwidth of the cluster *)
+  dma_latency_s : float;  (** fixed per-message DMA latency *)
+  rma_bw_bytes_per_s : float;  (** per row/column RMA link *)
+  rma_latency_s : float;
+  sync_latency_s : float;  (** full-mesh barrier *)
+  mesh_startup_s : float;  (** athread_spawn cost, paid per mesh launch *)
+  ew_cpe_cycles_per_elem : float;
+      (** vectorized element-wise op cost on a CPE (fused prologue/epilogue) *)
+  mpe_stream_bw_bytes_per_s : float;
+      (** MPE effective streaming bandwidth (baseline element-wise passes) *)
+  mpe_freq_hz : float;
+  mpe_ew_cycles_per_elem : (string * float) list;
+      (** per element-wise kernel: scalar MPE cycles per element *)
+  mk_m : int;  (** micro kernel shape, 64 x 64 x 32 on SW26010Pro (§7.2) *)
+  mk_n : int;
+  mk_k : int;
+}
+
+val sw26010pro : t
+(** The calibrated SW26010Pro model. *)
+
+val tiny : ?mesh:int -> ?mk:int * int * int -> unit -> t
+(** A scaled-down configuration for fast functional tests: [mesh x mesh]
+    CPEs (default 2) and a small micro kernel (default 4x4x2). Timing
+    constants are inherited from {!sw26010pro}. *)
+
+val peak_flops_per_s : t -> float
+(** Cluster SIMD peak: [rows * cols * freq * simd_flops_per_cycle]. *)
+
+val peak_gflops : t -> float
+
+val micro_kernel_seconds : t -> style:[ `Asm | `Naive ] -> m:int -> n:int -> k:int -> float
+(** Wall time of one micro-kernel invocation on one CPE. *)
+
+val mpe_ew_seconds : t -> fn:string -> elems:int -> float
+(** Baseline cost of an element-wise pass over [elems] doubles on the MPE:
+    the max of the streaming time (read + write) and the scalar compute
+    time. *)
+
+val validate : t -> (unit, string) result
+(** Reject meaningless models (non-square mesh, non-positive rates, micro
+    kernel tiles that overflow the SPM with double buffering). *)

@@ -1,0 +1,183 @@
+(* Binary min-heap on (time, seq) keys. *)
+module Heap = struct
+  type 'a entry = { time : float; seq : int; payload : 'a }
+
+  type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+
+  let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let push h e =
+    if h.size = Array.length h.data then begin
+      let cap = max 64 (2 * h.size) in
+      let data = Array.make cap e in
+      Array.blit h.data 0 data 0 h.size;
+      h.data <- data
+    end;
+    h.data.(h.size) <- e;
+    h.size <- h.size + 1;
+    (* sift up *)
+    let i = ref (h.size - 1) in
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      less h.data.(!i) h.data.(p)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = h.data.(p) in
+      h.data.(p) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.data.(0) <- h.data.(h.size);
+        (* sift down *)
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
+          if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+          if !smallest <> !i then begin
+            let tmp = h.data.(!smallest) in
+            h.data.(!smallest) <- h.data.(!i);
+            h.data.(!i) <- tmp;
+            i := !smallest
+          end
+          else continue := false
+        done
+      end;
+      Some top
+    end
+end
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  heap : (unit -> unit) Heap.t;
+  mutable blocked : int;  (* fibers parked on counters/barriers *)
+}
+
+type counter = {
+  eng : t;
+  mutable value : int;
+  mutable waiters : (int * (unit -> unit)) list;
+}
+
+let create () = { clock = 0.0; seq = 0; heap = Heap.create (); blocked = 0 }
+
+let now t = t.clock
+
+let push t ~at payload =
+  if at < t.clock then invalid_arg "Engine: scheduling into the past";
+  t.seq <- t.seq + 1;
+  Heap.push t.heap { Heap.time = at; seq = t.seq; payload }
+
+let schedule t ~after f = push t ~at:(t.clock +. after) f
+
+(* Effects performed by fibers. *)
+type _ Effect.t +=
+  | Delay : float -> unit Effect.t
+  | Await : (counter * int) -> unit Effect.t
+
+let delay d = if d > 0.0 then Effect.perform (Delay d)
+
+let await c n = if c.value < n then Effect.perform (Await (c, n))
+
+let exec t f =
+  let open Effect.Deep in
+  try_with f ()
+    {
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay d ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  push t ~at:(t.clock +. d) (fun () -> continue k ()))
+          | Await (c, n) ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  if c.value >= n then continue k ()
+                  else begin
+                    t.blocked <- t.blocked + 1;
+                    c.waiters <-
+                      (n, fun () -> continue k ()) :: c.waiters
+                  end)
+          | _ -> None);
+    }
+
+let spawn t f = push t ~at:t.clock (fun () -> exec t f)
+
+let run t =
+  let rec loop () =
+    match Heap.pop t.heap with
+    | None -> ()
+    | Some e ->
+        t.clock <- e.Heap.time;
+        e.Heap.payload ();
+        loop ()
+  in
+  loop ();
+  if t.blocked > 0 then
+    failwith
+      (Printf.sprintf "Engine.run: deadlock, %d fiber(s) still blocked"
+         t.blocked);
+  t.clock
+
+let new_counter eng = { eng; value = 0; waiters = [] }
+let counter_value c = c.value
+
+let counter_reset c =
+  if c.waiters <> [] then failwith "Engine.counter_reset: counter has waiters";
+  c.value <- 0
+
+let counter_incr c =
+  c.value <- c.value + 1;
+  let ready, still = List.partition (fun (n, _) -> c.value >= n) c.waiters in
+  c.waiters <- still;
+  List.iter
+    (fun (_, resume) ->
+      c.eng.blocked <- c.eng.blocked - 1;
+      push c.eng ~at:c.eng.clock resume)
+    ready
+
+type barrier = { parties : int; arrivals : counter }
+
+let new_barrier t ~parties = { parties; arrivals = new_counter t }
+
+let barrier_wait b =
+  let n = counter_value b.arrivals + 1 in
+  let round = ((n - 1) / b.parties) + 1 in
+  counter_incr b.arrivals;
+  await b.arrivals (round * b.parties)
+
+type channel = {
+  ceng : t;
+  bw : float;
+  latency : float;
+  mutable busy_until : float;
+}
+
+let new_channel t ~bw_bytes_per_s ~latency_s =
+  { ceng = t; bw = bw_bytes_per_s; latency = latency_s; busy_until = 0.0 }
+
+let transfer ch ~bytes ~on_complete =
+  let t = ch.ceng in
+  let start = Float.max t.clock ch.busy_until in
+  let drained = start +. (float_of_int bytes /. ch.bw) in
+  ch.busy_until <- drained;
+  let finish = drained +. ch.latency in
+  push t ~at:finish on_complete;
+  (start, finish)
+
+let channel_busy_until ch = ch.busy_until

@@ -1,0 +1,74 @@
+(** Discrete-event simulation engine.
+
+    Each CPE of the mesh runs as a cooperative fiber implemented with OCaml
+    effects: a fiber performs {!delay} to consume simulated time and
+    {!await} to block on a monotone counter (the reply counters of the
+    athread interfaces). Bandwidth-shared resources (the memory controller,
+    the RMA links) are modelled as {!channel}s that serialize transfers;
+    completions run as scheduled closures and increment counters, waking any
+    blocked fibers.
+
+    The scheduler is deterministic: events fire in (time, creation sequence)
+    order, so simulations are exactly reproducible. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time in seconds. *)
+
+val spawn : t -> (unit -> unit) -> unit
+(** Register a fiber to start at the current simulation time. *)
+
+val run : t -> float
+(** Execute events until none remain; returns the final clock. Raises
+    [Failure] if some fiber is still blocked on a counter (deadlock). *)
+
+val schedule : t -> after:float -> (unit -> unit) -> unit
+(** Schedule a plain closure (not a fiber: it must not perform effects). *)
+
+(** {2 Counters} *)
+
+type counter
+
+val new_counter : t -> counter
+val counter_value : counter -> int
+
+val counter_reset : counter -> unit
+(** Reset to zero. Raises [Failure] if fibers are still waiting on it. *)
+
+val counter_incr : counter -> unit
+(** Increment and wake satisfied waiters (at the current clock). *)
+
+(** {2 Fiber-side operations} (only valid inside a [spawn]ed fiber) *)
+
+val delay : float -> unit
+(** Advance this fiber's time by the given number of seconds. *)
+
+val await : counter -> int -> unit
+(** Block until the counter's value is at least the target. *)
+
+(** {2 Barriers} *)
+
+type barrier
+
+val new_barrier : t -> parties:int -> barrier
+
+val barrier_wait : barrier -> unit
+(** Fiber-side: block until [parties] fibers have arrived in this round. *)
+
+(** {2 Bandwidth-shared channels} *)
+
+type channel
+
+val new_channel : t -> bw_bytes_per_s:float -> latency_s:float -> channel
+
+val transfer : channel -> bytes:int -> on_complete:(unit -> unit) -> float * float
+(** Issue a non-blocking transfer from a fiber (or a completion closure):
+    the channel serializes occupancy at its bandwidth; [on_complete] runs
+    [latency] after the transfer drains. Returns immediately with the
+    transfer's [(start, completion)] interval, which is known at issue time
+    because the channel is deterministic. *)
+
+val channel_busy_until : channel -> float

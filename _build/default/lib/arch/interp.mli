@@ -1,0 +1,32 @@
+(** SPMD interpreter: runs a generated {!Sw_ast.Ast.program} on the
+    simulated cluster.
+
+    One fiber per CPE executes the program body with its own [Rid]/[Cid];
+    communication ops use the {!Cluster} primitives, so the simulation is
+    timing-accurate (shared memory-controller bandwidth, RMA links, barrier
+    costs, micro-kernel cycles) and — in functional mode — moves real data,
+    which is how the generated code's correctness is established
+    end-to-end. *)
+
+type result = {
+  seconds : float;
+      (** simulated wall time: mesh startup + the slowest CPE's finish *)
+  races : string list;  (** double-buffering violations detected *)
+}
+
+exception Interp_error of string
+
+val run :
+  ?trace:Trace.t ->
+  config:Config.t ->
+  functional:bool ->
+  mem:Mem.t ->
+  ?user:(rid:int -> cid:int -> string -> (string * int) list -> unit) ->
+  Sw_ast.Ast.program ->
+  result
+(** Raises {!Interp_error} on malformed programs (unknown buffers, unbound
+    loop variables, SPM overflow, a [User] statement without a [user]
+    callback) and [Failure] on simulated deadlock. *)
+
+val gflops : flops:int -> seconds:float -> float
+(** Convenience: [flops / seconds / 1e9]. *)

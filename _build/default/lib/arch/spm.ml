@@ -1,0 +1,107 @@
+type buffer = {
+  rows : int;
+  cols : int;
+  copies : int;
+  data : float array array;  (* per copy; [||] in timing-only mode *)
+  last_write : (float * float) array;  (* per copy *)
+  last_read : (float * float) array;
+}
+
+type t = {
+  capacity : int;
+  functional : bool;
+  buffers : (string, buffer) Hashtbl.t;
+  mutable used : int;
+  mutable races : string list;
+}
+
+let create ~capacity_bytes ~functional =
+  {
+    capacity = capacity_bytes;
+    functional;
+    buffers = Hashtbl.create 7;
+    used = 0;
+    races = [];
+  }
+
+let alloc t name ~rows ~cols ~copies =
+  if Hashtbl.mem t.buffers name then
+    failwith ("Spm.alloc: duplicate buffer " ^ name);
+  if rows <= 0 || cols <= 0 || copies <= 0 then
+    failwith ("Spm.alloc: empty buffer " ^ name);
+  let bytes = 8 * rows * cols * copies in
+  if t.used + bytes > t.capacity then
+    failwith
+      (Printf.sprintf
+         "Spm.alloc: %s needs %d bytes but only %d of %d remain (SPM overflow)"
+         name bytes (t.capacity - t.used) t.capacity);
+  t.used <- t.used + bytes;
+  let none = (neg_infinity, neg_infinity) in
+  Hashtbl.add t.buffers name
+    {
+      rows;
+      cols;
+      copies;
+      data =
+        (if t.functional then
+           Array.init copies (fun _ -> Array.make (rows * cols) 0.0)
+         else [||]);
+      last_write = Array.make copies none;
+      last_read = Array.make copies none;
+    }
+
+let used_bytes t = t.used
+let capacity_bytes t = t.capacity
+
+let find t name =
+  match Hashtbl.find_opt t.buffers name with
+  | Some b -> b
+  | None -> failwith ("Spm: unknown buffer " ^ name)
+
+let get_copy t name copy =
+  let b = find t name in
+  if copy < 0 || copy >= b.copies then
+    failwith
+      (Printf.sprintf "Spm: copy %d out of range for %s (%d copies)" copy name
+         b.copies);
+  (b, copy)
+
+let tile t name ~copy =
+  let b, c = get_copy t name copy in
+  if not t.functional then
+    failwith "Spm.tile: no data in timing-only mode";
+  b.data.(c)
+
+let tile_rows t name = (find t name).rows
+let tile_cols t name = (find t name).cols
+let copies t name = (find t name).copies
+
+let overlap (s1, f1) (s2, f2) = s1 < f2 && s2 < f1
+
+let note_write t name ~copy ~start ~finish =
+  let b, c = get_copy t name copy in
+  if overlap (start, finish) b.last_read.(c) then
+    t.races <-
+      Printf.sprintf
+        "write of %s[%d] during [%.3g, %.3g] overlaps read during [%.3g, %.3g]"
+        name c start finish (fst b.last_read.(c)) (snd b.last_read.(c))
+      :: t.races;
+  if overlap (start, finish) b.last_write.(c) then
+    t.races <-
+      Printf.sprintf
+        "write of %s[%d] during [%.3g, %.3g] overlaps write during [%.3g, %.3g]"
+        name c start finish (fst b.last_write.(c)) (snd b.last_write.(c))
+      :: t.races;
+  b.last_write.(c) <- (start, finish)
+
+let note_read t name ~copy ~start ~finish =
+  let b, c = get_copy t name copy in
+  if overlap (start, finish) b.last_write.(c) then
+    t.races <-
+      Printf.sprintf
+        "read of %s[%d] during [%.3g, %.3g] overlaps write during [%.3g, %.3g]"
+        name c start finish (fst b.last_write.(c)) (snd b.last_write.(c))
+      :: t.races;
+  b.last_read.(c) <- (start, finish)
+
+let races t = List.rev t.races

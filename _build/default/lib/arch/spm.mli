@@ -1,0 +1,39 @@
+(** Software-managed scratch-pad memory of one CPE (§2.1: 256 KB on the
+    SW26010Pro), with capacity accounting and read/write interval tracking
+    used to detect double-buffering races.
+
+    A buffer holds [copies] identical tiles of [rows x cols] doubles; copy
+    indices implement the double buffering of §6.3. Every read and write is
+    stamped with its simulated time interval; an overlap between a write
+    and a read of the same copy is recorded as a race (it would be silent
+    data corruption on the real hardware). *)
+
+type t
+
+val create : capacity_bytes:int -> functional:bool -> t
+(** With [functional = false] no data is stored, only capacity and race
+    bookkeeping (used for timing-only simulations of huge problems). *)
+
+val alloc : t -> string -> rows:int -> cols:int -> copies:int -> unit
+(** Raises [Failure] when the allocation exceeds remaining capacity. *)
+
+val used_bytes : t -> int
+val capacity_bytes : t -> int
+
+val tile : t -> string -> copy:int -> float array
+(** The backing array of one copy ([functional] mode only). *)
+
+val tile_rows : t -> string -> int
+val tile_cols : t -> string -> int
+val copies : t -> string -> int
+
+val note_write : t -> string -> copy:int -> start:float -> finish:float -> unit
+(** Record a write interval (DMA-get or RMA arrival into the buffer) and
+    check it against the last read. *)
+
+val note_read : t -> string -> copy:int -> start:float -> finish:float -> unit
+(** Record a read interval (kernel consuming the buffer, DMA-put draining
+    it) and check it against the last write. *)
+
+val races : t -> string list
+(** Human-readable descriptions of all races detected so far. *)

@@ -1,0 +1,115 @@
+type kind =
+  | Kernel
+  | Spm_op
+  | Dma of { bytes : int; put : bool }
+  | Rma of { bytes : int; sender : bool }
+  | Wait_reply
+  | Barrier
+
+type event = { rid : int; cid : int; kind : kind; start : float; finish : float }
+
+type t = { mutable evs : event list; mutable count : int }
+
+let create () = { evs = []; count = 0 }
+
+let record t e =
+  t.evs <- e :: t.evs;
+  t.count <- t.count + 1
+
+let events t = List.rev t.evs
+
+let busy t ~rid ~cid ~kind =
+  List.fold_left
+    (fun acc e ->
+      if e.rid = rid && e.cid = cid && kind e.kind then
+        acc +. (e.finish -. e.start)
+      else acc)
+    0.0 t.evs
+
+type utilization = {
+  span : float;
+  kernel_frac : float;
+  blocked_frac : float;
+  dma_bytes : int;
+  rma_bytes : int;
+}
+
+let utilization t ~mesh:(rows, cols) =
+  let lo = ref infinity and hi = ref neg_infinity in
+  let dma_bytes = ref 0 and rma_bytes = ref 0 in
+  List.iter
+    (fun e ->
+      lo := Float.min !lo e.start;
+      hi := Float.max !hi e.finish;
+      match e.kind with
+      | Dma { bytes; _ } -> dma_bytes := !dma_bytes + bytes
+      | Rma { bytes; sender = true } -> rma_bytes := !rma_bytes + bytes
+      | Rma _ | Kernel | Spm_op | Wait_reply | Barrier -> ())
+    t.evs;
+  let span = if !hi > !lo then !hi -. !lo else 0.0 in
+  let ncpe = float_of_int (rows * cols) in
+  let frac kind =
+    if span <= 0.0 then 0.0
+    else
+      let total = ref 0.0 in
+      for r = 0 to rows - 1 do
+        for c = 0 to cols - 1 do
+          total := !total +. busy t ~rid:r ~cid:c ~kind
+        done
+      done;
+      !total /. (span *. ncpe)
+  in
+  {
+    span;
+    kernel_frac = frac (function Kernel -> true | _ -> false);
+    blocked_frac = frac (function Wait_reply | Barrier -> true | _ -> false);
+    dma_bytes = !dma_bytes;
+    rma_bytes = !rma_bytes;
+  }
+
+let gantt t ~rid ~cid ~width =
+  let evs = List.filter (fun e -> e.rid = rid && e.cid = cid) t.evs in
+  match evs with
+  | [] -> String.make width '.'
+  | _ ->
+      let lo = List.fold_left (fun a e -> Float.min a e.start) infinity evs in
+      let hi = List.fold_left (fun a e -> Float.max a e.finish) neg_infinity evs in
+      let span = Float.max (hi -. lo) 1e-12 in
+      let lane = Bytes.make width '.' in
+      let prio = function
+        | Kernel -> (4, 'K')
+        | Spm_op -> (3, 'E')
+        | Rma _ -> (2, 'R')
+        | Dma _ -> (2, 'D')
+        | Wait_reply -> (1, 'w')
+        | Barrier -> (1, 'b')
+      in
+      let cell_prio = Array.make width 0 in
+      List.iter
+        (fun e ->
+          let p, ch = prio e.kind in
+          let a =
+            int_of_float (Float.of_int width *. (e.start -. lo) /. span)
+          in
+          let b =
+            int_of_float (Float.of_int width *. (e.finish -. lo) /. span)
+          in
+          for i = max 0 a to min (width - 1) (max a b) do
+            if p > cell_prio.(i) then begin
+              cell_prio.(i) <- p;
+              Bytes.set lane i ch
+            end
+          done)
+        evs;
+      Bytes.to_string lane
+
+let summary t ~mesh =
+  let u = utilization t ~mesh in
+  Printf.sprintf
+    "span %.3f ms | kernel busy %.1f%% | blocked %.1f%% | DMA %.2f MB | RMA \
+     %.2f MB"
+    (1000.0 *. u.span)
+    (100.0 *. u.kernel_frac)
+    (100.0 *. u.blocked_frac)
+    (float_of_int u.dma_bytes /. 1048576.0)
+    (float_of_int u.rma_bytes /. 1048576.0)

@@ -1,0 +1,45 @@
+(** Execution traces of simulated runs.
+
+    When a trace sink is attached to the cluster, every primitive records
+    its time interval: kernel invocations, DMA and RMA transfers (as seen
+    by the issuing/sending CPE), SPM element-wise passes, and the blocked
+    intervals spent in reply waits and barriers. The analysis functions
+    quantify exactly the effect §6 of the paper is about: how much
+    communication latency is exposed on the critical path versus hidden
+    behind computation. *)
+
+type kind =
+  | Kernel
+  | Spm_op  (** element-wise pass *)
+  | Dma of { bytes : int; put : bool }
+  | Rma of { bytes : int; sender : bool }
+  | Wait_reply
+  | Barrier
+
+type event = { rid : int; cid : int; kind : kind; start : float; finish : float }
+
+type t
+
+val create : unit -> t
+val record : t -> event -> unit
+val events : t -> event list
+(** In recording order. *)
+
+val busy : t -> rid:int -> cid:int -> kind:(kind -> bool) -> float
+(** Total time one CPE spent in events matching the predicate. *)
+
+type utilization = {
+  span : float;  (** first start to last finish *)
+  kernel_frac : float;  (** mean over CPEs of kernel busy / span *)
+  blocked_frac : float;  (** mean fraction spent blocked (waits + barriers) *)
+  dma_bytes : int;
+  rma_bytes : int;
+}
+
+val utilization : t -> mesh:int * int -> utilization
+
+val gantt : t -> rid:int -> cid:int -> width:int -> string
+(** ASCII lane of one CPE's activity: [K] kernel, [D] DMA wait-side,
+    [R] RMA, [w] blocked, [.] idle. Intended for small runs. *)
+
+val summary : t -> mesh:int * int -> string

@@ -1,0 +1,1 @@
+lib/astgen/ast.ml: Aff Buffer Comm Format List Pred Printf String Sw_poly Sw_tree

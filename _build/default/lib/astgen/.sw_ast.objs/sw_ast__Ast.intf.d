@@ -1,0 +1,1 @@
+lib/astgen/ast.mli: Aff Comm Format Pred Sw_poly Sw_tree

@@ -1,0 +1,1 @@
+lib/astgen/codegen.ml: Aff Array Ast Bset Comm Hashtbl Lin List Pred Printf Stmt String Sw_poly Sw_tree Tree

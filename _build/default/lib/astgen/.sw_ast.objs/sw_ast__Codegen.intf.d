@@ -1,0 +1,1 @@
+lib/astgen/codegen.mli: Ast Sw_tree Tree

@@ -1,0 +1,384 @@
+open Sw_poly
+open Sw_tree
+
+exception Codegen_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Codegen_error s)) fmt
+
+type ctx = {
+  stmts : Stmt.t list;  (* all real statements *)
+  exts : (string * Comm.t) list;  (* auxiliary statements in scope *)
+  active : string list;
+  loop_vars : string list;  (* generated loop variables, outermost first *)
+  guards : Bset.t;  (* dims = loop_vars; what is known to hold here *)
+  stmt_ctx : (string * Bset.t) list;
+      (* per real statement: dims = iters @ loop_vars, carrying the domain
+         constraints and the equations [loop_var = schedule_expr]. *)
+}
+
+let is_real ctx name = List.exists (fun s -> String.equal s.Stmt.name name) ctx.stmts
+
+let active_real ctx =
+  List.filter (fun n -> is_real ctx n) ctx.active
+
+(* Inside per-statement contexts, iterator dimensions are renamed with a
+   reserved prefix so they can never collide with generated loop variables
+   (trees commonly reuse the iterator's name for the point loop). *)
+let iter_dim it = "$" ^ it
+
+let iter_sub ctx name =
+  match List.find_opt (fun s -> String.equal s.Stmt.name name) ctx.stmts with
+  | Some s -> List.map (fun it -> (it, Aff.var (iter_dim it))) s.Stmt.iters
+  | None -> fail "unknown statement %s" name
+
+(* Compute the loop bounds of band member [var] (schedule expression [e] per
+   statement) for every active real statement and merge them. *)
+let member_bounds ctx (m : Tree.member) =
+  let per_stmt =
+    List.filter_map
+      (fun name ->
+        let sctx = List.assoc name ctx.stmt_ctx in
+        let e =
+          match List.assoc_opt name m.Tree.exprs with
+          | Some e -> e
+          | None -> fail "band member %s lacks schedule for %s" m.Tree.var name
+        in
+        let e = Aff.subst (iter_sub ctx name) e in
+        let sctx = Bset.add_dims sctx [ m.Tree.var ] in
+        let sctx = Bset.add_aff_eq sctx (Aff.sub (Aff.var m.Tree.var) e) in
+        let lbs, ubs =
+          Bset.dim_bounds sctx ~dim:m.Tree.var ~using:ctx.loop_vars
+        in
+        if lbs = [] || ubs = [] then
+          fail "no finite bounds for loop %s (statement %s)" m.Tree.var name;
+        Some
+          ( name,
+            sctx,
+            List.map (Bset.bound_to_aff sctx ~round:`Ceil) lbs,
+            List.map (Bset.bound_to_aff sctx ~round:`Floor) ubs ))
+      (active_real ctx)
+  in
+  match per_stmt with
+  | [] -> fail "band %s with no active real statement" m.Tree.var
+  | (_, _, lbs0, ubs0) :: rest ->
+      let norm l = List.sort_uniq compare (List.map Aff.to_string l) in
+      List.iter
+        (fun (name, _, lbs, ubs) ->
+          if norm lbs <> norm lbs0 || norm ubs <> norm ubs0 then
+            fail
+              "statements disagree on bounds of loop %s (e.g. %s); schedule \
+               them in separate sequence branches"
+              m.Tree.var name)
+        rest;
+      let dedup affs =
+        let seen = Hashtbl.create 7 in
+        List.filter
+          (fun a ->
+            let k = Aff.to_string a in
+            if Hashtbl.mem seen k then false
+            else (
+              Hashtbl.add seen k ();
+              true))
+          affs
+      in
+      (dedup lbs0, dedup ubs0)
+
+(* Extend every per-statement context and the guard context with the new
+   loop variable and its constraints. *)
+let push_loop ctx (m : Tree.member) ~value ~lbs ~ubs =
+  let v = m.Tree.var in
+  let extend_stmt name sctx =
+    let sctx = Bset.add_dims sctx [ v ] in
+    match List.assoc_opt name m.Tree.exprs with
+    | Some e ->
+        Bset.add_aff_eq sctx
+          (Aff.sub (Aff.var v) (Aff.subst (iter_sub ctx name) e))
+    | None -> sctx
+  in
+  let guards = Bset.add_dims ctx.guards [ v ] in
+  let guards =
+    match value with
+    | Some a -> Bset.add_aff_eq guards (Aff.sub (Aff.var v) a)
+    | None ->
+        let g =
+          List.fold_left
+            (fun g lb -> Bset.add_aff_ineq g (Aff.sub (Aff.var v) lb))
+            guards lbs
+        in
+        List.fold_left
+          (fun g ub -> Bset.add_aff_ineq g (Aff.sub ub (Aff.var v)))
+          g ubs
+  in
+  {
+    ctx with
+    loop_vars = ctx.loop_vars @ [ v ];
+    guards;
+    stmt_ctx = List.map (fun (n, s) -> (n, extend_stmt n s)) ctx.stmt_ctx;
+  }
+
+(* Recover the iterator values of statement [name] from the schedule: each
+   iterator must be pinned to a single value by the accumulated equations. *)
+let solve_iterators ctx name =
+  let s =
+    match List.find_opt (fun s -> String.equal s.Stmt.name name) ctx.stmts with
+    | Some s -> s
+    | None -> fail "unknown statement %s" name
+  in
+  let sctx = List.assoc name ctx.stmt_ctx in
+  List.map
+    (fun it ->
+      let lbs, ubs =
+        Bset.dim_bounds sctx ~dim:(iter_dim it) ~using:ctx.loop_vars
+      in
+      (* The iterator is determined when a lower and an upper bound coincide
+         exactly (same linear expression and denominator). *)
+      let value =
+        List.find_opt
+          (fun (u : Bset.bound) ->
+            List.exists
+              (fun (l : Bset.bound) ->
+                l.Bset.den = u.Bset.den && Lin.equal l.Bset.expr u.Bset.expr)
+              lbs)
+          ubs
+      in
+      match value with
+      | Some u when u.Bset.den = 1 ->
+          (it, Bset.bound_to_aff sctx ~round:`Floor u)
+      | Some _ | None ->
+          fail "iterator %s of %s is not determined by the schedule" it name)
+    s.Stmt.iters
+
+let apply_filter ctx (flt : Tree.filter) =
+  let known name =
+    is_real ctx name || List.mem_assoc name ctx.exts
+  in
+  List.iter
+    (fun n -> if not (known n) then fail "filter on unknown statement %s" n)
+    flt.Tree.stmts;
+  let active = List.filter (fun n -> List.mem n ctx.active) flt.Tree.stmts in
+  (* A predicate whose free variables are all generated loop variables can be
+     emitted as a guard (and pruned when already implied). A predicate over
+     statement iterators instead acts through the statement contexts: it
+     narrows the bounds of the bands generated below (this is how peeling
+     filters such as [floor(k/256) = 0] take effect). *)
+  let emittable p =
+    List.for_all
+      (fun v -> List.mem v ctx.loop_vars)
+      (Aff.free_vars p.Pred.lhs @ Aff.free_vars p.Pred.rhs)
+  in
+  let guard_preds, iter_preds = List.partition emittable flt.Tree.preds in
+  let remaining =
+    List.filter
+      (fun p ->
+        not
+          (List.for_all
+             (fun ineq -> Bset.implies_aff_ineq ctx.guards ineq)
+             (Pred.to_ineqs p)))
+      guard_preds
+  in
+  let guards =
+    List.fold_left
+      (fun g p ->
+        List.fold_left (fun g ineq -> Bset.add_aff_ineq g ineq) g
+          (Pred.to_ineqs p))
+      ctx.guards guard_preds
+  in
+  let stmt_ctx =
+    List.map
+      (fun (n, sctx) ->
+        let sub = if is_real ctx n then iter_sub ctx n else [] in
+        ( n,
+          List.fold_left
+            (fun sctx p ->
+              let p = Pred.subst sub p in
+              List.fold_left
+                (fun sctx ineq -> Bset.add_aff_ineq sctx ineq)
+                sctx (Pred.to_ineqs p))
+            sctx (guard_preds @ iter_preds) ))
+      ctx.stmt_ctx
+  in
+  ({ ctx with active; guards; stmt_ctx }, remaining)
+
+let rec gen_node ~marks ctx (t : Tree.t) : Ast.block =
+  match t with
+  | Tree.Domain _ -> fail "nested domain node"
+  | Tree.Leaf ->
+      List.concat_map
+        (fun name ->
+          match List.assoc_opt name ctx.exts with
+          | Some comm -> [ Ast.Op comm ]
+          | None ->
+              if is_real ctx name then
+                [ Ast.User { name; args = solve_iterators ctx name } ]
+              else [])
+        ctx.active
+  | Tree.Mark (name, child) -> (
+      match marks name with
+      | Some block -> Ast.Comment (Printf.sprintf "mark: %s" name) :: block
+      | None -> gen_node ~marks ctx child)
+  | Tree.Extension (es, child) ->
+      let names = List.map (fun e -> e.Tree.ext_name) es in
+      let ctx =
+        {
+          ctx with
+          exts = ctx.exts @ List.map (fun e -> (e.Tree.ext_name, e.Tree.comm)) es;
+          active = ctx.active @ names;
+        }
+      in
+      gen_node ~marks ctx child
+  | Tree.Filter (flt, child) ->
+      let ctx', remaining = apply_filter ctx flt in
+      let inner = gen_node ~marks ctx' child in
+      if remaining = [] then inner
+      else if inner = [] then []
+      else [ Ast.If { conds = remaining; body = inner } ]
+  | Tree.Sequence children ->
+      List.concat_map
+        (fun (flt, child) -> gen_node ~marks ctx (Tree.Filter (flt, child)))
+        children
+  | Tree.Band (b, child) -> gen_members ~marks ctx b.Tree.members child
+
+and gen_members ~marks ctx members child =
+  match members with
+  | [] -> gen_node ~marks ctx child
+  | _ :: _
+    when active_real ctx <> []
+         && List.for_all
+              (fun name -> Bset.is_empty (List.assoc name ctx.stmt_ctx))
+              (active_real ctx) ->
+      (* Every active statement's context is infeasible (e.g. a peeling
+         filter that degenerates to a constant contradiction, as happens
+         when the strip-mining factor is 1): the whole subtree — including
+         any auxiliary statements scheduled under this band — is dead.
+         Bound extraction alone would not notice when the contradiction
+         does not involve the band variable. *)
+      []
+  | m :: rest -> (
+      match m.Tree.bind with
+      | Tree.Bind_rid | Tree.Bind_cid ->
+          let coord =
+            match m.Tree.bind with
+            | Tree.Bind_rid -> "Rid"
+            | Tree.Bind_cid -> "Cid"
+            | Tree.Unbound -> assert false
+          in
+          (* The member's variable takes the mesh coordinate; the schedule
+             equation then pins the statement instances each CPE executes. *)
+          let value = Aff.param coord in
+          let ctx = push_loop ctx m ~value:(Some value) ~lbs:[] ~ubs:[] in
+          [
+            Ast.Let
+              {
+                var = m.Tree.var;
+                value;
+                body = gen_members ~marks ctx rest child;
+              };
+          ]
+      | Tree.Unbound -> (
+          let lbs, ubs = member_bounds ctx m in
+          match (lbs, ubs) with
+          | [ lb ], [ ub ] when Aff.equal lb ub ->
+              let ctx = push_loop ctx m ~value:(Some lb) ~lbs ~ubs in
+              [
+                Ast.Let
+                  {
+                    var = m.Tree.var;
+                    value = lb;
+                    body = gen_members ~marks ctx rest child;
+                  };
+              ]
+          | _ ->
+              let ctx = push_loop ctx m ~value:None ~lbs ~ubs in
+              [
+                Ast.For
+                  {
+                    var = m.Tree.var;
+                    lbs;
+                    ubs;
+                    body = gen_members ~marks ctx rest child;
+                  };
+              ]))
+
+let generate ?(marks = fun _ -> None) ~mesh tree =
+  let rows, cols = mesh in
+  match tree with
+  | Tree.Domain (stmts, child) ->
+      let all_params =
+        List.sort_uniq String.compare
+          (List.concat_map Stmt.params stmts @ [ "Rid"; "Cid" ])
+      in
+      let guards = Bset.universe ~params:all_params ~dims:[] in
+      let constrain_coord g name limit =
+        let g = Bset.add_aff_ineq g (Aff.param name) in
+        Bset.add_aff_ineq g
+          (Aff.sub (Aff.const (limit - 1)) (Aff.param name))
+      in
+      let guards = constrain_coord guards "Rid" rows in
+      let guards = constrain_coord guards "Cid" cols in
+      let stmt_ctx =
+        List.map
+          (fun s ->
+            (* Rebuild each statement's domain over the full parameter list
+               (so Rid/Cid can appear in schedule equations) and with the
+               iterator dimensions renamed into the reserved namespace. *)
+            let base =
+              Bset.universe ~params:all_params
+                ~dims:(List.map iter_dim s.Stmt.iters)
+            in
+            let base =
+              List.fold_left
+                (fun b e ->
+                  let old = s.Stmt.domain in
+                  let remap =
+                    Lin.of_terms
+                      (List.map
+                         (fun (v, c) ->
+                           match v with
+                           | Lin.D i -> (Lin.D i, c)
+                           | Lin.P i ->
+                               let pname = (Bset.params old).(i) in
+                               (Bset.param_var base pname, c)
+                           | Lin.X _ ->
+                               fail "existentials in domain of %s" s.Stmt.name)
+                         (Lin.terms e))
+                      (Lin.constant e)
+                  in
+                  Bset.add_ineq b remap)
+                base (Bset.ineqs s.Stmt.domain)
+            in
+            let base =
+              List.fold_left
+                (fun b e ->
+                  let old = s.Stmt.domain in
+                  let remap =
+                    Lin.of_terms
+                      (List.map
+                         (fun (v, c) ->
+                           match v with
+                           | Lin.D i -> (Lin.D i, c)
+                           | Lin.P i ->
+                               let pname = (Bset.params old).(i) in
+                               (Bset.param_var base pname, c)
+                           | Lin.X _ ->
+                               fail "existentials in domain of %s" s.Stmt.name)
+                         (Lin.terms e))
+                      (Lin.constant e)
+                  in
+                  Bset.add_eq b remap)
+                base (Bset.eqs s.Stmt.domain)
+            in
+            (s.Stmt.name, base))
+          stmts
+      in
+      let ctx =
+        {
+          stmts;
+          exts = [];
+          active = List.map (fun s -> s.Stmt.name) stmts;
+          loop_vars = [];
+          guards;
+          stmt_ctx;
+        }
+      in
+      gen_node ~marks ctx child
+  | _ -> fail "schedule tree must start with a domain node"

@@ -1,0 +1,28 @@
+(** AST generation: scanning a schedule tree into executable/printable code
+    (§7.1 of the paper).
+
+    The generator walks the tree, materializing every band member as a loop
+    whose bounds are computed polyhedrally from the statement domains and
+    the accumulated schedule prefix ({!Sw_poly.Bset.dim_bounds}), mesh-bound
+    members as bindings of [Rid]/[Cid], filters as guards (pruned when the
+    accumulated context already implies them), extension statements as
+    communication ops, and leaves as statement instances whose iterator
+    values are recovered by inverting the schedule.
+
+    A mark node (§7.2) may be intercepted through [marks]: returning
+    [Some block] replaces the whole subtree below the mark — this is how the
+    inline-assembly micro kernel is spliced into the generated code. *)
+
+open Sw_tree
+
+exception Codegen_error of string
+
+val generate :
+  ?marks:(string -> Ast.block option) ->
+  mesh:int * int ->
+  Tree.t ->
+  Ast.block
+(** [generate ~mesh tree] produces SPMD CPE code for a [rows x cols] mesh.
+    Raises {!Codegen_error} when a band bound cannot be derived, statements
+    disagree on a shared loop's bounds, or a leaf statement's iterators are
+    not uniquely determined by the schedule. *)

@@ -1,0 +1,1 @@
+lib/blas/dgemm.ml: Array Matrix Sw_kernels

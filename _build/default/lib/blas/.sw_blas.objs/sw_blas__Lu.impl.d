@@ -1,0 +1,1 @@
+lib/blas/lu.ml: Array Float Matrix

@@ -1,0 +1,61 @@
+let check_shapes ~a ~b ~c =
+  if
+    a.Matrix.cols <> b.Matrix.rows
+    || c.Matrix.rows <> a.Matrix.rows
+    || c.Matrix.cols <> b.Matrix.cols
+  then invalid_arg "Dgemm: incompatible shapes"
+
+let gemm ~alpha ~beta ~a ~b ~c =
+  check_shapes ~a ~b ~c;
+  let m = a.Matrix.rows and k = a.Matrix.cols and n = b.Matrix.cols in
+  let ad = a.Matrix.data and bd = b.Matrix.data and cd = c.Matrix.data in
+  for i = 0 to m - 1 do
+    let crow = i * n in
+    for j = 0 to n - 1 do
+      cd.(crow + j) <- beta *. cd.(crow + j)
+    done;
+    for p = 0 to k - 1 do
+      let av = alpha *. ad.((i * k) + p) in
+      if av <> 0.0 then begin
+        let brow = p * n in
+        for j = 0 to n - 1 do
+          cd.(crow + j) <- cd.(crow + j) +. (av *. bd.(brow + j))
+        done
+      end
+    done
+  done
+
+let gemm_t ~ta ~tb ~alpha ~beta ~a ~b ~c =
+  let m = c.Matrix.rows and n = c.Matrix.cols in
+  let k = if ta then a.Matrix.rows else a.Matrix.cols in
+  let ka = if ta then (a.Matrix.cols, a.Matrix.rows) else (a.Matrix.rows, a.Matrix.cols) in
+  let kb = if tb then (b.Matrix.cols, b.Matrix.rows) else (b.Matrix.rows, b.Matrix.cols) in
+  if ka <> (m, k) || kb <> (k, n) then
+    invalid_arg "Dgemm.gemm_t: incompatible shapes";
+  let ga i p = if ta then Matrix.get a p i else Matrix.get a i p in
+  let gb p j = if tb then Matrix.get b j p else Matrix.get b p j in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref (beta *. Matrix.get c i j) in
+      for p = 0 to k - 1 do
+        acc := !acc +. (alpha *. ga i p *. gb p j)
+      done;
+      Matrix.set c i j !acc
+    done
+  done
+
+let gemm_flops ~m ~n ~k = 2 * m * n * k
+
+let batched ~alpha ~beta ~a ~b ~c =
+  if Array.length a <> Array.length b || Array.length a <> Array.length c then
+    invalid_arg "Dgemm.batched: batch size mismatch";
+  Array.iteri (fun i ai -> gemm ~alpha ~beta ~a:ai ~b:b.(i) ~c:c.(i)) a
+
+let fused_prologue ~fn ~alpha ~beta ~a ~b ~c =
+  let qa = Matrix.map (Sw_kernels.Elementwise.reference fn) a in
+  gemm ~alpha ~beta ~a:qa ~b ~c
+
+let fused_epilogue ~fn ~alpha ~beta ~a ~b ~c =
+  gemm ~alpha ~beta ~a ~b ~c;
+  let f = Sw_kernels.Elementwise.reference fn in
+  Array.iteri (fun idx x -> c.Matrix.data.(idx) <- f x) c.Matrix.data

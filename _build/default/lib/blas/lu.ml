@@ -1,0 +1,109 @@
+let factor (m : Matrix.t) =
+  if m.Matrix.rows <> m.Matrix.cols then invalid_arg "Lu.factor: not square";
+  let n = m.Matrix.rows in
+  for k = 0 to n - 1 do
+    let pivot = Matrix.get m k k in
+    if abs_float pivot < 1e-12 then failwith "Lu.factor: zero pivot";
+    for i = k + 1 to n - 1 do
+      let l = Matrix.get m i k /. pivot in
+      Matrix.set m i k l;
+      for j = k + 1 to n - 1 do
+        Matrix.set m i j (Matrix.get m i j -. (l *. Matrix.get m k j))
+      done
+    done
+  done
+
+type gemm_acc = a:Matrix.t -> b:Matrix.t -> c:Matrix.t -> unit
+
+(* A12 := L11^{-1} A12 with L11 unit lower triangular. *)
+let trsm_lower_unit ~(l11 : Matrix.t) ~(a12 : Matrix.t) =
+  let bs = l11.Matrix.rows in
+  for j = 0 to a12.Matrix.cols - 1 do
+    for i = 0 to bs - 1 do
+      let s = ref (Matrix.get a12 i j) in
+      for p = 0 to i - 1 do
+        s := !s -. (Matrix.get l11 i p *. Matrix.get a12 p j)
+      done;
+      Matrix.set a12 i j !s
+    done
+  done
+
+(* A21 := A21 U11^{-1} with U11 upper triangular. *)
+let trsm_upper ~(u11 : Matrix.t) ~(a21 : Matrix.t) =
+  let bs = u11.Matrix.rows in
+  for i = 0 to a21.Matrix.rows - 1 do
+    for j = 0 to bs - 1 do
+      let s = ref (Matrix.get a21 i j) in
+      for p = 0 to j - 1 do
+        s := !s -. (Matrix.get a21 i p *. Matrix.get u11 p j)
+      done;
+      Matrix.set a21 i j (!s /. Matrix.get u11 j j)
+    done
+  done
+
+let blocked_factor ?(bs = 32) ~(gemm : gemm_acc) (m : Matrix.t) =
+  if m.Matrix.rows <> m.Matrix.cols then
+    invalid_arg "Lu.blocked_factor: not square";
+  let n = m.Matrix.rows in
+  let kb = ref 0 in
+  while !kb < n do
+    let b = min bs (n - !kb) in
+    let rest = n - !kb - b in
+    (* factor the diagonal block *)
+    let a11 = Matrix.sub_matrix m ~row:!kb ~col:!kb ~rows:b ~cols:b in
+    factor a11;
+    Matrix.blit_into ~src:a11 ~dst:m ~row:!kb ~col:!kb;
+    if rest > 0 then begin
+      let a12 = Matrix.sub_matrix m ~row:!kb ~col:(!kb + b) ~rows:b ~cols:rest in
+      let a21 = Matrix.sub_matrix m ~row:(!kb + b) ~col:!kb ~rows:rest ~cols:b in
+      trsm_lower_unit ~l11:a11 ~a12;
+      trsm_upper ~u11:a11 ~a21;
+      Matrix.blit_into ~src:a12 ~dst:m ~row:!kb ~col:(!kb + b);
+      Matrix.blit_into ~src:a21 ~dst:m ~row:(!kb + b) ~col:!kb;
+      (* trailing update: the Linpack GEMM *)
+      let a22 =
+        Matrix.sub_matrix m ~row:(!kb + b) ~col:(!kb + b) ~rows:rest ~cols:rest
+      in
+      gemm ~a:a21 ~b:a12 ~c:a22;
+      Matrix.blit_into ~src:a22 ~dst:m ~row:(!kb + b) ~col:(!kb + b)
+    end;
+    kb := !kb + b
+  done
+
+let solve ~(lu : Matrix.t) ~b =
+  let n = lu.Matrix.rows in
+  if Array.length b <> n then invalid_arg "Lu.solve: size mismatch";
+  let y = Array.copy b in
+  (* forward: L y = b, unit diagonal *)
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      y.(i) <- y.(i) -. (Matrix.get lu i j *. y.(j))
+    done
+  done;
+  (* backward: U x = y *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      y.(i) <- y.(i) -. (Matrix.get lu i j *. y.(j))
+    done;
+    y.(i) <- y.(i) /. Matrix.get lu i i
+  done;
+  y
+
+let residual ~(a : Matrix.t) ~x ~b =
+  let n = a.Matrix.rows in
+  let worst = ref 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref 0.0 in
+    for j = 0 to n - 1 do
+      s := !s +. (Matrix.get a i j *. x.(j))
+    done;
+    worst := Float.max !worst (abs_float (!s -. b.(i)))
+  done;
+  !worst
+
+let diagonally_dominant ~n ~seed =
+  let m = Matrix.random ~rows:n ~cols:n ~seed in
+  for i = 0 to n - 1 do
+    Matrix.set m i i (Matrix.get m i i +. float_of_int n)
+  done;
+  m

@@ -1,0 +1,32 @@
+(** Blocked LU factorization — the Linpack motivation of the paper's
+    introduction ("the Linpack benchmark used to rank supercomputers also
+    relies heavily on the efficient implementation of GEMM") made into a
+    consumer of the library.
+
+    Right-looking blocked LU without pivoting (callers supply diagonally
+    dominant systems, as the tests do): per block step, the panel is
+    factored unblocked, the row/column panels are updated by triangular
+    solves, and the trailing submatrix receives the rank-[bs] update
+    [A22 -= A21 * A12] — the GEMM that dominates Linpack's runtime and is
+    pluggable here, so the generated-and-simulated kernel can drive the
+    factorization. *)
+
+val factor : Matrix.t -> unit
+(** In-place unblocked LU (unit lower triangle below the diagonal, upper
+    triangle on and above). Raises [Failure] on a (near-)zero pivot. *)
+
+type gemm_acc = a:Matrix.t -> b:Matrix.t -> c:Matrix.t -> unit
+(** [C := C - A x B] (the trailing update's shape). *)
+
+val blocked_factor : ?bs:int -> gemm:gemm_acc -> Matrix.t -> unit
+(** Blocked in-place LU using [gemm] for every trailing update. [bs]
+    defaults to 32. *)
+
+val solve : lu:Matrix.t -> b:float array -> float array
+(** Forward/back substitution with a factored matrix. *)
+
+val residual : a:Matrix.t -> x:float array -> b:float array -> float
+(** [max |A x - b|], the Linpack-style check. *)
+
+val diagonally_dominant : n:int -> seed:int -> Matrix.t
+(** A well-conditioned random test system. *)

@@ -1,0 +1,33 @@
+(** Dense row-major matrix helpers shared by the reference implementations,
+    the test oracles and the benchmark workload generators. *)
+
+type t = { rows : int; cols : int; data : float array }
+
+val create : rows:int -> cols:int -> t
+val init : rows:int -> cols:int -> f:(int -> int -> float) -> t
+val random : rows:int -> cols:int -> seed:int -> t
+(** Deterministic uniform values in [(-1, 1)]. *)
+
+val copy : t -> t
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val pad : t -> rows:int -> cols:int -> t
+(** Zero-pad to a larger shape (contents in the top-left corner). Raises
+    [Invalid_argument] when shrinking. *)
+
+val unpad : t -> rows:int -> cols:int -> t
+(** Extract the top-left [rows x cols] corner. *)
+
+val max_abs_diff : t -> t -> float
+(** Largest absolute element-wise difference; raises on shape mismatch. *)
+
+val transpose : t -> t
+val map : (float -> float) -> t -> t
+val round_up : int -> multiple:int -> int
+
+val sub_matrix : t -> row:int -> col:int -> rows:int -> cols:int -> t
+(** Copy out a rectangular region; bounds-checked. *)
+
+val blit_into : src:t -> dst:t -> row:int -> col:int -> unit
+(** Copy [src] into [dst] at offset [(row, col)]; bounds-checked. *)

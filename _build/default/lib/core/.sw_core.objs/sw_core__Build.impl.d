@@ -1,0 +1,1 @@
+lib/core/build.ml: Access Aff Bset Comm List Options Pred Printf Spec Stmt Sw_ast Sw_poly Sw_tree Tile_model Transform Tree

@@ -1,0 +1,1 @@
+lib/core/build.mli: Options Spec Stmt Sw_ast Sw_tree Tile_model Tree

@@ -1,0 +1,1 @@
+lib/core/cemit.ml: Aff Buffer Comm Compile Filename List Options Pred Printf Spec String Sw_arch Sw_ast Sw_poly Sw_tree

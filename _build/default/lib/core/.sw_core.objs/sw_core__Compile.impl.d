@@ -1,0 +1,1 @@
+lib/core/compile.ml: Build Options Printf Spec String Sw_arch Sw_ast Sw_tree Tile_model Unix

@@ -1,0 +1,1 @@
+lib/core/compile.mli: Options Spec Sw_arch Sw_ast Sw_tree Tile_model

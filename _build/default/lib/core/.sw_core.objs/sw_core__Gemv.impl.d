@@ -1,0 +1,1 @@
+lib/core/gemv.ml: Access Aff Array Bset Comm Dgemm Float Interp List Matrix Mem Pred Printf Runner Stmt Sw_arch Sw_ast Sw_blas Sw_poly Sw_tree Transform Tree

@@ -1,0 +1,1 @@
+lib/core/gemv.mli: Runner Sw_arch Sw_ast Sw_tree

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array Compile Config Dgemm Float Hashtbl Interp List Matrix Mem Printf Spec Sw_arch Sw_ast Sw_blas Tile_model Trace

@@ -1,0 +1,1 @@
+lib/core/runner.mli: Compile Sw_arch

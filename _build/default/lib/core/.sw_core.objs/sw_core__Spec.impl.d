@@ -1,0 +1,1 @@
+lib/core/spec.ml: Printf Sw_arch Sw_blas Sw_kernels

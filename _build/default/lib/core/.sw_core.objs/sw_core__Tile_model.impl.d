@@ -1,0 +1,1 @@
+lib/core/tile_model.ml: Options Printf Spec Sw_arch

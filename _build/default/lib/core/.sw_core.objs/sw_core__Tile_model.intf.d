@@ -1,0 +1,1 @@
+lib/core/tile_model.mli: Options Spec Sw_arch

@@ -1,0 +1,1 @@
+lib/core/tuner.ml: Buffer Compile Config List Printf Runner Sw_arch Sw_kernels

@@ -1,0 +1,1 @@
+lib/core/tuner.mli: Spec Sw_arch

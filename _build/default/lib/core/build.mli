@@ -1,0 +1,37 @@
+(** Schedule-tree construction: the paper's transformation sequence.
+
+    Starting from the initial schedule tree of the naive loop nest
+    (Fig. 2b), this module performs, driven by {!Options.t}:
+
+    - batch-dimension isolation (Fig. 3),
+    - compute decomposition: tiling to the micro-kernel shape, mesh-level
+      tiling and [Rid]/[Cid] binding (Fig. 4), strip-mining of the reduced
+      tile loop by the mesh width (Fig. 6),
+    - extension-node insertion for the C/A/B DMA transfers with the
+      argument inference of §4 (Eq. 1) and for the RMA row/column
+      broadcasts of §5 (Fig. 9),
+    - loop peeling and reply-indicator separation implementing the
+      two-level software pipeline of §6 together with the double-buffering
+      parity subscripts (Fig. 11),
+    - mark nodes for the micro kernel (§7.2) and the fusion patterns
+      (§7.3).
+
+    The result is a schedule tree ready for AST generation plus the mark
+    expansions, SPM declarations and reply-counter inventory that
+    {!Compile} assembles into a program. *)
+
+open Sw_tree
+
+val gemm_stmt : Spec.t -> Stmt.t
+(** The GEMM statement with this spec's concrete loop bounds. *)
+
+val tree : Spec.t -> Options.t -> Tile_model.t -> Tree.t
+
+val marks :
+  Spec.t -> Options.t -> Tile_model.t -> string -> Sw_ast.Ast.block option
+(** Mark expansion: splices the micro-kernel invocation (and the fused
+    prologue's element-wise pass) in place of the point band. *)
+
+val spm_decls : Spec.t -> Options.t -> Tile_model.t -> Sw_ast.Ast.spm_decl list
+val replies : Options.t -> string list
+val arrays : Spec.t -> Sw_ast.Ast.array_decl list

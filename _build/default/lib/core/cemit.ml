@@ -1,0 +1,407 @@
+open Sw_poly
+open Sw_tree
+
+let buffer_add_lines buf lines =
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    lines
+
+(* C rendering of affine expressions: Fdiv/Mod become the helper macros
+   emitted in the prelude. *)
+let aff = Aff.to_c
+
+(* an SPM buffer copy decays to [double *] when indexed once *)
+let buf_ref (b : Comm.buf) =
+  match b.Comm.parity with
+  | None -> Printf.sprintf "%s[0]" b.Comm.base
+  | Some p -> Printf.sprintf "%s[%s]" b.Comm.base (aff p)
+
+let reply_ref name parity =
+  match parity with
+  | None -> Printf.sprintf "&%s[0]" name
+  | Some p -> Printf.sprintf "&%s[%s]" name (aff p)
+
+let array_ref array batch row col =
+  match batch with
+  | None -> Printf.sprintf "&%s[%s][%s]" array (aff row) (aff col)
+  | Some b -> Printf.sprintf "&%s[%s][%s][%s]" array (aff b) (aff row) (aff col)
+
+let stride_name array = Printf.sprintf "%s_COLS" (String.uppercase_ascii array)
+
+let comm_to_c (c : Comm.t) =
+  match c with
+  | Comm.Dma_get d ->
+      [
+        Printf.sprintf "*(%s) = 0;" (reply_ref d.Comm.reply d.Comm.reply_parity);
+        Printf.sprintf
+          "dma_iget(%s, %s, %d * %d * sizeof(double), %d * sizeof(double), (%s - %d) * sizeof(double), %s);"
+          (buf_ref d.Comm.spm)
+          (array_ref d.Comm.array d.Comm.batch d.Comm.row_lo d.Comm.col_lo)
+          d.Comm.rows d.Comm.cols d.Comm.cols
+          (stride_name d.Comm.array)
+          d.Comm.cols
+          (reply_ref d.Comm.reply d.Comm.reply_parity);
+      ]
+  | Comm.Dma_put d ->
+      [
+        Printf.sprintf "*(%s) = 0;" (reply_ref d.Comm.reply d.Comm.reply_parity);
+        Printf.sprintf
+          "dma_iput(%s, %s, %d * %d * sizeof(double), %d * sizeof(double), (%s - %d) * sizeof(double), %s);"
+          (array_ref d.Comm.array d.Comm.batch d.Comm.row_lo d.Comm.col_lo)
+          (buf_ref d.Comm.spm)
+          d.Comm.rows d.Comm.cols d.Comm.cols
+          (stride_name d.Comm.array)
+          d.Comm.cols
+          (reply_ref d.Comm.reply d.Comm.reply_parity);
+      ]
+  | Comm.Rma_bcast r ->
+      let iface =
+        match r.Comm.dir with
+        | `Row -> "rma_row_ibcast"
+        | `Col -> "rma_col_ibcast"
+      in
+      let coord = match r.Comm.dir with `Row -> "Cid" | `Col -> "Rid" in
+      [
+        Printf.sprintf "*(%s) = 0;" (reply_ref r.Comm.reply_s r.Comm.reply_parity);
+        Printf.sprintf "*(%s) = 0;" (reply_ref r.Comm.reply_r r.Comm.reply_parity);
+        Printf.sprintf
+          "if (%s == %s) %s(%s, %s, %d * %d * sizeof(double), %s, %s);"
+          coord (aff r.Comm.root) iface (buf_ref r.Comm.dst) (buf_ref r.Comm.src)
+          r.Comm.rows r.Comm.cols
+          (reply_ref r.Comm.reply_s r.Comm.reply_parity)
+          (reply_ref r.Comm.reply_r r.Comm.reply_parity);
+      ]
+  | Comm.Wait w ->
+      [
+        Printf.sprintf "dma_wait_value(%s, 1);"
+          (reply_ref w.reply w.reply_parity);
+      ]
+  | Comm.Sync -> [ "synch();" ]
+  | Comm.Spm_map s ->
+      [
+        Printf.sprintf "spm_map(\"%s\", %s, %d * %d);" s.fn
+          (buf_ref s.target) s.rows s.cols;
+      ]
+  | Comm.Kernel k ->
+      let fn =
+        match k.Comm.style with
+        | Comm.Asm -> "asm_micro_kernel"
+        | Comm.Naive -> "naive_micro_kernel"
+      in
+      [
+        Printf.sprintf "%s_%dx%dx%d(%s, %s, %s, %.17g);" fn k.Comm.m
+          k.Comm.n k.Comm.k (buf_ref k.Comm.c) (buf_ref k.Comm.a)
+          (buf_ref k.Comm.b) k.Comm.alpha;
+      ]
+
+let render_block block =
+  let buf = Buffer.create 4096 in
+  let line indent s =
+    Buffer.add_string buf (String.make (2 * indent) ' ');
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  let bound_list ~comb = function
+    | [ e ] -> aff e
+    | es ->
+        List.fold_left
+          (fun acc e -> Printf.sprintf "%s(%s, %s)" comb acc (aff e))
+          (aff (List.hd es))
+          (List.tl es)
+  in
+  let rec go indent (s : Sw_ast.Ast.stmt) =
+    match s with
+    | Sw_ast.Ast.For { var; lbs; ubs; body } ->
+        line indent
+          (Printf.sprintf "for (int %s = %s; %s <= %s; %s++) {" var
+             (bound_list ~comb:"max" lbs)
+             var
+             (bound_list ~comb:"min" ubs)
+             var);
+        List.iter (go (indent + 1)) body;
+        line indent "}"
+    | Sw_ast.Ast.Let { var; value; body } ->
+        line indent (Printf.sprintf "{ const int %s = %s;" var (aff value));
+        List.iter (go (indent + 1)) body;
+        line indent "}"
+    | Sw_ast.Ast.If { conds; body } ->
+        line indent
+          (Printf.sprintf "if (%s) {"
+             (String.concat " && " (List.map Pred.to_string conds)));
+        List.iter (go (indent + 1)) body;
+        line indent "}"
+    | Sw_ast.Ast.Op c -> List.iter (line indent) (comm_to_c c)
+    | Sw_ast.Ast.User { name; args } ->
+        line indent
+          (Printf.sprintf "%s(%s);" name
+             (String.concat ", " (List.map (fun (_, a) -> aff a) args)))
+    | Sw_ast.Ast.Comment c -> line indent (Printf.sprintf "/* %s */" c)
+  in
+  List.iter (go 1) block;
+  Buffer.contents buf
+
+let prelude (compiled : Compile.t) =
+  let p = compiled.Compile.program in
+  let dims_of name =
+    let d =
+      List.find
+        (fun (a : Sw_ast.Ast.array_decl) -> String.equal a.Sw_ast.Ast.array_name name)
+        p.Sw_ast.Ast.arrays
+    in
+    d.Sw_ast.Ast.dims
+  in
+  let cols name =
+    let d = dims_of name in
+    List.nth d (List.length d - 1)
+  in
+  let shape_defines name =
+    match dims_of name with
+    | [ _; c ] -> [ Printf.sprintf "#define %s_COLS %d" name c ]
+    | [ _; r; c ] ->
+        [
+          Printf.sprintf "#define %s_ROWS %d" name r;
+          Printf.sprintf "#define %s_COLS %d" name c;
+        ]
+    | _ -> []
+  in
+  ignore cols;
+  [
+    "/* Generated by swgemm for " ^ compiled.Compile.config.Sw_arch.Config.name ^ ". */";
+    Printf.sprintf "/* problem: %s */" (Spec.to_string compiled.Compile.spec);
+    Printf.sprintf "/* options: %s */" (Options.name compiled.Compile.options);
+    "#include \"athread.h\"";
+    "#include \"swgemm_kernels.h\"";
+    "";
+    "#define floord(x, d) (((x) < 0) ? -((-(x) + (d) - 1) / (d)) : (x) / (d))";
+    "#define floord_mod(x, d) ((x) - (d) * floord(x, d))";
+    "#define max(a, b) ((a) > (b) ? (a) : (b))";
+    "#define min(a, b) ((a) < (b) ? (a) : (b))";
+    "";
+  ]
+  @ List.concat_map shape_defines [ "A"; "B"; "C" ]
+
+let cpe_file (compiled : Compile.t) =
+  let p = compiled.Compile.program in
+  let buf = Buffer.create 8192 in
+  buffer_add_lines buf (prelude compiled);
+  buffer_add_lines buf [ "" ];
+  (* SPM buffers: one flat array per copy (double buffering explicit) *)
+  List.iter
+    (fun (d : Sw_ast.Ast.spm_decl) ->
+      buffer_add_lines buf
+        [
+          Printf.sprintf "__thread_local double %s[%d][%d * %d];"
+            d.Sw_ast.Ast.buf_name d.Sw_ast.Ast.copies d.Sw_ast.Ast.rows
+            d.Sw_ast.Ast.cols;
+        ])
+    p.Sw_ast.Ast.spm_decls;
+  List.iter
+    (fun r ->
+      buffer_add_lines buf
+        [ Printf.sprintf "__thread_local volatile int %s[2];" r ])
+    p.Sw_ast.Ast.replies;
+  buffer_add_lines buf
+    [
+      "";
+      (* arrays live in main memory; the MPE passes their addresses *)
+      "extern double *gemm_A, *gemm_B, *gemm_C;";
+      (let cast name =
+         let d =
+           List.find
+             (fun (a : Sw_ast.Ast.array_decl) ->
+               String.equal a.Sw_ast.Ast.array_name name)
+             p.Sw_ast.Ast.arrays
+         in
+         if List.length d.Sw_ast.Ast.dims = 3 then
+           Printf.sprintf "#define %s ((double (*)[%s_ROWS][%s_COLS])gemm_%s)"
+             name name name name
+         else
+           Printf.sprintf "#define %s ((double (*)[%s_COLS])gemm_%s)" name name
+             name
+       in
+       String.concat "\n" [ cast "A"; cast "B"; cast "C" ]);
+      "";
+      Printf.sprintf "void %s_slave(void) {" p.Sw_ast.Ast.prog_name;
+      "  const int Rid = athread_get_id(-1) / 8;";
+      "  const int Cid = athread_get_id(-1) % 8;";
+    ];
+  Buffer.add_string buf (render_block p.Sw_ast.Ast.body);
+  buffer_add_lines buf [ "}" ];
+  Buffer.contents buf
+
+let mpe_file (compiled : Compile.t) =
+  let p = compiled.Compile.program in
+  let spec = compiled.Compile.spec in
+  let buf = Buffer.create 4096 in
+  buffer_add_lines buf (prelude compiled);
+  let dim_str (d : Sw_ast.Ast.array_decl) =
+    String.concat ""
+      (List.map (fun x -> Printf.sprintf "[%d]" x) d.Sw_ast.Ast.dims)
+  in
+  buffer_add_lines buf
+    ([
+       "";
+       "#include <stdio.h>";
+       "#include <stdlib.h>";
+       "";
+       Printf.sprintf "extern void %s_slave(void);" p.Sw_ast.Ast.prog_name;
+       "";
+     ]
+    @ List.map
+        (fun (d : Sw_ast.Ast.array_decl) ->
+          Printf.sprintf
+            "double %s%s __attribute__((aligned(128))); /* -faddress_align=128 */"
+            d.Sw_ast.Ast.array_name (dim_str d))
+        p.Sw_ast.Ast.arrays
+    @ [
+        "";
+        "double *gemm_A = (double *)A, *gemm_B = (double *)B, *gemm_C = (double *)C;";
+        "";
+        "int main(void) {";
+        "  athread_init();";
+        Printf.sprintf "  /* %s */" (Spec.to_string spec);
+        Printf.sprintf "  athread_spawn(%s_slave, 0);" p.Sw_ast.Ast.prog_name;
+        "  athread_join();";
+        Printf.sprintf
+          "  printf(\"%s done: %%lld flops\\n\", %dLL);"
+          p.Sw_ast.Ast.prog_name (Compile.flops compiled);
+        "  athread_halt();";
+        "  return 0;";
+        "}";
+      ]);
+  Buffer.contents buf
+
+let support_header () =
+  String.concat "\n"
+    [
+      "/* swgemm_kernels.h: reference implementations of the routines the";
+      "   generated code calls. The asm_micro_kernel_* symbols are resolved";
+      "   against the vendor object on a real Sunway toolchain; this header";
+      "   provides a portable C fallback with identical semantics. */";
+      "#ifndef SWGEMM_KERNELS_H";
+      "#define SWGEMM_KERNELS_H";
+      "";
+      "#include <math.h>";
+      "#include <stdlib.h>";
+      "#include <string.h>";
+      "";
+      "static inline void swgemm_dgemm_tile(double *c, const double *a,";
+      "    const double *b, int m, int n, int k, double alpha) {";
+      "  for (int i = 0; i < m; i++)";
+      "    for (int p = 0; p < k; p++) {";
+      "      double av = alpha * a[i * k + p];";
+      "      for (int j = 0; j < n; j++)";
+      "        c[i * n + j] += av * b[p * n + j];";
+      "    }";
+      "}";
+      "";
+      "#define DEFINE_KERNEL(M, N, K)                                       \\";
+      "  static inline void asm_micro_kernel_##M##x##N##x##K(double *c,     \\";
+      "      double *a, double *b, double alpha) {                          \\";
+      "    swgemm_dgemm_tile(c, a, b, M, N, K, alpha);                      \\";
+      "  }                                                                  \\";
+      "  static inline void naive_micro_kernel_##M##x##N##x##K(double *c,   \\";
+      "      double *a, double *b, double alpha) {                          \\";
+      "    swgemm_dgemm_tile(c, a, b, M, N, K, alpha);                      \\";
+      "  }";
+      "";
+      "DEFINE_KERNEL(64, 64, 32)";
+      "";
+      "static inline void spm_map(const char *fn, double *x, int len) {";
+      "  if (!strncmp(fn, \"scale:\", 6)) {";
+      "    double s = atof(fn + 6);";
+      "    for (int i = 0; i < len; i++) x[i] *= s;";
+      "  } else if (!strcmp(fn, \"relu\")) {";
+      "    for (int i = 0; i < len; i++) x[i] = x[i] > 0.0 ? x[i] : 0.0;";
+      "  } else if (!strcmp(fn, \"tanh\")) {";
+      "    for (int i = 0; i < len; i++) x[i] = tanh(x[i]);";
+      "  } else if (!strcmp(fn, \"sigmoid\")) {";
+      "    for (int i = 0; i < len; i++) x[i] = 1.0 / (1.0 + exp(-x[i]));";
+      "  } else if (!strcmp(fn, \"quant\")) {";
+      "    for (int i = 0; i < len; i++) x[i] = nearbyint(x[i] * 64.0) / 64.0;";
+      "  }";
+      "}";
+      "";
+      "#endif /* SWGEMM_KERNELS_H */";
+      "";
+    ]
+
+let athread_stub () =
+  String.concat "\n"
+    [
+      "/* athread.h stub: lets the generated translation units compile and";
+      "   typecheck on any host. The real header ships with the Sunway";
+      "   toolchain; the interfaces below match the syntax of section 4-5 of";
+      "   the paper. DMA here is synchronous (reply set immediately). */";
+      "#ifndef ATHREAD_STUB_H";
+      "#define ATHREAD_STUB_H";
+      "";
+      "#include <string.h>";
+      "";
+      "#define __thread_local";
+      "";
+      "static inline int athread_get_id(int which) { (void)which; return 0; }";
+      "static inline void athread_init(void) {}";
+      "static inline void athread_join(void) {}";
+      "static inline void athread_halt(void) {}";
+      "#define athread_spawn(fn, arg) ((void)(arg), (fn)())";
+      "";
+      "static inline void dma_strided(char *dst, const char *src,";
+      "    long size, long len, long dst_pitch, long src_pitch) {";
+      "  long moved = 0;";
+      "  while (moved < size) {";
+      "    memcpy(dst, src, (size_t)len);";
+      "    dst += dst_pitch; src += src_pitch; moved += len;";
+      "  }";
+      "}";
+      "";
+      "static inline void dma_iget(void *dst, void *src, long size, long len,";
+      "    long strip, volatile int *reply) {";
+      "  dma_strided((char *)dst, (const char *)src, size, len, len, len + strip);";
+      "  *reply = 1;";
+      "}";
+      "";
+      "static inline void dma_iput(void *dst, void *src, long size, long len,";
+      "    long strip, volatile int *reply) {";
+      "  dma_strided((char *)dst, (const char *)src, size, len, len + strip, len);";
+      "  *reply = 1;";
+      "}";
+      "";
+      "static inline void dma_wait_value(volatile int *reply, int value) {";
+      "  (void)reply; (void)value;";
+      "}";
+      "";
+      "static inline void synch(void) {}";
+      "";
+      "static inline void rma_row_ibcast(void *dst, void *src, long size,";
+      "    volatile int *reply_s, volatile int *reply_r) {";
+      "  if (dst != src) memcpy(dst, src, (size_t)size);";
+      "  *reply_s = 1; *reply_r = 1;";
+      "}";
+      "";
+      "static inline void rma_col_ibcast(void *dst, void *src, long size,";
+      "    volatile int *reply_s, volatile int *reply_r) {";
+      "  if (dst != src) memcpy(dst, src, (size_t)size);";
+      "  *reply_s = 1; *reply_r = 1;";
+      "}";
+      "";
+      "#endif /* ATHREAD_STUB_H */";
+      "";
+    ]
+
+let write_files compiled ~dir =
+  let p = compiled.Compile.program in
+  let base = Filename.concat dir p.Sw_ast.Ast.prog_name in
+  let mpe = base ^ "_mpe.c" and cpe = base ^ "_cpe.c" in
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  write mpe (mpe_file compiled);
+  write cpe (cpe_file compiled);
+  write (Filename.concat dir "swgemm_kernels.h") (support_header ());
+  write (Filename.concat dir "athread.h") (athread_stub ());
+  (mpe, cpe)

@@ -1,0 +1,33 @@
+(** Emission of athread C source from a compiled program (§7's pretty-print
+    phase).
+
+    The real tool writes two files compiled separately by [swgcc]: the MPE
+    file holding [main] (allocation, mesh spawn, timing) and the CPE file
+    holding the SPMD slave function with the SPM buffer declarations and
+    the communication calls. We emit the same split; without [swgcc] the
+    files serve as the inspectable, reviewable artifact of generation and
+    are golden-tested. *)
+
+val cpe_file : Compile.t -> string
+(** The slave (CPE) translation unit: SPM declarations ([__thread_local]),
+    reply indicators, and the SPMD kernel function. *)
+
+val mpe_file : Compile.t -> string
+(** The host (MPE) translation unit: aligned allocation, [athread_spawn],
+    timing and teardown. *)
+
+val athread_stub : unit -> string
+(** A host-compilable stub of the athread interfaces the generated code
+    calls ([dma_iget], [rma_row_ibcast], [synch], spawning). Written next
+    to the generated files so they compile with any C compiler; the test
+    suite checks them with [gcc -fsyntax-only]. *)
+
+val support_header : unit -> string
+(** [swgemm_kernels.h]: portable C reference implementations of the micro
+    kernels and element-wise maps, plus the extern declarations of the
+    vendor assembly routine the CPE file calls. Allows the emitted pair to
+    be compiled against a stub athread on any host. *)
+
+val write_files : Compile.t -> dir:string -> string * string
+(** Write both files (plus [swgemm_kernels.h]) into [dir]
+    ([<name>_mpe.c], [<name>_cpe.c]); returns the two C paths. *)

@@ -1,0 +1,68 @@
+type t = {
+  original : Spec.t;
+  spec : Spec.t;
+  options : Options.t;
+  config : Sw_arch.Config.t;
+  tiles : Tile_model.t;
+  tree : Sw_tree.Tree.t;
+  program : Sw_ast.Ast.program;
+}
+
+exception Compile_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+
+let flops t = Spec.flops t.spec
+
+let compile ?(options = Options.all_on) ~config original =
+  (match Options.validate options with Ok () -> () | Error e -> fail "%s" e);
+  (match Sw_arch.Config.validate config with
+  | Ok () -> ()
+  | Error e -> fail "invalid machine model: %s" e);
+  let spec = Spec.pad_for original config in
+  let tiles = Tile_model.choose spec config in
+  let needed =
+    Tile_model.spm_bytes_needed tiles ~options ~fusion:spec.Spec.fusion
+  in
+  if needed > config.Sw_arch.Config.spm_bytes then
+    fail "decomposition needs %d bytes of SPM but a CPE has only %d" needed
+      config.Sw_arch.Config.spm_bytes;
+  let tree = Build.tree spec options tiles in
+  (match Sw_tree.Tree.validate tree with
+  | Ok () -> ()
+  | Error e -> fail "internal: invalid schedule tree: %s" e);
+  let body =
+    try
+      Sw_ast.Codegen.generate
+        ~marks:(Build.marks spec options tiles)
+        ~mesh:(config.Sw_arch.Config.mesh_rows, config.Sw_arch.Config.mesh_cols)
+        tree
+    with Sw_ast.Codegen.Codegen_error e -> fail "code generation: %s" e
+  in
+  let ident_of s =
+    String.map
+      (fun c ->
+        if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+        then c
+        else '_')
+      s
+  in
+  let program =
+    {
+      Sw_ast.Ast.prog_name =
+        Printf.sprintf "swgemm_%s" (ident_of (Options.name options));
+      params =
+        [ ("M", spec.Spec.m); ("N", spec.Spec.n); ("K", spec.Spec.k) ]
+        @ (match spec.Spec.batch with Some b -> [ ("B", b) ] | None -> []);
+      arrays = Build.arrays spec;
+      spm_decls = Build.spm_decls spec options tiles;
+      replies = Build.replies options;
+      body;
+    }
+  in
+  { original; spec; options; config; tiles; tree; program }
+
+let generation_seconds f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)

@@ -1,0 +1,31 @@
+(** End-to-end compilation: specification -> schedule tree -> SPMD program.
+
+    This is the top of the pipeline a user calls (the CLI and the C
+    front-end feed into it): it pads the problem, runs the analytic tile
+    model, builds and validates the schedule tree, generates the AST with
+    the micro-kernel marks expanded, and packages everything with the
+    array/SPM/reply inventories. *)
+
+type t = {
+  original : Spec.t;  (** the spec as requested *)
+  spec : Spec.t;  (** after zero-padding to the decomposition *)
+  options : Options.t;
+  config : Sw_arch.Config.t;
+  tiles : Tile_model.t;
+  tree : Sw_tree.Tree.t;
+  program : Sw_ast.Ast.program;
+}
+
+exception Compile_error of string
+
+val compile :
+  ?options:Options.t -> config:Sw_arch.Config.t -> Spec.t -> t
+(** Raises {!Compile_error} on invalid option combinations, SPM overflow or
+    internal validation failures. Default options: {!Options.all_on}. *)
+
+val flops : t -> int
+(** Floating-point operations of the padded problem (what the simulator
+    executes and the Gflops numbers are computed from). *)
+
+val generation_seconds : (unit -> t) -> t * float
+(** Time a compilation (the engineering-cost experiment, §8.5). *)

@@ -1,0 +1,25 @@
+type t = { use_asm : bool; use_rma : bool; hiding : bool }
+
+let baseline = { use_asm = false; use_rma = false; hiding = false }
+let with_asm = { use_asm = true; use_rma = false; hiding = false }
+let with_rma = { use_asm = true; use_rma = true; hiding = false }
+let all_on = { use_asm = true; use_rma = true; hiding = true }
+
+let breakdown =
+  [
+    ("dma-only", baseline);
+    ("+asm-kernel", with_asm);
+    ("+rma-bcast", with_rma);
+    ("+latency-hiding", all_on);
+  ]
+
+let name t =
+  match List.find_opt (fun (_, o) -> o = t) breakdown with
+  | Some (n, _) -> n
+  | None ->
+      Printf.sprintf "asm=%b rma=%b hiding=%b" t.use_asm t.use_rma t.hiding
+
+let validate t =
+  if t.hiding && not t.use_rma then
+    Error "latency hiding requires the RMA decomposition"
+  else Ok ()

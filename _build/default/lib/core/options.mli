@@ -1,0 +1,25 @@
+(** Generator options — the knobs of the performance-breakdown study
+    (§8.1) and of the real tool's command line.
+
+    The four published variants:
+    - {!baseline}: automatic DMA only, naive CPE loops (red bars);
+    - {!with_asm}: + the inline assembly micro kernel (orange);
+    - {!with_rma}: + RMA row/column broadcast, no latency hiding (green);
+    - {!all_on}: + two-level software pipelining and double buffering
+      (cyan; the full pipeline). *)
+
+type t = {
+  use_asm : bool;  (** micro kernel instead of naive loops ([--no-use-asm]) *)
+  use_rma : bool;  (** share SPM tiles over the mesh instead of 8x DMA *)
+  hiding : bool;  (** software pipelining + double buffering (needs RMA) *)
+}
+
+val baseline : t
+val with_asm : t
+val with_rma : t
+val all_on : t
+val breakdown : (string * t) list
+(** The four variants in §8.1 order, with display names. *)
+
+val name : t -> string
+val validate : t -> (unit, string) result

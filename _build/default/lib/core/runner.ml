@@ -1,0 +1,200 @@
+open Sw_arch
+open Sw_blas
+
+type perf = { seconds : float; gflops : float; exact : bool }
+
+exception Runner_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Runner_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Functional verification                                             *)
+(* ------------------------------------------------------------------ *)
+
+let batch_count (spec : Spec.t) =
+  match spec.Spec.batch with Some b -> b | None -> 1
+
+(* Allocate and randomly initialize main memory for a compiled program,
+   returning per-batch input matrices for the reference computation. *)
+let setup_memory (compiled : Compile.t) ~seed =
+  let spec = compiled.Compile.spec in
+  let nb = batch_count spec in
+  let mk_batch name rows cols =
+    Array.init nb (fun b -> Matrix.random ~rows ~cols ~seed:(seed + (31 * b) + Hashtbl.hash name))
+  in
+  let a_rows, a_cols =
+    if spec.Spec.ta then (spec.Spec.k, spec.Spec.m) else (spec.Spec.m, spec.Spec.k)
+  in
+  let b_rows, b_cols =
+    if spec.Spec.tb then (spec.Spec.n, spec.Spec.k) else (spec.Spec.k, spec.Spec.n)
+  in
+  let a = mk_batch "A" a_rows a_cols in
+  let b = mk_batch "B" b_rows b_cols in
+  let c = mk_batch "C" spec.Spec.m spec.Spec.n in
+  let mem = Mem.create () in
+  let install name (mats : Matrix.t array) rows cols =
+    let dims =
+      if spec.Spec.batch = None then [ rows; cols ] else [ nb; rows; cols ]
+    in
+    Mem.alloc_init mem name ~dims ~f:(fun idx ->
+        match idx with
+        | [| r; cc |] -> Matrix.get mats.(0) r cc
+        | [| bi; r; cc |] -> Matrix.get mats.(bi) r cc
+        | _ -> assert false)
+  in
+  install "A" a a_rows a_cols;
+  install "B" b b_rows b_cols;
+  install "C" c spec.Spec.m spec.Spec.n;
+  (mem, a, b, c)
+
+let reference (spec : Spec.t) ~a ~b ~c =
+  let alpha = spec.Spec.alpha and beta = spec.Spec.beta in
+  (* normalize stored operands to their logical orientation: element-wise
+     prologues commute with transposition *)
+  let a = if spec.Spec.ta then Array.map Matrix.transpose a else a in
+  let b = if spec.Spec.tb then Array.map Matrix.transpose b else b in
+  Array.iteri
+    (fun i (ai : Matrix.t) ->
+      match spec.Spec.fusion with
+      | Spec.No_fusion -> Dgemm.gemm ~alpha ~beta ~a:ai ~b:b.(i) ~c:c.(i)
+      | Spec.Prologue fn ->
+          Dgemm.fused_prologue ~fn ~alpha ~beta ~a:ai ~b:b.(i) ~c:c.(i)
+      | Spec.Epilogue fn ->
+          Dgemm.fused_epilogue ~fn ~alpha ~beta ~a:ai ~b:b.(i) ~c:c.(i))
+    a
+
+let extract_c (compiled : Compile.t) mem =
+  let spec = compiled.Compile.spec in
+  let nb = batch_count spec in
+  let data = Mem.data mem "C" in
+  Array.init nb (fun bi ->
+      Matrix.init ~rows:spec.Spec.m ~cols:spec.Spec.n ~f:(fun r cc ->
+          data.((bi * spec.Spec.m * spec.Spec.n) + (r * spec.Spec.n) + cc)))
+
+let verify ?(seed = 42) ?(tol = 1e-9) (compiled : Compile.t) =
+  let spec = compiled.Compile.spec in
+  let mem, a, b, c = setup_memory compiled ~seed in
+  match
+    Interp.run ~config:compiled.Compile.config ~functional:true ~mem
+      compiled.Compile.program
+  with
+  | exception Interp.Interp_error e -> Error ("interpreter: " ^ e)
+  | exception Failure e -> Error ("simulation: " ^ e)
+  | result ->
+      if result.Interp.races <> [] then
+        Error
+          (Printf.sprintf "double-buffering race: %s"
+             (List.hd result.Interp.races))
+      else begin
+        (* reference runs on copies of the original inputs *)
+        let cref = Array.map Matrix.copy c in
+        reference spec ~a ~b ~c:cref;
+        let got = extract_c compiled mem in
+        let rec check bi =
+          if bi >= Array.length cref then Ok ()
+          else
+            let diff = Matrix.max_abs_diff cref.(bi) got.(bi) in
+            let scale =
+              Array.fold_left
+                (fun acc x -> Float.max acc (abs_float x))
+                1.0 cref.(bi).Matrix.data
+            in
+            if diff > tol *. scale then
+              Error
+                (Printf.sprintf
+                   "batch %d: max |difference| %.3e exceeds tolerance (scale \
+                    %.3e) for %s"
+                   bi diff scale (Spec.to_string spec))
+            else check (bi + 1)
+        in
+        check 0
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let timing_memory (compiled : Compile.t) =
+  (* timing-only runs never touch data, but arrays must exist for bounds
+     checking of the DMA offsets *)
+  let mem = Mem.create () in
+  List.iter
+    (fun (d : Sw_ast.Ast.array_decl) ->
+      Mem.alloc mem d.Sw_ast.Ast.array_name ~dims:d.Sw_ast.Ast.dims)
+    compiled.Compile.program.Sw_ast.Ast.arrays;
+  mem
+
+let run_timing ?trace (compiled : Compile.t) =
+  let mem = timing_memory compiled in
+  match
+    Interp.run ?trace ~config:compiled.Compile.config ~functional:false ~mem
+      compiled.Compile.program
+  with
+  | exception Interp.Interp_error e -> fail "interpreter: %s" e
+  | result ->
+      if result.Interp.races <> [] then
+        fail "timing run reported a race: %s" (List.hd result.Interp.races);
+      result.Interp.seconds
+
+let perf_of ~flops ~seconds ~exact =
+  { seconds; gflops = Interp.gflops ~flops ~seconds; exact }
+
+let measure_exact (compiled : Compile.t) =
+  let seconds = run_timing compiled in
+  perf_of ~flops:(Compile.flops compiled) ~seconds ~exact:true
+
+let traced (compiled : Compile.t) =
+  let trace = Trace.create () in
+  let seconds = run_timing ~trace compiled in
+  (trace, perf_of ~flops:(Compile.flops compiled) ~seconds ~exact:true)
+
+(* Estimated number of simulated events, to decide whether exact simulation
+   is affordable. *)
+let op_estimate (compiled : Compile.t) =
+  let t = compiled.Compile.tiles in
+  let blocks = t.Tile_model.nbi * t.Tile_model.nbj * batch_count compiled.Compile.spec in
+  let per_block = 8 + (t.Tile_model.nko * (4 + (t.Tile_model.mesh * 10))) in
+  let cpes =
+    compiled.Compile.config.Config.mesh_rows
+    * compiled.Compile.config.Config.mesh_cols
+  in
+  blocks * per_block * cpes
+
+let one_block_perf (compiled : Compile.t) ~k =
+  let spec = compiled.Compile.spec in
+  let t = compiled.Compile.tiles in
+  let block_spec =
+    Spec.make ~alpha:spec.Spec.alpha ~beta:spec.Spec.beta ~ta:spec.Spec.ta
+      ~tb:spec.Spec.tb ~fusion:spec.Spec.fusion ~m:t.Tile_model.mesh_m
+      ~n:t.Tile_model.mesh_n ~k ()
+  in
+  let c =
+    Compile.compile ~options:compiled.Compile.options
+      ~config:compiled.Compile.config block_spec
+  in
+  run_timing c -. compiled.Compile.config.Config.mesh_startup_s
+
+let measure ?(force_exact = false) (compiled : Compile.t) =
+  if force_exact || op_estimate compiled < 3_000_000 then
+    measure_exact compiled
+  else begin
+    let spec = compiled.Compile.spec in
+    let t = compiled.Compile.tiles in
+    let panel = t.Tile_model.panel_k in
+    let blocks =
+      float_of_int (t.Tile_model.nbi * t.Tile_model.nbj * batch_count spec)
+    in
+    let startup = compiled.Compile.config.Config.mesh_startup_s in
+    let block_time =
+      if spec.Spec.k <= 6 * panel then one_block_perf compiled ~k:spec.Spec.k
+      else begin
+        let k1 = 3 * panel and k2 = 6 * panel in
+        let t1 = one_block_perf compiled ~k:k1 in
+        let t2 = one_block_perf compiled ~k:k2 in
+        let slope = (t2 -. t1) /. float_of_int (k2 - k1) in
+        t1 +. (slope *. float_of_int (spec.Spec.k - k1))
+      end
+    in
+    let seconds = startup +. (blocks *. block_time) in
+    perf_of ~flops:(Compile.flops compiled) ~seconds ~exact:false
+  end

@@ -1,0 +1,40 @@
+(** Running compiled programs on the simulated cluster.
+
+    {!verify} executes the generated code functionally (real data movement
+    through SPM buffers, DMA, RMA and micro kernels) and compares the
+    result against the {!Sw_blas} reference — the end-to-end correctness
+    argument for the whole pipeline.
+
+    {!measure} produces the timing the experiments report. Small problems
+    are simulated exactly; large ones use block-periodic extrapolation: the
+    generated code is a product of identical mesh-block executions whose
+    duration is affine in the number of k-panels once the software pipeline
+    reaches steady state, so two exact block simulations at different
+    panel counts determine the whole series. [test/test_core.ml] checks the
+    extrapolation against exact simulation. *)
+
+type perf = {
+  seconds : float;  (** simulated wall time of the full problem *)
+  gflops : float;  (** padded-problem flops / seconds / 1e9 *)
+  exact : bool;  (** [false] when block extrapolation was used *)
+}
+
+exception Runner_error of string
+
+val verify : ?seed:int -> ?tol:float -> Compile.t -> (unit, string) result
+(** Functional run against the reference; [Error] describes the first
+    mismatch, a detected double-buffering race, or an interpreter fault.
+    Default [tol] is [1e-9] (relative). *)
+
+val measure : ?force_exact:bool -> Compile.t -> perf
+(** Timing-only simulation (raises {!Runner_error} if the run reports
+    races or deadlocks). *)
+
+val measure_exact : Compile.t -> perf
+(** Full simulation regardless of size (slow for large shapes). *)
+
+val traced : Compile.t -> Sw_arch.Trace.t * perf
+(** Timing simulation with event tracing enabled: returns the trace of
+    every kernel invocation, DMA/RMA transfer and blocked interval together
+    with the exact performance. Use {!Sw_arch.Trace.utilization} to measure
+    how much communication latency the software pipeline actually hides. *)

@@ -1,0 +1,65 @@
+type fusion = No_fusion | Prologue of string | Epilogue of string
+
+type t = {
+  m : int;
+  n : int;
+  k : int;
+  batch : int option;
+  alpha : float;
+  beta : float;
+  ta : bool;
+  tb : bool;
+  fusion : fusion;
+}
+
+let make ?batch ?(alpha = 1.0) ?(beta = 1.0) ?(ta = false) ?(tb = false)
+    ?(fusion = No_fusion) ~m ~n ~k () =
+  if m <= 0 || n <= 0 || k <= 0 then invalid_arg "Spec.make: non-positive size";
+  (match batch with
+  | Some b when b <= 0 -> invalid_arg "Spec.make: non-positive batch"
+  | _ -> ());
+  (match fusion with
+  | No_fusion -> ()
+  | Prologue fn | Epilogue fn ->
+      if not (Sw_kernels.Elementwise.known fn) then
+        invalid_arg ("Spec.make: unknown element-wise kernel " ^ fn));
+  { m; n; k; batch; alpha; beta; ta; tb; fusion }
+
+let mesh_m c = c.Sw_arch.Config.mesh_rows * c.Sw_arch.Config.mk_m
+let mesh_n c = c.Sw_arch.Config.mesh_cols * c.Sw_arch.Config.mk_n
+let panel_k c = c.Sw_arch.Config.mesh_cols * c.Sw_arch.Config.mk_k
+
+let pad_for t config =
+  {
+    t with
+    m = Sw_blas.Matrix.round_up t.m ~multiple:(mesh_m config);
+    n = Sw_blas.Matrix.round_up t.n ~multiple:(mesh_n config);
+    k = Sw_blas.Matrix.round_up t.k ~multiple:(panel_k config);
+  }
+
+let is_aligned t config =
+  t.m mod mesh_m config = 0
+  && t.n mod mesh_n config = 0
+  && t.k mod panel_k config = 0
+
+let flops t =
+  2 * t.m * t.n * t.k * match t.batch with Some b -> b | None -> 1
+
+let to_string t =
+  let base =
+    Printf.sprintf "%dx%dx%d" t.m t.n t.k
+  in
+  let batch =
+    match t.batch with Some b -> Printf.sprintf " batch=%d" b | None -> ""
+  in
+  let fusion =
+    match t.fusion with
+    | No_fusion -> ""
+    | Prologue fn -> Printf.sprintf " prologue=%s" fn
+    | Epilogue fn -> Printf.sprintf " epilogue=%s" fn
+  in
+  let trans =
+    (if t.ta then " At" else "") ^ if t.tb then " Bt" else ""
+  in
+  Printf.sprintf "%s alpha=%g beta=%g%s%s%s" base t.alpha t.beta trans batch
+    fusion

@@ -1,0 +1,55 @@
+type t = {
+  tm : int;
+  tn : int;
+  tk : int;
+  mesh : int;
+  mesh_m : int;
+  mesh_n : int;
+  panel_k : int;
+  nbi : int;
+  nbj : int;
+  nko : int;
+  nkt : int;
+}
+
+let choose (spec : Spec.t) (config : Sw_arch.Config.t) =
+  if not (Spec.is_aligned spec config) then
+    invalid_arg
+      (Printf.sprintf
+         "Tile_model.choose: %s is not aligned to the decomposition (pad \
+          first)"
+         (Spec.to_string spec));
+  let tm = config.Sw_arch.Config.mk_m
+  and tn = config.Sw_arch.Config.mk_n
+  and tk = config.Sw_arch.Config.mk_k
+  and mesh = config.Sw_arch.Config.mesh_rows in
+  let mesh_m = mesh * tm and mesh_n = mesh * tn and panel_k = mesh * tk in
+  {
+    tm;
+    tn;
+    tk;
+    mesh;
+    mesh_m;
+    mesh_n;
+    panel_k;
+    nbi = spec.Spec.m / mesh_m;
+    nbj = spec.Spec.n / mesh_n;
+    nko = spec.Spec.k / panel_k;
+    nkt = spec.Spec.k / tk;
+  }
+
+let spm_bytes_needed t ~options ~fusion =
+  ignore fusion;
+  let copies = if options.Options.hiding then 2 else 1 in
+  let c_tile = t.tm * t.tn in
+  let a_tile = t.tm * t.tk and b_tile = t.tk * t.tn in
+  let dma = copies * (a_tile + b_tile) in
+  let bcast = if options.Options.use_rma then copies * (a_tile + b_tile) else 0 in
+  8 * (c_tile + dma + bcast)
+
+let to_string t =
+  Printf.sprintf
+    "tile %dx%dx%d, mesh %dx%d (block %dx%d, panel %d), trips bi=%d bj=%d \
+     ko=%d kt=%d"
+    t.tm t.tn t.tk t.mesh t.mesh t.mesh_m t.mesh_n t.panel_k t.nbi t.nbj
+    t.nko t.nkt

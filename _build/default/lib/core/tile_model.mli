@@ -1,0 +1,33 @@
+(** Analytic tile-size model and decomposition geometry (§3.1).
+
+    The paper replaces auto-tuning by an analytical choice: the point tile
+    is exactly the micro kernel's shape configuration (64x64x32), the mesh
+    tile is that times the 8x8 mesh (512x512), and the reduced tile loop is
+    strip-mined by the mesh width (8) so that each CPE's DMA share is one
+    k-chunk of the panel its row/column will exchange over RMA (§3.2).
+    This module captures that geometry and the derived loop trip counts and
+    SPM budget. *)
+
+type t = {
+  tm : int;  (** point tile rows = micro kernel m *)
+  tn : int;
+  tk : int;
+  mesh : int;  (** mesh width P (square) *)
+  mesh_m : int;  (** P * tm: C-block rows handled per mesh step *)
+  mesh_n : int;
+  panel_k : int;  (** P * tk: k-panel depth per DMA round *)
+  nbi : int;  (** mesh-block trip counts for the padded problem *)
+  nbj : int;
+  nko : int;  (** outer reduced trips (k / panel_k) *)
+  nkt : int;  (** k / tk: reduced trips without strip-mining *)
+}
+
+val choose : Spec.t -> Sw_arch.Config.t -> t
+(** Raises [Invalid_argument] when the spec is not aligned (callers pad
+    first with {!Spec.pad_for}). *)
+
+val spm_bytes_needed : t -> options:Options.t -> fusion:Spec.fusion -> int
+(** Bytes of SPM the generated code will allocate per CPE under the given
+    options (the nine-buffer scheme of §6.3 when hiding is on). *)
+
+val to_string : t -> string

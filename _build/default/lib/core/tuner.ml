@@ -1,0 +1,90 @@
+open Sw_arch
+
+type candidate = {
+  mk : int * int * int;
+  feasible : bool;
+  note : string;
+  gflops : float option;
+}
+
+let default_candidates =
+  [
+    (16, 16, 8);
+    (32, 32, 16);
+    (32, 64, 32);
+    (64, 32, 32);
+    (64, 64, 16);
+    (64, 64, 32);
+    (64, 64, 64);
+    (96, 96, 32);
+    (128, 128, 64);
+  ]
+
+let kernel_efficiency (config : Config.t) (m, n, k) =
+  if (m, n, k) = (config.Config.mk_m, config.Config.mk_n, config.Config.mk_k)
+  then (config.Config.micro_kernel_efficiency, "vendor assembly routine")
+  else
+    match Sw_kernels.Kgen.generate ~m ~n ~k () with
+    | Error e -> (0.0, "kernel generation failed: " ^ e)
+    | Ok t ->
+        ( Sw_kernels.Kgen.estimated_efficiency t,
+          Printf.sprintf "generated kernel (est. %.1f%% of SIMD peak)"
+            (100.0 *. Sw_kernels.Kgen.estimated_efficiency t) )
+
+let search ?(candidates = default_candidates) ~config spec =
+  List.map
+    (fun (m, n, k) ->
+      let eff, source = kernel_efficiency config (m, n, k) in
+      if eff <= 0.0 then
+        { mk = (m, n, k); feasible = false; note = source; gflops = None }
+      else
+        let cfg =
+          {
+            config with
+            Config.mk_m = m;
+            mk_n = n;
+            mk_k = k;
+            micro_kernel_efficiency = eff;
+          }
+        in
+        match Config.validate cfg with
+        | Error e -> { mk = (m, n, k); feasible = false; note = e; gflops = None }
+        | Ok () -> (
+            match Compile.compile ~config:cfg spec with
+            | exception Compile.Compile_error e ->
+                { mk = (m, n, k); feasible = false; note = e; gflops = None }
+            | compiled ->
+                let p = Runner.measure compiled in
+                {
+                  mk = (m, n, k);
+                  feasible = true;
+                  note = source;
+                  gflops = Some p.Runner.gflops;
+                }))
+    candidates
+
+let best candidates =
+  let top =
+    List.fold_left
+      (fun acc c ->
+        match (acc, c.gflops) with
+        | None, Some g -> Some (c.mk, g)
+        | Some (_, g0), Some g when g > g0 -> Some (c.mk, g)
+        | _ -> acc)
+      None candidates
+  in
+  match top with
+  | Some r -> r
+  | None -> failwith "Tuner.best: no feasible candidate"
+
+let report candidates =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun c ->
+      let m, n, k = c.mk in
+      Buffer.add_string buf
+        (match c.gflops with
+        | Some g -> Printf.sprintf "  %3dx%3dx%3d  %9.2f Gflops  (%s)\n" m n k g c.note
+        | None -> Printf.sprintf "  %3dx%3dx%3d   infeasible: %s\n" m n k c.note))
+    candidates;
+  Buffer.contents buf

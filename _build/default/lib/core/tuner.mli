@@ -1,0 +1,32 @@
+(** Micro-kernel shape search — the counterpoint the paper argues against
+    auto-tuners with (§3.1: "analytically modeling is sufficient for GEMM
+    code generation", §9: ATLAS/PHiPAC-style search is the alternative).
+
+    The search enumerates candidate micro-kernel shapes, discards those
+    whose nine-buffer double-buffered working set overflows the SPM, models
+    each remaining kernel's efficiency (the vendor routine's published
+    efficiency for its own 64x64x32 shape; the {!Sw_kernels.Kgen} dual-issue
+    estimate for every other shape, since those kernels would have to be
+    generated), and measures the end-to-end pipeline on a representative
+    problem. The result quantifies the paper's claim: the analytic choice —
+    the micro kernel's own shape configuration — sits at the top of the
+    ranking, so no tuning loop is needed for GEMM. *)
+
+type candidate = {
+  mk : int * int * int;
+  feasible : bool;
+  note : string;  (** rejection reason, or the kernel-efficiency source *)
+  gflops : float option;  (** end-to-end, when feasible *)
+}
+
+val default_candidates : (int * int * int) list
+
+val search :
+  ?candidates:(int * int * int) list ->
+  config:Sw_arch.Config.t -> Spec.t -> candidate list
+(** Candidates in input order, measured on the given spec. *)
+
+val best : candidate list -> (int * int * int) * float
+(** Raises [Failure] when no candidate is feasible. *)
+
+val report : candidate list -> string

@@ -1,0 +1,1 @@
+lib/frontend/cast.ml: List Printf String

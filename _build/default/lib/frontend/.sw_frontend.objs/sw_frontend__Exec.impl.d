@@ -1,0 +1,1 @@
+lib/frontend/exec.ml: Cast Hashtbl List Matrix Printf Sw_blas Sw_kernels Sw_poly

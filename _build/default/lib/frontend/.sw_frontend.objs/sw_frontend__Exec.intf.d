@@ -1,0 +1,1 @@
+lib/frontend/exec.mli: Cast Sw_blas

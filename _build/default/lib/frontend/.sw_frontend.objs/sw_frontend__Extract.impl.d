@@ -1,0 +1,1 @@
+lib/frontend/extract.ml: Access Aff Bset Cast Lexer List Option Parser Printf Result String Sw_core Sw_kernels Sw_poly Sw_tree

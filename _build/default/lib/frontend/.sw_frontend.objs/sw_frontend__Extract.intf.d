@@ -1,0 +1,1 @@
+lib/frontend/extract.mli: Cast Sw_core Sw_poly Sw_tree

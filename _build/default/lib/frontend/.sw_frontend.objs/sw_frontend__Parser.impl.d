@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Cast Lexer List Printf String

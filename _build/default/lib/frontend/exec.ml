@@ -1,0 +1,134 @@
+open Sw_blas
+
+exception Exec_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
+
+type env = {
+  ints : (string, int) Hashtbl.t;
+  floats : (string * float) list;
+  arrays : (string * Matrix.t) list;
+  array_dims : (string * int list) list;  (* declared extents, resolved *)
+}
+
+let rec int_expr env e =
+  match e with
+  | Cast.Int v -> v
+  | Cast.Var s -> (
+      match Hashtbl.find_opt env.ints s with
+      | Some v -> v
+      | None -> fail "unbound integer %s" s)
+  | Cast.Bin (op, a, b) -> (
+      let x = int_expr env a and y = int_expr env b in
+      match op with
+      | Cast.Add -> x + y
+      | Cast.Sub -> x - y
+      | Cast.Mul -> x * y
+      | Cast.Div ->
+          if y = 0 then fail "division by zero" else Sw_poly.Ints.fdiv x y)
+  | Cast.Neg a -> -int_expr env a
+  | Cast.Float _ | Cast.Index _ | Cast.Call _ ->
+      fail "non-integer expression in an index: %s" (Cast.expr_to_string e)
+
+let locate env name idx =
+  let m =
+    match List.assoc_opt name env.arrays with
+    | Some m -> m
+    | None -> fail "unknown array %s" name
+  in
+  let dims =
+    match List.assoc_opt name env.array_dims with
+    | Some d -> d
+    | None -> fail "array %s has no declared extents" name
+  in
+  let coords = List.map (int_expr env) idx in
+  if List.length coords <> List.length dims then
+    fail "array %s used with %d indices but declared with %d" name
+      (List.length coords) (List.length dims);
+  List.iter2
+    (fun c d ->
+      if c < 0 || c >= d then fail "index %d outside extent %d of %s" c d name)
+    coords dims;
+  match (coords, dims) with
+  | [ i; j ], [ _; _ ] -> (m, i, j)
+  | [ b; i; j ], [ _; r; _ ] -> (m, (b * r) + i, j)
+  | _ -> fail "array %s: unsupported rank" name
+
+let rec float_expr env e =
+  match e with
+  | Cast.Float f -> f
+  | Cast.Int v -> float_of_int v
+  | Cast.Var s -> (
+      match List.assoc_opt s env.floats with
+      | Some f -> f
+      | None -> (
+          match Hashtbl.find_opt env.ints s with
+          | Some v -> float_of_int v
+          | None -> fail "unbound scalar %s" s))
+  | Cast.Index (name, idx) ->
+      let m, i, j = locate env name idx in
+      Matrix.get m i j
+  | Cast.Bin (op, a, b) -> (
+      let x = float_expr env a and y = float_expr env b in
+      match op with
+      | Cast.Add -> x +. y
+      | Cast.Sub -> x -. y
+      | Cast.Mul -> x *. y
+      | Cast.Div -> x /. y)
+  | Cast.Neg a -> -.float_expr env a
+  | Cast.Call (fn, [ arg ]) ->
+      if Sw_kernels.Elementwise.known fn then
+        Sw_kernels.Elementwise.reference fn (float_expr env arg)
+      else fail "unknown function %s" fn
+  | Cast.Call (fn, _) -> fail "%s expects exactly one argument" fn
+
+let rec stmt env s =
+  match s with
+  | Cast.For { var; lo; hi; body } ->
+      let l = int_expr env lo and h = int_expr env hi in
+      for x = l to h - 1 do
+        Hashtbl.replace env.ints var x;
+        List.iter (stmt env) body
+      done;
+      Hashtbl.remove env.ints var
+  | Cast.Assign { lhs = name, idx; op; rhs } ->
+      let m, i, j = locate env name idx in
+      let value = float_expr env rhs in
+      let value =
+        match op with `Set -> value | `AddSet -> Matrix.get m i j +. value
+      in
+      Matrix.set m i j value
+
+let run ?(bindings = []) ?(fbindings = []) (f : Cast.func) ~arrays =
+  let ints = Hashtbl.create 7 in
+  List.iter (fun (k, v) -> Hashtbl.add ints k v) bindings;
+  (* resolve declared array extents through the bindings *)
+  let env0 =
+    { ints; floats = fbindings; arrays; array_dims = [] }
+  in
+  let array_dims =
+    List.filter_map
+      (function
+        | Cast.Array_param { name; dims } ->
+            Some (name, List.map (int_expr env0) dims)
+        | Cast.Int_param _ | Cast.Double_param _ -> None)
+      f.Cast.params
+  in
+  (* sanity: provided matrices match the declarations *)
+  List.iter
+    (fun (name, dims) ->
+      match List.assoc_opt name arrays with
+      | None -> fail "no matrix provided for array %s" name
+      | Some m ->
+          let rows, cols =
+            match dims with
+            | [ r; c ] -> (r, c)
+            | [ b; r; c ] -> (b * r, c)
+            | _ -> fail "array %s: unsupported rank" name
+          in
+          if m.Matrix.rows <> rows || m.Matrix.cols <> cols then
+            fail "array %s: expected %dx%d, got %dx%d" name rows cols
+              m.Matrix.rows m.Matrix.cols)
+    array_dims;
+  let env = { env0 with array_dims } in
+  List.iter (stmt env) f.Cast.body

@@ -1,0 +1,25 @@
+(** Direct interpretation of parsed C functions.
+
+    An independent semantic oracle: the naive loop nest is executed exactly
+    as written — no polyhedral machinery, no pattern recognition — over
+    named matrices. Tests use it to close the loop from C source in two
+    directions that must agree:
+
+    source --(parse + run directly)--------------------> result
+    source --(recognize + compile + simulate cluster)--> result *)
+
+exception Exec_error of string
+
+val run :
+  ?bindings:(string * int) list ->
+  ?fbindings:(string * float) list ->
+  Cast.func ->
+  arrays:(string * Sw_blas.Matrix.t) list ->
+  unit
+(** Execute the function body in place on the given matrices (3-D arrays
+    are passed as a single matrix of shape [batch*rows x cols] and indexed
+    [X\[b\]\[i\]\[j\] = m\[b*rows + i\]\[j\]], consistent with row-major
+    layout). Scalar [double] parameters resolve through [fbindings],
+    integer parameters through [bindings]. Calls resolve through
+    {!Sw_kernels.Elementwise}. Raises {!Exec_error} on unbound names or
+    shape errors. *)

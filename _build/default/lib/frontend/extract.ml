@@ -1,0 +1,364 @@
+open Sw_poly
+
+exception Extract_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Extract_error s)) fmt
+
+type scop = {
+  stmts : Sw_tree.Stmt.t list;
+  array_dims : (string * Aff.t list) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Affine conversion                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Convert an integer C expression into a quasi-affine tree over the loop
+   variables in [iters] and the integer parameters in [params], resolving
+   bound parameters to constants. *)
+let rec to_aff ~bindings ~iters ~params e =
+  match e with
+  | Cast.Int v -> Aff.const v
+  | Cast.Float _ -> fail "float literal in an integer (index/bound) position"
+  | Cast.Var s ->
+      if List.mem s iters then Aff.var s
+      else if List.mem s params then
+        match List.assoc_opt s bindings with
+        | Some v -> Aff.const v
+        | None -> Aff.param s
+      else fail "unknown name %s in an affine expression" s
+  | Cast.Bin (Cast.Add, a, b) ->
+      Aff.add (to_aff ~bindings ~iters ~params a) (to_aff ~bindings ~iters ~params b)
+  | Cast.Bin (Cast.Sub, a, b) ->
+      Aff.sub (to_aff ~bindings ~iters ~params a) (to_aff ~bindings ~iters ~params b)
+  | Cast.Bin (Cast.Mul, a, b) -> (
+      let ca = const_of ~bindings ~params a and cb = const_of ~bindings ~params b in
+      match (ca, cb) with
+      | Some k, _ -> Aff.mul k (to_aff ~bindings ~iters ~params b)
+      | _, Some k -> Aff.mul k (to_aff ~bindings ~iters ~params a)
+      | None, None -> fail "non-affine product %s" (Cast.expr_to_string e))
+  | Cast.Bin (Cast.Div, a, b) -> (
+      match const_of ~bindings ~params b with
+      | Some d when d > 0 -> Aff.fdiv (to_aff ~bindings ~iters ~params a) d
+      | _ -> fail "non-constant divisor in %s" (Cast.expr_to_string e))
+  | Cast.Neg a -> Aff.neg (to_aff ~bindings ~iters ~params a)
+  | Cast.Index _ | Cast.Call _ ->
+      fail "array access or call in an affine position: %s" (Cast.expr_to_string e)
+
+and const_of ~bindings ~params e =
+  match e with
+  | Cast.Int v -> Some v
+  | Cast.Var s when List.mem s params -> List.assoc_opt s bindings
+  | Cast.Neg a -> Option.map (fun v -> -v) (const_of ~bindings ~params a)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Generic SCoP lowering                                                *)
+(* ------------------------------------------------------------------ *)
+
+let func_params (f : Cast.func) =
+  List.filter_map
+    (function Cast.Int_param s -> Some s | _ -> None)
+    f.Cast.params
+
+let func_arrays (f : Cast.func) =
+  List.filter_map
+    (function
+      | Cast.Array_param { name; dims } -> Some (name, dims)
+      | _ -> None)
+    f.Cast.params
+
+let rec collect_reads acc e =
+  match e with
+  | Cast.Int _ | Cast.Float _ | Cast.Var _ -> acc
+  | Cast.Index (name, idx) -> (name, idx) :: List.fold_left collect_reads acc idx
+  | Cast.Bin (_, a, b) -> collect_reads (collect_reads acc a) b
+  | Cast.Neg a -> collect_reads acc a
+  | Cast.Call (_, args) -> List.fold_left collect_reads acc args
+
+let scop ?(bindings = []) (f : Cast.func) =
+  let params = func_params f in
+  let arrays = func_arrays f in
+  let counter = ref 0 in
+  let stmts = ref [] in
+  let rec walk loops stmt =
+    match stmt with
+    | Cast.For { var; lo; hi; body } ->
+        let iters = List.map (fun (v, _, _) -> v) loops in
+        let lo = to_aff ~bindings ~iters ~params lo in
+        let hi = to_aff ~bindings ~iters ~params hi in
+        List.iter (walk (loops @ [ (var, lo, hi) ])) body
+    | Cast.Assign { lhs = name, idx; op; rhs } ->
+        incr counter;
+        let iters = List.map (fun (v, _, _) -> v) loops in
+        let domain =
+          List.fold_left
+            (fun d (v, lo, hi) -> Bset.constrain_range d v ~lo ~hi)
+            (Bset.universe
+               ~params:(List.filter (fun p -> not (List.mem_assoc p bindings)) params)
+               ~dims:iters)
+            loops
+        in
+        let conv = to_aff ~bindings ~iters ~params in
+        let write = Access.write name (List.map conv idx) in
+        let reads =
+          List.map
+            (fun (a, ix) -> Access.read a (List.map conv ix))
+            (collect_reads [] rhs)
+        in
+        let reads =
+          match op with
+          | `AddSet -> Access.read name (List.map conv idx) :: reads
+          | `Set -> reads
+        in
+        stmts :=
+          Sw_tree.Stmt.make
+            ~name:(Printf.sprintf "S%d" !counter)
+            ~iters ~domain
+            ~accesses:(write :: reads)
+          :: !stmts
+  in
+  List.iter (walk []) f.Cast.body;
+  {
+    stmts = List.rev !stmts;
+    array_dims =
+      List.map
+        (fun (name, dims) ->
+          (name, List.map (to_aff ~bindings ~iters:[] ~params) dims))
+        arrays;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* GEMM recognition                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A loop nest flattened around one assignment. *)
+type site = {
+  loops : (string * Cast.expr * Cast.expr) list;  (* var, lo, hi *)
+  assign : Cast.stmt;
+}
+
+let rec sites loops stmt =
+  match stmt with
+  | Cast.For { var; lo; hi; body } ->
+      List.concat_map (sites (loops @ [ (var, lo, hi) ])) body
+  | Cast.Assign _ -> [ { loops; assign = stmt } ]
+
+(* Multiply out a product expression into (scalar coefficient expr list,
+   array factors). *)
+let rec product_factors e =
+  match e with
+  | Cast.Bin (Cast.Mul, a, b) ->
+      let sa, fa = product_factors a and sb, fb = product_factors b in
+      (sa @ sb, fa @ fb)
+  | Cast.Index _ -> ([], [ e ])
+  | Cast.Float _ | Cast.Int _ | Cast.Var _ -> ([ e ], [])
+  | Cast.Neg a ->
+      let s, f = product_factors a in
+      (Cast.Float (-1.0) :: s, f)
+  | _ -> ([ e ], [])
+
+let scalar_value ~fbindings e =
+  match e with
+  | Cast.Float f -> Some f
+  | Cast.Int v -> Some (float_of_int v)
+  | Cast.Var s -> List.assoc_opt s fbindings
+  | _ -> None
+
+let indices_match iters idx =
+  (* every index expression is exactly one distinct loop variable *)
+  let vars =
+    List.map (function Cast.Var v -> Some v | _ -> None) idx
+  in
+  if List.for_all Option.is_some vars then
+    let vs = List.map Option.get vars in
+    if List.for_all (fun v -> List.mem v iters) vs
+       && List.length (List.sort_uniq String.compare vs) = List.length vs
+    then Some vs
+    else None
+  else None
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let bound_const ~bindings ~params e =
+  match const_of ~bindings ~params e with
+  | Some v -> Ok v
+  | None -> err "loop bound %s does not resolve to a constant" (Cast.expr_to_string e)
+
+let recognize ?(bindings = []) ?(fbindings = []) (f : Cast.func) =
+  let ( let* ) r fn = Result.bind r fn in
+  let params = func_params f in
+  let all = List.concat_map (sites []) f.Cast.body in
+  (* classify each site *)
+  let classify site =
+    let iters = List.map (fun (v, _, _) -> v) site.loops in
+    match site.assign with
+    | Cast.Assign { lhs = cname, cidx; op; rhs } -> (
+        match indices_match iters cidx with
+        | None -> `Other
+        | Some lhs_vars -> (
+            (* element-wise map: X[..] = fn(X[..]) *)
+            match (op, rhs) with
+            | `Set, Cast.Call (fn, [ Cast.Index (a2, idx2) ])
+              when String.equal a2 cname && idx2 = cidx
+                   && Sw_kernels.Elementwise.known fn ->
+                `Elementwise (cname, lhs_vars, fn, site)
+            | _ -> (
+                (* gemm: C[..] = C[..] + prod  |  C[..] += prod *)
+                let product =
+                  match (op, rhs) with
+                  | `AddSet, p -> Some p
+                  | ( `Set,
+                      Cast.Bin (Cast.Add, Cast.Index (c2, idx2), p) )
+                    when String.equal c2 cname && idx2 = cidx ->
+                      Some p
+                  | `Set, Cast.Bin (Cast.Add, p, Cast.Index (c2, idx2))
+                    when String.equal c2 cname && idx2 = cidx ->
+                      Some p
+                  | _ -> None
+                in
+                match product with
+                | None -> `Other
+                | Some p -> `Gemm (cname, lhs_vars, p, site))))
+    | Cast.For _ -> `Other
+  in
+  let classified = List.map classify all in
+  let gemms =
+    List.filter_map (function `Gemm g -> Some g | _ -> None) classified
+  in
+  let elementwise =
+    List.filter_map (function `Elementwise e -> Some e | _ -> None) classified
+  in
+  let others = List.filter (fun c -> c = `Other) classified in
+  let* () =
+    if others <> [] then err "unsupported statement in the input function"
+    else Ok ()
+  in
+  let* cname, lhs_vars, product, gsite =
+    match gemms with
+    | [ g ] -> Ok g
+    | [] -> err "no GEMM statement found"
+    | _ -> err "more than one GEMM statement"
+  in
+  let iters = List.map (fun (v, _, _) -> v) gsite.loops in
+  (* batch prefix: lhs vars beyond the trailing (i, j) *)
+  let* batch_vars, i_var, j_var =
+    match List.rev lhs_vars with
+    | j :: i :: rest -> Ok (List.rev rest, i, j)
+    | _ -> err "the output access must have at least two indices"
+  in
+  let* () =
+    match batch_vars with
+    | [] | [ _ ] -> Ok ()
+    | _ -> err "at most one batch dimension is supported"
+  in
+  let red_vars =
+    List.filter (fun v -> not (List.mem v lhs_vars)) iters
+  in
+  let* k_var =
+    match red_vars with
+    | [ k ] -> Ok k
+    | _ -> err "expected exactly one reduction loop"
+  in
+  (* factors *)
+  let scalars, factors = product_factors product in
+  let* alpha =
+    List.fold_left
+      (fun acc s ->
+        let* a = acc in
+        match scalar_value ~fbindings s with
+        | Some v -> Ok (a *. v)
+        | None -> err "cannot resolve scalar %s (bind it)" (Cast.expr_to_string s))
+      (Ok 1.0) scalars
+  in
+  let* fa, fb =
+    match factors with
+    | [ Cast.Index (n1, i1); Cast.Index (n2, i2) ] -> Ok ((n1, i1), (n2, i2))
+    | _ -> err "the product must have exactly two array factors"
+  in
+  let classify_factor (name, idx) =
+    match indices_match iters idx with
+    | None -> Error (Printf.sprintf "non-affine access to %s" name)
+    | Some vars -> (
+        match List.rev vars with
+        | x :: y :: rest when List.rev rest = batch_vars ->
+            if String.equal y i_var && String.equal x k_var then
+              Ok (`A (name, false))
+            else if String.equal y k_var && String.equal x i_var then
+              Ok (`A (name, true)) (* A[k][i]: transposed input *)
+            else if String.equal y k_var && String.equal x j_var then
+              Ok (`B (name, false))
+            else if String.equal y j_var && String.equal x k_var then
+              Ok (`B (name, true)) (* B[j][k]: transposed input *)
+            else Error (Printf.sprintf "access %s does not match A or B" name)
+        | _ -> Error (Printf.sprintf "access %s has too few indices" name))
+  in
+  let* r1 = classify_factor fa in
+  let* r2 = classify_factor fb in
+  let* ta, tb =
+    match (r1, r2) with
+    | `A (_, ta), `B (_, tb) | `B (_, tb), `A (_, ta) -> Ok (ta, tb)
+    | _ -> err "the two factors must be an op(A)[i][k] and an op(B)[k][j] access"
+  in
+  (* sizes *)
+  let size_of var =
+    let rec find = function
+      | (v, lo, hi) :: rest ->
+          if String.equal v var then
+            let* l = bound_const ~bindings ~params lo in
+            let* h = bound_const ~bindings ~params hi in
+            if l <> 0 then err "loop %s must start at 0" var else Ok h
+          else find rest
+      | [] -> err "loop %s not found" var
+    in
+    find gsite.loops
+  in
+  let* m = size_of i_var in
+  let* n = size_of j_var in
+  let* k = size_of k_var in
+  let* batch =
+    match batch_vars with
+    | [] -> Ok None
+    | [ b ] ->
+        let* s = size_of b in
+        Ok (Some s)
+    | _ -> assert false
+  in
+  (* fusion: an element-wise statement before (on A) or after (on C) *)
+  let gemm_pos =
+    let rec index n = function
+      | `Gemm _ :: _ -> n
+      | _ :: rest -> index (n + 1) rest
+      | [] -> n
+    in
+    index 0 classified
+  in
+  let* fusion =
+    match elementwise with
+    | [] -> Ok Sw_core.Spec.No_fusion
+    | [ (target, _, fn, _) ] ->
+        let ew_pos =
+          let rec index n = function
+            | `Elementwise _ :: _ -> n
+            | _ :: rest -> index (n + 1) rest
+            | [] -> n
+          in
+          index 0 classified
+        in
+        if ew_pos < gemm_pos then
+          if String.equal target cname then
+            err "a prologue must transform an input operand, not %s" cname
+          else Ok (Sw_core.Spec.Prologue fn)
+        else if String.equal target cname then Ok (Sw_core.Spec.Epilogue fn)
+        else err "an epilogue must transform the output %s" cname
+    | _ -> err "at most one fusion statement is supported"
+  in
+  match Sw_core.Spec.make ?batch ~alpha ~ta ~tb ~fusion ~m ~n ~k () with
+  | spec -> Ok spec
+  | exception Invalid_argument e -> Error e
+
+let spec_of_source ?bindings ?fbindings src =
+  match Parser.parse src with
+  | exception Parser.Parse_error e -> Error e
+  | exception Lexer.Lex_error e -> Error e
+  | func -> recognize ?bindings ?fbindings func

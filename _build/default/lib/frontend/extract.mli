@@ -1,0 +1,40 @@
+(** Polyhedral extraction and GEMM pattern recognition.
+
+    {!scop} lowers a parsed function to statements with affine iteration
+    domains and access relations (the representation {!Sw_tree.Tree.initial}
+    consumes). {!recognize} additionally matches the GEMM patterns the
+    compiler accepts — the plain 3-D nest of Fig. 2a, the batched form of
+    Fig. 3, and the fusion forms of Fig. 12 — and produces the
+    {!Sw_core.Spec.t} driving code generation.
+
+    Loop bounds and array indices must be quasi-affine; sizes must resolve
+    to constants, either as literals or through [bindings] (the compiler,
+    like the paper's tool, specializes code to concrete shapes). *)
+
+exception Extract_error of string
+
+type scop = {
+  stmts : Sw_tree.Stmt.t list;
+  array_dims : (string * Sw_poly.Aff.t list) list;
+}
+
+val scop : ?bindings:(string * int) list -> Cast.func -> scop
+(** Generic lowering of every assignment under its loop nest. Raises
+    {!Extract_error} on non-affine constructs. *)
+
+val recognize :
+  ?bindings:(string * int) list ->
+  ?fbindings:(string * float) list ->
+  Cast.func ->
+  (Sw_core.Spec.t, string) result
+(** Pattern-match the function against the supported GEMM forms. [bindings]
+    fix integer size parameters, [fbindings] fix [double] scalars such as
+    [alpha]. *)
+
+val spec_of_source :
+  ?bindings:(string * int) list ->
+  ?fbindings:(string * float) list ->
+  string ->
+  (Sw_core.Spec.t, string) result
+(** Convenience: lex, parse and recognize in one step; parse errors are
+    returned as [Error]. *)

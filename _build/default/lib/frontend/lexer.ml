@@ -1,0 +1,128 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string
+
+let keywords = [ "void"; "int"; "double"; "for"; "return" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let fail pos msg =
+    raise
+      (Lex_error (Printf.sprintf "line %d, column %d: %s" !line (pos - !bol + 1) msg))
+  in
+  let tokens = ref [] in
+  let emit pos tok =
+    tokens := { tok; line = !line; col = pos - !bol + 1 } :: !tokens
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i;
+      bol := !i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let start = !i in
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i + 1 < n do
+        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else begin
+          if src.[!i] = '\n' then begin
+            incr line;
+            bol := !i + 1
+          end;
+          incr i
+        end
+      done;
+      if not !closed then fail start "unterminated comment"
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      emit start (if List.mem word keywords then KW word else IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      let is_float = ref false in
+      if !i < n && src.[!i] = '.' then begin
+        is_float := true;
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done
+      end;
+      if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+        is_float := true;
+        incr i;
+        if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done
+      end;
+      let text = String.sub src start (!i - start) in
+      if !is_float then
+        match float_of_string_opt text with
+        | Some f -> emit start (FLOAT f)
+        | None -> fail start ("bad float literal " ^ text)
+      else
+        match int_of_string_opt text with
+        | Some v -> emit start (INT v)
+        | None -> fail start ("bad integer literal " ^ text)
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some (("++" | "+=" | "<=" | "==") as p) ->
+          emit !i (PUNCT p);
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '=' | '+' | '-'
+          | '*' | '/' | '<' | '>' ->
+              emit !i (PUNCT (String.make 1 c));
+              incr i
+          | _ -> fail !i (Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  emit n EOF;
+  List.rev !tokens
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | INT v -> Printf.sprintf "integer %d" v
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | KW s -> Printf.sprintf "keyword %s" s
+  | PUNCT s -> Printf.sprintf "'%s'" s
+  | EOF -> "end of input"

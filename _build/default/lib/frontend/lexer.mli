@@ -1,0 +1,20 @@
+(** Lexer for the C subset accepted by the front-end (§2.3: "takes as input
+    GEMM code written in C language"). *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | KW of string  (** void, int, double, for, return *)
+  | PUNCT of string  (** one of ( ) \{ \} [ ] ; , = + - * / < <= ++ += *)
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string
+
+val tokenize : string -> located list
+(** Raises {!Lex_error} with position information on illegal input.
+    Line ([//]) and block comments are skipped. *)
+
+val token_to_string : token -> string

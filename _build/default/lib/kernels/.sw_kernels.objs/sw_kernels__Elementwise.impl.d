@@ -1,0 +1,1 @@
+lib/kernels/elementwise.ml: Array Float Fun String

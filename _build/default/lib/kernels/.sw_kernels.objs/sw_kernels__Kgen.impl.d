@@ -1,0 +1,1 @@
+lib/kernels/kgen.ml: Array Buffer List Printf

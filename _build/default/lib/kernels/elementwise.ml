@@ -1,0 +1,33 @@
+let quant x = Float.round (x *. 64.0) /. 64.0
+let relu x = if x > 0.0 then x else 0.0
+let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+
+let parse_scale name =
+  if String.length name > 6 && String.sub name 0 6 = "scale:" then
+    float_of_string_opt (String.sub name 6 (String.length name - 6))
+  else None
+
+let reference name =
+  match name with
+  | "quant" -> quant
+  | "relu" -> relu
+  | "tanh" -> tanh
+  | "sigmoid" -> sigmoid
+  | "id" -> Fun.id
+  | _ -> (
+      match parse_scale name with
+      | Some c -> fun x -> c *. x
+      | None -> invalid_arg ("Elementwise: unknown kernel " ^ name))
+
+let apply name data ~off ~len =
+  let f = reference name in
+  for i = off to off + len - 1 do
+    data.(i) <- f data.(i)
+  done
+
+let known name =
+  match reference name with
+  | (_ : float -> float) -> true
+  | exception Invalid_argument _ -> false
+
+let names = [ "quant"; "relu"; "tanh"; "sigmoid"; "id" ]

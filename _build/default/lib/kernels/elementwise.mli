@@ -1,0 +1,30 @@
+(** Element-wise kernels used by the DL fusion patterns (§7.3) and by the
+    epsilon of BLAS semantics the pipeline needs ([beta]-scaling of C).
+
+    Kernels are looked up by name; parameterized kernels encode their
+    constant in the name (e.g. ["scale:0.5"]). The same registry serves the
+    CPE code (fused, vectorized) and the MPE baseline (library
+    implementation without fusion), which differ only in the cost the
+    simulator charges. *)
+
+val apply : string -> float array -> off:int -> len:int -> unit
+(** [apply fn data ~off ~len] applies the named kernel in place. Raises
+    [Invalid_argument] for an unknown kernel name.
+
+    Provided kernels:
+    - ["quant"] — the paper's quantization prologue on A: an affine
+      round-to-grid [x -> round(x * 64) / 64];
+    - ["relu"] — rectified linear activation;
+    - ["tanh"] — hyperbolic tangent activation;
+    - ["sigmoid"] — logistic activation;
+    - ["scale:<c>"] — multiply by the float constant [<c>];
+    - ["id"] — identity (useful for ablations). *)
+
+val known : string -> bool
+(** Does {!apply} accept this name? *)
+
+val names : string list
+(** Base kernel names (without the parameterized [scale:] family). *)
+
+val reference : string -> float -> float
+(** The scalar function a named kernel applies (for test oracles). *)

@@ -1,0 +1,1 @@
+lib/multi/multi_sim.ml: Array Compile Dgemm Float Interp List Matrix Mem Options Plan Printf Runner Spec Sw_arch Sw_blas Sw_core

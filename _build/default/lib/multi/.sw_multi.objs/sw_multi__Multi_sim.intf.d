@@ -1,0 +1,1 @@
+lib/multi/multi_sim.mli: Plan Sw_arch Sw_core

@@ -1,0 +1,1 @@
+lib/multi/plan.ml: List Printf String Sw_core

@@ -1,0 +1,1 @@
+lib/multi/plan.mli: Sw_core

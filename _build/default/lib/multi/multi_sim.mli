@@ -1,0 +1,39 @@
+(** Simulation of a multi-cluster plan.
+
+    Timing: operand panels travel from their home memory to each cluster's
+    attached memory over the network-on-chip before the clusters run their
+    independent GEMMs in parallel; results travel back. Distribution of
+    different clusters proceeds in parallel, bounded by the per-cluster NoC
+    link and by the source memory's aggregate bandwidth.
+
+    Function: {!verify} runs every per-cluster job through the full
+    generated-code interpreter at a reduced scale and reassembles the
+    output — the end-to-end correctness argument for the decomposition. *)
+
+type noc = {
+  link_bw_bytes_per_s : float;  (** per-cluster NoC link *)
+  src_bw_bytes_per_s : float;  (** aggregate bandwidth of the home memory *)
+  latency_s : float;  (** per-panel latency *)
+}
+
+val default_noc : noc
+
+type stats = {
+  seconds : float;
+  gflops : float;
+  distribution_s : float;  (** NoC time (in + out), not overlapped *)
+  per_cluster_s : float list;
+  parallel_efficiency : float;
+      (** single-cluster time / (clusters * multi-cluster compute time) *)
+}
+
+val measure :
+  ?noc:noc -> ?options:Sw_core.Options.t -> config:Sw_arch.Config.t ->
+  Plan.t -> stats
+
+val verify :
+  ?seed:int -> config:Sw_arch.Config.t -> Plan.t -> (unit, string) result
+(** Functional: global random operands are sliced per the plan, every job
+    executes through {!Sw_core.Runner.verify}-equivalent machinery on its
+    own simulated cluster, the C blocks are reassembled and compared with
+    the reference on the whole problem. Use a tiny [config]. *)

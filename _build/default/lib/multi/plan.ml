@@ -1,0 +1,86 @@
+type job = {
+  grid_row : int;
+  grid_col : int;
+  row_off : int;
+  col_off : int;
+  spec : Sw_core.Spec.t;
+}
+
+type t = {
+  grid_rows : int;
+  grid_cols : int;
+  original : Sw_core.Spec.t;
+  jobs : job list;
+}
+
+let choose_grid ~clusters ~m ~n =
+  if clusters <= 0 then invalid_arg "Plan.choose_grid: no clusters";
+  let best = ref (1, 1) in
+  let score (gr, gc) =
+    let used = gr * gc in
+    (* prefer more used clusters, then a grid aspect close to the matrix *)
+    let aspect =
+      let tile_aspect = float_of_int (m * gc) /. float_of_int (n * gr) in
+      -.abs_float (log tile_aspect)
+    in
+    (used, aspect)
+  in
+  for gr = 1 to clusters do
+    for gc = 1 to clusters do
+      if gr * gc <= clusters && score (gr, gc) > score !best then
+        best := (gr, gc)
+    done
+  done;
+  !best
+
+let split extent parts =
+  (* contiguous, near-even split: returns (offset, length) per part *)
+  let base = extent / parts and rem = extent mod parts in
+  let rec go i off acc =
+    if i >= parts then List.rev acc
+    else
+      let len = base + if i < rem then 1 else 0 in
+      go (i + 1) (off + len) ((off, len) :: acc)
+  in
+  go 0 0 []
+
+let make (spec : Sw_core.Spec.t) ~clusters =
+  if spec.Sw_core.Spec.batch <> None then
+    Error "multi-cluster plans do not support batched specs"
+  else if clusters <= 0 then Error "need at least one cluster"
+  else begin
+    let gr, gc = choose_grid ~clusters ~m:spec.Sw_core.Spec.m ~n:spec.Sw_core.Spec.n in
+    let rows = split spec.Sw_core.Spec.m gr in
+    let cols = split spec.Sw_core.Spec.n gc in
+    let jobs =
+      List.concat
+        (List.mapi
+           (fun i (row_off, mb) ->
+             List.mapi
+               (fun j (col_off, nb) ->
+                 {
+                   grid_row = i;
+                   grid_col = j;
+                   row_off;
+                   col_off;
+                   spec =
+                     Sw_core.Spec.make ~alpha:spec.Sw_core.Spec.alpha
+                       ~beta:spec.Sw_core.Spec.beta
+                       ~fusion:spec.Sw_core.Spec.fusion ~m:mb ~n:nb
+                       ~k:spec.Sw_core.Spec.k ();
+                 })
+               cols)
+           rows)
+    in
+    Ok { grid_rows = gr; grid_cols = gc; original = spec; jobs }
+  end
+
+let to_string t =
+  Printf.sprintf "%dx%d cluster grid over %s: %s" t.grid_rows t.grid_cols
+    (Sw_core.Spec.to_string t.original)
+    (String.concat "; "
+       (List.map
+          (fun j ->
+            Printf.sprintf "(%d,%d)@(%d,%d) %dx%d" j.grid_row j.grid_col
+              j.row_off j.col_off j.spec.Sw_core.Spec.m j.spec.Sw_core.Spec.n)
+          t.jobs))

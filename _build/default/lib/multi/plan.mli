@@ -1,0 +1,41 @@
+(** Multi-cluster decomposition — the MPI level the paper leaves as future
+    work (§2.1: "one can gradually break down a GEMM routine into
+    independent smaller ones until each piece can be handled by a cluster";
+    §10: "we also plan to implement MPI code generation like [Bondhugula,
+    SC'13]").
+
+    The SW26010Pro processor packs six clusters (core groups), each with
+    its own attached memory; a supernode connects 256 processors. We
+    implement the first level of that hierarchy: a 2-D block decomposition
+    of the output matrix over a grid of clusters. The reduction dimension
+    is not split, so the per-cluster problems are fully independent — the
+    property the paper relies on when arguing the MPI level is
+    straightforward. *)
+
+type job = {
+  grid_row : int;
+  grid_col : int;
+  row_off : int;  (** first C row owned by this cluster *)
+  col_off : int;
+  spec : Sw_core.Spec.t;  (** the per-cluster problem *)
+}
+
+type t = {
+  grid_rows : int;
+  grid_cols : int;
+  original : Sw_core.Spec.t;
+  jobs : job list;
+}
+
+val choose_grid : clusters:int -> m:int -> n:int -> int * int
+(** Pick a [gr x gc] grid with [gr * gc <= clusters] maximizing used
+    clusters, preferring aspect ratios matching the output matrix. *)
+
+val make :
+  Sw_core.Spec.t -> clusters:int -> (t, string) result
+(** Split a (non-batched) spec over the clusters. Row/column extents are
+    divided as evenly as possible; every job keeps the full K, alpha, beta
+    and fusion of the original. Batched specs are rejected (batching
+    already amortizes at the cluster level). *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/poly/access.ml: Aff Bset List Printf String

@@ -1,0 +1,1 @@
+lib/poly/access.mli: Aff Bset

@@ -1,0 +1,1 @@
+lib/poly/aff.ml: Format Ints List Printf String

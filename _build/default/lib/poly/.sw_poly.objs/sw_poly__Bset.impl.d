@@ -1,0 +1,1 @@
+lib/poly/bset.ml: Aff Array Format Hashtbl Ints Lin List Printf String

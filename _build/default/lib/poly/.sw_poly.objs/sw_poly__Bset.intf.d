@@ -1,0 +1,1 @@
+lib/poly/bset.mli: Aff Format Lin

@@ -1,0 +1,1 @@
+lib/poly/dep.ml: Access Aff Array Bset Lin List String

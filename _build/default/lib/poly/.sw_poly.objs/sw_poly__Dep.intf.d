@@ -1,0 +1,1 @@
+lib/poly/dep.mli: Access Bset

@@ -1,0 +1,1 @@
+lib/poly/lin.ml: Array Ints List Printf String

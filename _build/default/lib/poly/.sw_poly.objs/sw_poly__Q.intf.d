@@ -1,0 +1,1 @@
+lib/poly/q.mli: Format

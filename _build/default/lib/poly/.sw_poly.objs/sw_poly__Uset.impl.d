@@ -1,0 +1,1 @@
+lib/poly/uset.ml: Array Bset Hashtbl Lin List String

@@ -1,0 +1,1 @@
+lib/poly/uset.mli: Bset

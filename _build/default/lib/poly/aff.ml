@@ -1,0 +1,135 @@
+type t =
+  | Const of int
+  | Var of string
+  | Param of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of int * t
+  | Fdiv of t * int
+  | Mod of t * int
+
+let const n = Const n
+let var s = Var s
+let param s = Param s
+
+let add a b =
+  match (a, b) with
+  | Const 0, e | e, Const 0 -> e
+  | Const x, Const y -> Const (x + y)
+  | _ -> Add (a, b)
+
+let sub a b =
+  match (a, b) with
+  | e, Const 0 -> e
+  | Const x, Const y -> Const (x - y)
+  | _ -> Sub (a, b)
+
+let mul k e =
+  match (k, e) with
+  | 0, _ -> Const 0
+  | 1, e -> e
+  | k, Const n -> Const (k * n)
+  | k, Mul (k', e) -> Mul (k * k', e)
+  | _ -> Mul (k, e)
+
+let neg e = mul (-1) e
+
+let fdiv e d =
+  if d <= 0 then invalid_arg "Aff.fdiv: divisor must be positive"
+  else
+    match e with
+    | Const n -> Const (Ints.fdiv n d)
+    | e when d = 1 -> e
+    | Fdiv (e', d') -> Fdiv (e', d * d')
+        (* floor(floor(x/a)/b) = floor(x/(a*b)) for positive a, b *)
+    | _ -> Fdiv (e, d)
+
+let fmod e d =
+  if d <= 0 then invalid_arg "Aff.fmod: divisor must be positive"
+  else
+    match e with
+    | Const n -> Const (Ints.fmod n d)
+    | _ when d = 1 -> Const 0
+    | _ -> Mod (e, d)
+
+let sum = List.fold_left add (Const 0)
+
+let rec equal a b =
+  match (a, b) with
+  | Const x, Const y -> x = y
+  | Var x, Var y | Param x, Param y -> String.equal x y
+  | Add (a1, a2), Add (b1, b2) | Sub (a1, a2), Sub (b1, b2) ->
+      equal a1 b1 && equal a2 b2
+  | Mul (k, a), Mul (k', b) -> k = k' && equal a b
+  | Fdiv (a, d), Fdiv (b, d') | Mod (a, d), Mod (b, d') -> d = d' && equal a b
+  | (Const _ | Var _ | Param _ | Add _ | Sub _ | Mul _ | Fdiv _ | Mod _), _ ->
+      false
+
+let rec subst bindings e =
+  match e with
+  | Var s -> ( match List.assoc_opt s bindings with Some r -> r | None -> e)
+  | Const _ | Param _ -> e
+  | Add (a, b) -> add (subst bindings a) (subst bindings b)
+  | Sub (a, b) -> sub (subst bindings a) (subst bindings b)
+  | Mul (k, a) -> mul k (subst bindings a)
+  | Fdiv (a, d) -> fdiv (subst bindings a) d
+  | Mod (a, d) -> fmod (subst bindings a) d
+
+let rec subst_params bindings e =
+  match e with
+  | Param s -> ( match List.assoc_opt s bindings with Some r -> r | None -> e)
+  | Const _ | Var _ -> e
+  | Add (a, b) -> add (subst_params bindings a) (subst_params bindings b)
+  | Sub (a, b) -> sub (subst_params bindings a) (subst_params bindings b)
+  | Mul (k, a) -> mul k (subst_params bindings a)
+  | Fdiv (a, d) -> fdiv (subst_params bindings a) d
+  | Mod (a, d) -> fmod (subst_params bindings a) d
+
+let collect pick e =
+  let rec go acc = function
+    | Const _ -> acc
+    | Var s -> ( match pick with `Vars -> s :: acc | `Params -> acc)
+    | Param s -> ( match pick with `Vars -> acc | `Params -> s :: acc)
+    | Add (a, b) | Sub (a, b) -> go (go acc a) b
+    | Mul (_, a) | Fdiv (a, _) | Mod (a, _) -> go acc a
+  in
+  List.sort_uniq String.compare (go [] e)
+
+let free_vars = collect `Vars
+let free_params = collect `Params
+
+let rec eval ~vars ~params = function
+  | Const n -> n
+  | Var s -> vars s
+  | Param s -> params s
+  | Add (a, b) -> eval ~vars ~params a + eval ~vars ~params b
+  | Sub (a, b) -> eval ~vars ~params a - eval ~vars ~params b
+  | Mul (k, a) -> k * eval ~vars ~params a
+  | Fdiv (a, d) -> Ints.fdiv (eval ~vars ~params a) d
+  | Mod (a, d) -> Ints.fmod (eval ~vars ~params a) d
+
+let rec render ~div e =
+  (* [atom] parenthesizes sums appearing where a tighter-binding position is
+     expected; multiplication by a constant never needs parentheses there. *)
+  let atom e =
+    match e with
+    | Const _ | Var _ | Param _ | Fdiv _ | Mod _ | Mul _ -> render ~div e
+    | Add _ | Sub _ -> "(" ^ render ~div e ^ ")"
+  in
+  let factor e =
+    match e with
+    | Const _ | Var _ | Param _ | Fdiv _ | Mod _ -> render ~div e
+    | Add _ | Sub _ | Mul _ -> "(" ^ render ~div e ^ ")"
+  in
+  match e with
+  | Const n -> string_of_int n
+  | Var s | Param s -> s
+  | Add (a, b) -> render ~div a ^ " + " ^ render ~div b
+  | Sub (a, b) -> render ~div a ^ " - " ^ atom b
+  | Mul (k, a) -> string_of_int k ^ "*" ^ factor a
+  | Fdiv (a, d) -> Printf.sprintf "%s(%s, %d)" div (render ~div a) d
+  | Mod (a, d) -> Printf.sprintf "%s_mod(%s, %d)" div (render ~div a) d
+
+let to_string = render ~div:"floord"
+let to_c = render ~div:"floord"
+let pp fmt e = Format.pp_print_string fmt (to_string e)

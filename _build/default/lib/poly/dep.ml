@@ -1,0 +1,119 @@
+type result = {
+  coincident : bool array;
+  permutable : bool;
+  has_reduction : bool;
+}
+
+(* Build the dependence polyhedron for one (source access, sink access) pair
+   at one lexicographic level: pairs of instances (s, t) of the statement
+   with s before t at [level], accessing the same array cell. The space has
+   the source iterators first, then the target iterators (primed names). *)
+let dep_bset ~domain ~level (src : Access.t) (dst : Access.t) =
+  let dims = Array.to_list (Bset.dims domain) in
+  let n = List.length dims in
+  let primed = List.map (fun d -> d ^ "'") dims in
+  let params = Array.to_list (Bset.params domain) in
+  let t = Bset.universe ~params ~dims:(dims @ primed) in
+  (* both instances lie in the domain *)
+  let inject rename t0 =
+    (* Re-impose the domain constraints under a renaming of dimensions. *)
+    List.fold_left
+      (fun t e -> Bset.add_ineq t (rename e))
+      (List.fold_left (fun t e -> Bset.add_eq t (rename e)) t0 (Bset.eqs domain))
+      (Bset.ineqs domain)
+  in
+  let remap offset e =
+    (* Domain constraints only mention P and D vars (no existentials for the
+       rectangular domains the frontend builds); shift D indices. *)
+    Lin.of_terms
+      (List.map
+         (fun (v, c) ->
+           match v with
+           | Lin.D i -> (Lin.D (i + offset), c)
+           | Lin.P _ -> (v, c)
+           | Lin.X _ ->
+               invalid_arg "Dep.analyze: existentials in statement domain")
+         (Lin.terms e))
+      (Lin.constant e)
+  in
+  let t = inject (remap 0) t in
+  let t = inject (remap n) t in
+  (* same array cell: src indices on s equal dst indices on t *)
+  let prime_bindings = List.map2 (fun d p -> (d, Aff.var p)) dims primed in
+  let t =
+    List.fold_left2
+      (fun t is it ->
+        Bset.add_aff_eq t (Aff.sub is (Aff.subst prime_bindings it)))
+      t src.Access.indices dst.Access.indices
+  in
+  (* lexicographic order: s_j = t_j for j < level, s_level < t_level *)
+  let t =
+    List.fold_left
+      (fun t j ->
+        let d = List.nth dims j and p = List.nth primed j in
+        Bset.add_aff_eq t (Aff.sub (Aff.var d) (Aff.var p)))
+      t
+      (List.init level (fun j -> j))
+  in
+  let d = List.nth dims level and p = List.nth primed level in
+  Bset.add_aff_ineq t
+    (Aff.sub (Aff.sub (Aff.var p) (Aff.var d)) (Aff.const 1))
+
+let access_pairs accesses =
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          if
+            String.equal a.Access.array b.Access.array
+            && (Access.is_write a || Access.is_write b)
+            && List.length a.Access.indices = List.length b.Access.indices
+          then Some (a, b)
+          else None)
+        accesses)
+    accesses
+
+let distance_feasible ~domain ~accesses ~dim ~sign =
+  (* Is there a dependence whose distance on [dim] has the given sign? *)
+  let dims = Array.to_list (Bset.dims domain) in
+  let n = List.length dims in
+  let d = List.nth dims dim and p = List.nth dims dim ^ "'" in
+  List.exists
+    (fun (src, dst) ->
+      List.exists
+        (fun level ->
+          let t = dep_bset ~domain ~level src dst in
+          let dist = Aff.sub (Aff.var p) (Aff.var d) in
+          let t =
+            match sign with
+            | `Pos -> Bset.add_aff_ineq t (Aff.sub dist (Aff.const 1))
+            | `Neg -> Bset.add_aff_ineq t (Aff.sub (Aff.neg dist) (Aff.const 1))
+          in
+          not (Bset.is_empty t))
+        (List.init n (fun l -> l)))
+    (access_pairs accesses)
+
+let depends ~domain ~accesses ~dim =
+  let pos = distance_feasible ~domain ~accesses ~dim ~sign:`Pos in
+  let neg = distance_feasible ~domain ~accesses ~dim ~sign:`Neg in
+  if (not pos) && not neg then `None else if not neg then `Forward else `Any
+
+let analyze ~domain ~accesses =
+  let n = Array.length (Bset.dims domain) in
+  let directions =
+    Array.init n (fun dim -> depends ~domain ~accesses ~dim)
+  in
+  let coincident = Array.map (fun d -> d = `None) directions in
+  let permutable = Array.for_all (fun d -> d <> `Any) directions in
+  (* A reduction pattern: some non-coincident dim whose dependences all come
+     from read/write pairs on a common array (e.g. C[i][j] both read and
+     written). *)
+  let has_reduction =
+    Array.exists (fun d -> d = `Forward) directions
+    && List.exists
+         (fun (a, b) ->
+           (not (a == b)) && Access.is_write a <> Access.is_write b
+           && List.for_all2 Aff.equal a.Access.indices b.Access.indices)
+         (access_pairs accesses)
+  in
+  { coincident; permutable; has_reduction }

@@ -1,0 +1,36 @@
+type t = { num : int; den : int }
+
+let make num den =
+  if den = 0 then raise Division_by_zero
+  else
+    let s = if den < 0 then -1 else 1 in
+    let num = s * num and den = s * den in
+    let g = Ints.gcd num den in
+    if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let is_zero q = q.num = 0
+let is_int q = q.den = 1
+
+let to_int q =
+  if q.den = 1 then q.num
+  else invalid_arg (Printf.sprintf "Q.to_int: %d/%d" q.num q.den)
+
+let neg q = { q with num = -q.num }
+let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+let sub a b = add a (neg b)
+let mul a b = make (a.num * b.num) (a.den * b.den)
+let inv a = make a.den a.num
+let div a b = mul a (inv b)
+let compare a b = compare (a.num * b.den) (b.num * a.den)
+let equal a b = compare a b = 0
+let floor q = Ints.fdiv q.num q.den
+let ceil q = Ints.cdiv q.num q.den
+
+let to_string q =
+  if q.den = 1 then string_of_int q.num
+  else Printf.sprintf "%d/%d" q.num q.den
+
+let pp fmt q = Format.pp_print_string fmt (to_string q)

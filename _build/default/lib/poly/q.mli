@@ -1,0 +1,33 @@
+(** Arbitrary-sign rationals over native integers.
+
+    Used by the Gaussian elimination that inverts band schedules during AST
+    generation. Values are kept normalized: the denominator is positive and
+    the fraction is reduced. Native [int] precision is ample for the
+    coefficient magnitudes appearing in GEMM schedules. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den] normalizes sign and reduces; raises [Division_by_zero] if
+    [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+val is_zero : t -> bool
+val is_int : t -> bool
+val to_int : t -> int
+(** Raises [Invalid_argument] if the value is not integral. *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val inv : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val floor : t -> int
+val ceil : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,126 @@
+type t = {
+  params : string list;
+  dims : string list;
+  members : Bset.t list;  (* non-trivially-empty basic sets *)
+}
+
+let space_of (b : Bset.t) =
+  (Array.to_list (Bset.params b), Array.to_list (Bset.dims b))
+
+let of_bset b =
+  let params, dims = space_of b in
+  { params; dims; members = [ b ] }
+
+let of_bsets = function
+  | [] -> invalid_arg "Uset.of_bsets: empty list (use Uset.empty)"
+  | first :: _ as all ->
+      let params, dims = space_of first in
+      List.iter
+        (fun b ->
+          if space_of b <> (params, dims) then
+            invalid_arg "Uset.of_bsets: members have different spaces")
+        all;
+      { params; dims; members = all }
+
+let empty ~params ~dims = { params; dims; members = [] }
+
+let bsets t = t.members
+
+let check_space a b =
+  if (a.params, a.dims) <> (b.params, b.dims) then
+    invalid_arg "Uset: different spaces"
+
+let union a b =
+  check_space a b;
+  { a with members = a.members @ b.members }
+
+let intersect_bset t b =
+  { t with members = List.map (fun m -> Bset.meet m b) t.members }
+
+let intersect a b =
+  check_space a b;
+  {
+    a with
+    members =
+      List.concat_map
+        (fun ma -> List.map (fun mb -> Bset.meet ma mb) b.members)
+        a.members;
+  }
+
+(* Complement of a single basic set as a union, valid only when it has no
+   existential variables: not(/\ cs) = \/ not(c). *)
+let complement_bset (universe : Bset.t) (b : Bset.t) =
+  if Bset.n_exists b > 0 then
+    invalid_arg
+      "Uset.subtract: subtrahend contains existential variables (use the \
+       *_with deciders instead)";
+  let negate e = Lin.add_const (-1) (Lin.neg e) in
+  let pieces =
+    List.map (fun e -> Bset.add_ineq universe (negate e)) (Bset.ineqs b)
+    @ List.concat_map
+        (fun e ->
+          [
+            Bset.add_ineq universe (negate e);
+            Bset.add_ineq universe (negate (Lin.neg e));
+          ])
+        (Bset.eqs b)
+  in
+  pieces
+
+let subtract a b =
+  check_space a b;
+  let universe = Bset.universe ~params:a.params ~dims:a.dims in
+  List.fold_left
+    (fun acc sub ->
+      let pieces = complement_bset universe sub in
+      {
+        acc with
+        members =
+          List.concat_map
+            (fun m -> List.map (fun piece -> Bset.meet m piece) pieces)
+            acc.members;
+      })
+    a b.members
+
+let is_empty t = List.for_all Bset.is_empty t.members
+
+let is_empty_with t ~params =
+  List.for_all (fun m -> Bset.is_empty_with m ~params) t.members
+
+let point_set t ~params =
+  let tbl = Hashtbl.create 97 in
+  List.iter
+    (fun m ->
+      List.iter (fun p -> Hashtbl.replace tbl p ()) (Bset.enumerate m ~params))
+    t.members;
+  tbl
+
+let enumerate t ~params =
+  let tbl = point_set t ~params in
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+let subset_with a b ~params =
+  check_space a b;
+  let pb = point_set b ~params in
+  List.for_all
+    (fun m ->
+      List.for_all (fun p -> Hashtbl.mem pb p) (Bset.enumerate m ~params))
+    a.members
+
+let equal_with a b ~params =
+  subset_with a b ~params && subset_with b a ~params
+
+let disjoint_with a b ~params =
+  check_space a b;
+  let pb = point_set b ~params in
+  List.for_all
+    (fun m ->
+      List.for_all
+        (fun p -> not (Hashtbl.mem pb p))
+        (Bset.enumerate m ~params))
+    a.members
+
+let to_string t =
+  match t.members with
+  | [] -> "{}"
+  | ms -> String.concat " u " (List.map Bset.to_string ms)

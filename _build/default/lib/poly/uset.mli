@@ -1,0 +1,44 @@
+(** Unions of basic sets (isl's [isl_set]/[isl_union_set] fragment).
+
+    The pipeline's peeled schedule trees (Fig. 11) split a statement's
+    domain across sequence branches by affine filters; union sets give the
+    vocabulary to state — and the test suite to check — that those branches
+    {e partition} the domain: their union is the whole domain and they are
+    pairwise disjoint.
+
+    All sets in one union share a space (same parameters and dimensions).
+    Emptiness inherits {!Bset}'s rational semantics; subtraction introduces
+    the complements of individual inequalities, which is exact over the
+    integers ([not (e >= 0)] is [-e - 1 >= 0]). Equalities are split into
+    their two inequality shadows before complementing. *)
+
+type t
+
+val of_bset : Bset.t -> t
+val of_bsets : Bset.t list -> t
+(** Raises [Invalid_argument] when spaces differ. *)
+
+val empty : params:string list -> dims:string list -> t
+val bsets : t -> Bset.t list
+val union : t -> t -> t
+val intersect : t -> t -> t
+val intersect_bset : t -> Bset.t -> t
+
+val subtract : t -> t -> t
+(** [subtract a b]: points of [a] not in [b]. *)
+
+val is_empty : t -> bool
+val is_empty_with : t -> params:(string * int) list -> bool
+
+val subset_with : t -> t -> params:(string * int) list -> bool
+(** [subset_with a b ~params]: with parameters fixed, is every integer point
+    of [a] in [b]? Decided by subtraction and emptiness. *)
+
+val equal_with : t -> t -> params:(string * int) list -> bool
+
+val disjoint_with : t -> t -> params:(string * int) list -> bool
+
+val enumerate : t -> params:(string * int) list -> int array list
+(** Integer points, deduplicated across members. *)
+
+val to_string : t -> string

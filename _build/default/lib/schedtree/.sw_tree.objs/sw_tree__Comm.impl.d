@@ -1,0 +1,1 @@
+lib/schedtree/comm.ml: Aff Printf Sw_poly

@@ -1,0 +1,1 @@
+lib/schedtree/comm.mli: Aff Sw_poly

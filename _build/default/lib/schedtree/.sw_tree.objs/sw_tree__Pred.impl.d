@@ -1,0 +1,1 @@
+lib/schedtree/pred.ml: Aff Printf Sw_poly

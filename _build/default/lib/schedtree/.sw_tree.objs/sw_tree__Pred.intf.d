@@ -1,0 +1,1 @@
+lib/schedtree/pred.mli: Aff Sw_poly

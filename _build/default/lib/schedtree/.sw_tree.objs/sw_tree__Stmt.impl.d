@@ -1,0 +1,1 @@
+lib/schedtree/stmt.ml: Access Aff Array Bset List Printf String Sw_poly

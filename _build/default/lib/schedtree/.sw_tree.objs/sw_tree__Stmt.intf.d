@@ -1,0 +1,1 @@
+lib/schedtree/stmt.mli: Access Bset Sw_poly

@@ -1,0 +1,1 @@
+lib/schedtree/transform.ml: Aff List String Sw_poly Tree

@@ -1,0 +1,1 @@
+lib/schedtree/transform.mli: Tree

@@ -1,0 +1,1 @@
+lib/schedtree/tree.ml: Aff Array Buffer Comm Dep Format List Pred Printf Result Stmt String Sw_poly

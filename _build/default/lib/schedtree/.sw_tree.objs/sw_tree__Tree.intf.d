@@ -1,0 +1,1 @@
+lib/schedtree/tree.mli: Aff Comm Format Pred Stmt Sw_poly

@@ -1,0 +1,110 @@
+open Sw_poly
+
+type buf = { base : string; parity : Aff.t option }
+
+let buf ?parity base = { base; parity }
+
+type dma = {
+  array : string;
+  spm : buf;
+  batch : Aff.t option;
+  row_lo : Aff.t;
+  col_lo : Aff.t;
+  rows : int;
+  cols : int;
+  reply : string;
+  reply_parity : Aff.t option;
+}
+
+type rma = {
+  dir : [ `Row | `Col ];
+  src : buf;
+  dst : buf;
+  rows : int;
+  cols : int;
+  root : Aff.t;
+  reply_s : string;
+  reply_r : string;
+  reply_parity : Aff.t option;
+}
+
+type kernel_style = Asm | Naive
+
+type kernel = {
+  c : buf;
+  a : buf;
+  b : buf;
+  m : int;
+  n : int;
+  k : int;
+  alpha : float;
+  accumulate : bool;
+  ta : bool;
+  tb : bool;
+  style : kernel_style;
+}
+
+type t =
+  | Dma_get of dma
+  | Dma_put of dma
+  | Rma_bcast of rma
+  | Wait of { reply : string; reply_parity : Aff.t option }
+  | Sync
+  | Spm_map of { target : buf; rows : int; cols : int; fn : string }
+  | Kernel of kernel
+
+let buf_to_string b =
+  match b.parity with
+  | None -> b.base
+  | Some p -> Printf.sprintf "%s[%s]" b.base (Aff.to_string p)
+
+let reply_to_string name parity =
+  match parity with
+  | None -> name
+  | Some p -> Printf.sprintf "%s[%s]" name (Aff.to_string p)
+
+let dma_to_string iface (d : dma) =
+  let batch =
+    match d.batch with None -> "" | Some b -> Printf.sprintf "[%s]" (Aff.to_string b)
+  in
+  Printf.sprintf "%s(&%s[0], &%s%s[%s][%s], %d*%d, %d, %s_stride, &%s)" iface
+    (buf_to_string d.spm) d.array batch (Aff.to_string d.row_lo)
+    (Aff.to_string d.col_lo) d.rows d.cols d.cols d.array
+    (reply_to_string d.reply d.reply_parity)
+
+let to_string = function
+  | Dma_get d -> dma_to_string "dma_iget" d
+  | Dma_put d ->
+      (* destination and source swap for a put *)
+      let batch =
+        match d.batch with
+        | None -> ""
+        | Some b -> Printf.sprintf "[%s]" (Aff.to_string b)
+      in
+      Printf.sprintf "dma_iput(&%s%s[%s][%s], &%s[0], %d*%d, %d, %s_stride, &%s)"
+        d.array batch (Aff.to_string d.row_lo) (Aff.to_string d.col_lo)
+        (buf_to_string d.spm) d.rows d.cols d.cols d.array
+        (reply_to_string d.reply d.reply_parity)
+  | Rma_bcast r ->
+      let iface =
+        match r.dir with `Row -> "rma_row_ibcast" | `Col -> "rma_col_ibcast"
+      in
+      Printf.sprintf "%s(&%s[0], &%s[0], %d*%d, root=%s, &%s, &%s)" iface
+        (buf_to_string r.dst) (buf_to_string r.src) r.rows r.cols
+        (Aff.to_string r.root)
+        (reply_to_string r.reply_s r.reply_parity)
+        (reply_to_string r.reply_r r.reply_parity)
+  | Wait w ->
+      Printf.sprintf "dma_wait_value(&%s, 1)" (reply_to_string w.reply w.reply_parity)
+  | Sync -> "synch()"
+  | Spm_map s ->
+      Printf.sprintf "spm_map_%s(&%s[0], %d, %d)" s.fn (buf_to_string s.target)
+        s.rows s.cols
+  | Kernel k ->
+      Printf.sprintf "%s_%dx%dx%d(&%s[0], &%s[0], &%s[0], alpha=%g%s)"
+        (match k.style with Asm -> "micro_kernel" | Naive -> "naive_kernel")
+        k.m k.n k.k (buf_to_string k.c) (buf_to_string k.a) (buf_to_string k.b)
+        k.alpha
+        ((if k.accumulate then ", acc" else "")
+        ^ (if k.ta then ", tA" else "")
+        ^ (if k.tb then ", tB" else ""))

@@ -1,0 +1,89 @@
+(** Structured payloads of the auxiliary statements that extension nodes
+    introduce into schedule trees: DMA transfers, RMA broadcasts, reply
+    waits, mesh synchronization, SPM-local element-wise passes and micro
+    kernel invocations.
+
+    These mirror the athread interfaces of §4–§5 of the paper
+    ([dma_iget]/[dma_iput], [rma_row_ibcast]/[rma_col_ibcast],
+    [dma_wait_value]/[rma_wait_value], [synch]). All coordinates and
+    subscripts are quasi-affine expressions over the generated loop
+    variables and the mesh parameters [Rid]/[Cid], so a single payload
+    describes the communication performed at every dynamic instance of the
+    auxiliary statement. *)
+
+open Sw_poly
+
+type buf = { base : string; parity : Aff.t option }
+(** An SPM-resident buffer, e.g. [ldm_A] with parity subscript [ko mod 2]
+    for double buffering (§6.3). *)
+
+val buf : ?parity:Aff.t -> string -> buf
+
+type dma = {
+  array : string;  (** main-memory array name *)
+  spm : buf;  (** SPM destination (get) or source (put) *)
+  batch : Aff.t option;  (** leading index for batched 3-D arrays *)
+  row_lo : Aff.t;  (** first main-memory row of the transferred tile *)
+  col_lo : Aff.t;  (** first main-memory column *)
+  rows : int;  (** X_tau: number of rows transferred *)
+  cols : int;  (** Y_tau: contiguous elements per row ([len] argument) *)
+  reply : string;  (** reply counter name *)
+  reply_parity : Aff.t option;
+}
+(** One [dma_iget]/[dma_iput] message. The athread [size] argument is
+    [rows * cols] elements and [strip] is [row_length - cols]; both are
+    derived by the printer/simulator from this record plus the array's row
+    length, exactly as §4 derives them from the footprint relation. *)
+
+type rma = {
+  dir : [ `Row | `Col ];  (** broadcast along the mesh row or column *)
+  src : buf;  (** sender's SPM source buffer *)
+  dst : buf;  (** every receiver's SPM destination buffer *)
+  rows : int;
+  cols : int;
+  root : Aff.t;
+      (** the mesh coordinate of the sender within the row/column: for a row
+          broadcast, the column index [Cid] of the sending CPE *)
+  reply_s : string;
+  reply_r : string;
+  reply_parity : Aff.t option;
+}
+(** One [rma_row_ibcast]/[rma_col_ibcast] message (Fig. 8b). *)
+
+type kernel_style =
+  | Asm  (** the vendor inline-assembly routine (§7.2) *)
+  | Naive  (** plain scalar loops, the [--no-use-asm] variant (§8) *)
+
+type kernel = {
+  c : buf;
+  a : buf;
+  b : buf;
+  m : int;
+  n : int;
+  k : int;
+  alpha : float;
+  accumulate : bool;
+      (** [true]: C += alpha*A*B (steady state); [false]: C = alpha*A*B *)
+  ta : bool;  (** the A tile is stored transposed ([k x m]) *)
+  tb : bool;  (** the B tile is stored transposed ([n x k]) *)
+  style : kernel_style;
+}
+(** Invocation of the micro kernel on SPM tiles, shape [m x n x k]. Both
+    styles compute the same result; they differ only in cost (the simulator
+    charges near-peak cycles for [Asm] and scalar cycles for [Naive]). *)
+
+type t =
+  | Dma_get of dma
+  | Dma_put of dma
+  | Rma_bcast of rma
+  | Wait of { reply : string; reply_parity : Aff.t option }
+      (** [dma_wait_value(&reply, 1)] / [rma_wait_value] *)
+  | Sync  (** mesh barrier ([synch()]), required before RMA messages *)
+  | Spm_map of { target : buf; rows : int; cols : int; fn : string }
+      (** element-wise [fn] applied in place to an SPM tile (fusion, §7.3,
+          and the [beta]-scaling of the C tile) *)
+  | Kernel of kernel
+
+val to_string : t -> string
+(** Athread-flavoured single-line rendering used by the C printer and the
+    schedule-tree dumps. *)

@@ -1,0 +1,41 @@
+open Sw_poly
+
+type t = {
+  name : string;
+  iters : string list;
+  domain : Bset.t;
+  accesses : Access.t list;
+}
+
+let make ~name ~iters ~domain ~accesses =
+  if Array.to_list (Bset.dims domain) <> iters then
+    invalid_arg "Stmt.make: domain dimensions must equal iterators";
+  { name; iters; domain; accesses }
+
+let gemm ?(name = "S1") ?(batched = false) () =
+  let iters = (if batched then [ "b" ] else []) @ [ "i"; "j"; "k" ] in
+  let params = (if batched then [ "B" ] else []) @ [ "M"; "N"; "K" ] in
+  let domain = Bset.universe ~params ~dims:iters in
+  let bound t (d, p) =
+    Bset.constrain_range t d ~lo:(Aff.const 0) ~hi:(Aff.param p)
+  in
+  let pairs =
+    (if batched then [ ("b", "B") ] else [])
+    @ [ ("i", "M"); ("j", "N"); ("k", "K") ]
+  in
+  let domain = List.fold_left bound domain pairs in
+  let pre = if batched then [ Aff.var "b" ] else [] in
+  let accesses =
+    [
+      Access.write "C" (pre @ [ Aff.var "i"; Aff.var "j" ]);
+      Access.read "C" (pre @ [ Aff.var "i"; Aff.var "j" ]);
+      Access.read "A" (pre @ [ Aff.var "i"; Aff.var "k" ]);
+      Access.read "B" (pre @ [ Aff.var "k"; Aff.var "j" ]);
+    ]
+  in
+  { name; iters; domain; accesses }
+
+let params t = Array.to_list (Bset.params t.domain)
+
+let to_string t =
+  Printf.sprintf "%s(%s)" t.name (String.concat ", " t.iters)

@@ -1,0 +1,31 @@
+(** Statement descriptors referenced by schedule trees.
+
+    A statement couples a name with its iteration domain (a {!Sw_poly.Bset}
+    whose dimensions are the statement's iterators in nesting order) and its
+    array accesses. The computational body is deliberately not part of this
+    representation — the code generator attaches semantics by name, exactly
+    as isl's schedule trees reference statements abstractly. *)
+
+open Sw_poly
+
+type t = {
+  name : string;
+  iters : string list;  (** iterator names, outermost first *)
+  domain : Bset.t;  (** dims are exactly [iters] *)
+  accesses : Access.t list;
+}
+
+val make :
+  name:string -> iters:string list -> domain:Bset.t ->
+  accesses:Access.t list -> t
+(** Raises [Invalid_argument] if the domain dimensions do not match
+    [iters]. *)
+
+val gemm :
+  ?name:string -> ?batched:bool -> unit -> t
+(** The canonical (optionally batched) GEMM statement
+    [C\[i\]\[j\] += A\[i\]\[k\] * B\[k\]\[j\]] over parameters [M, N, K]
+    (and [B] when batched), as in Fig. 2a / Fig. 3 of the paper. *)
+
+val params : t -> string list
+val to_string : t -> string

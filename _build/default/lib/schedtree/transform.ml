@@ -1,0 +1,114 @@
+open Sw_poly
+
+let member_exn (b : Tree.band) var =
+  List.find (fun (m : Tree.member) -> String.equal m.Tree.var var) b.Tree.members
+
+let tile (b : Tree.band) ~sizes ~names =
+  if not b.Tree.permutable then
+    invalid_arg "Transform.tile: band is not permutable";
+  let n = List.length b.Tree.members in
+  if List.length sizes <> n || List.length names <> n then
+    invalid_arg "Transform.tile: sizes/names length mismatch";
+  List.iter
+    (fun s -> if s <= 0 then invalid_arg "Transform.tile: non-positive size")
+    sizes;
+  let outer_members =
+    List.map2
+      (fun (m : Tree.member) (s, name) ->
+        {
+          Tree.var = name;
+          exprs = List.map (fun (st, e) -> (st, Aff.fdiv e s)) m.Tree.exprs;
+          coincident = m.Tree.coincident;
+          bind = Tree.Unbound;
+        })
+      b.Tree.members
+      (List.combine sizes names)
+  in
+  let inner_members =
+    List.map2
+      (fun (m : Tree.member) s ->
+        {
+          m with
+          Tree.exprs =
+            List.map
+              (fun (st, e) -> (st, Aff.sub e (Aff.mul s (Aff.fdiv e s))))
+              m.Tree.exprs;
+        })
+      b.Tree.members sizes
+  in
+  ( { Tree.members = outer_members; permutable = b.Tree.permutable },
+    { Tree.members = inner_members; permutable = b.Tree.permutable } )
+
+let split (b : Tree.band) ~at =
+  let n = List.length b.Tree.members in
+  if at <= 0 || at >= n then invalid_arg "Transform.split: bad position";
+  let rec take i = function
+    | [] -> ([], [])
+    | x :: rest ->
+        if i = 0 then ([], x :: rest)
+        else
+          let l, r = take (i - 1) rest in
+          (x :: l, r)
+  in
+  let first, second = take at b.Tree.members in
+  ( { Tree.members = first; permutable = b.Tree.permutable },
+    { Tree.members = second; permutable = b.Tree.permutable } )
+
+let split_off (b : Tree.band) ~var =
+  let target = member_exn b var in
+  let others =
+    List.filter
+      (fun (m : Tree.member) -> not (String.equal m.Tree.var var))
+      b.Tree.members
+  in
+  if others = [] then invalid_arg "Transform.split_off: single-member band";
+  (match b.Tree.members with
+  | first :: _ when String.equal first.Tree.var var -> ()
+  | _ ->
+      if not b.Tree.permutable then
+        invalid_arg "Transform.split_off: reordering a non-permutable band");
+  ( { Tree.members = [ target ]; permutable = b.Tree.permutable },
+    { Tree.members = others; permutable = b.Tree.permutable } )
+
+let strip_mine (b : Tree.band) ~var ~factor ~outer =
+  (match b.Tree.members with
+  | [ m ] when String.equal m.Tree.var var -> ()
+  | _ ->
+      invalid_arg
+        "Transform.strip_mine: expects a single-member band holding [var]");
+  if factor <= 0 then invalid_arg "Transform.strip_mine: non-positive factor";
+  let m = member_exn b var in
+  let outer_member =
+    {
+      Tree.var = outer;
+      exprs =
+        List.map (fun (st, e) -> (st, Aff.fdiv e factor)) m.Tree.exprs;
+      coincident = m.Tree.coincident;
+      bind = Tree.Unbound;
+    }
+  in
+  let inner_member =
+    {
+      m with
+      Tree.exprs =
+        List.map
+          (fun (st, e) -> (st, Aff.sub e (Aff.mul factor (Aff.fdiv e factor))))
+          m.Tree.exprs;
+    }
+  in
+  ( { Tree.members = [ outer_member ]; permutable = b.Tree.permutable },
+    { Tree.members = [ inner_member ]; permutable = b.Tree.permutable } )
+
+let bind (b : Tree.band) ~var binding =
+  let m = member_exn b var in
+  if (not m.Tree.coincident) && binding <> Tree.Unbound then
+    invalid_arg "Transform.bind: only coincident members may be mesh-bound";
+  {
+    b with
+    Tree.members =
+      List.map
+        (fun (x : Tree.member) ->
+          if String.equal x.Tree.var var then { x with Tree.bind = binding }
+          else x)
+        b.Tree.members;
+  }

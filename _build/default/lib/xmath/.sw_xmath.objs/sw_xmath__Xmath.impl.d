@@ -1,0 +1,1 @@
+lib/xmath/xmath.ml: Config Float Hashtbl Sw_arch Sw_blas Sw_core Sw_poly

@@ -1,0 +1,1 @@
+lib/xmath/xmath.mli: Sw_arch Sw_blas Sw_core

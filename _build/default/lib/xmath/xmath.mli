@@ -1,0 +1,39 @@
+(** Stand-in for xMath v2.0, the vendor BLAS library of the SW26010Pro the
+    paper compares against (§8.2–§8.5).
+
+    xMath is closed source and the hardware is inaccessible, so this module
+    provides (a) a {e functional} implementation that is simply the
+    reference DGEMM — the baseline computes the same numbers — and (b) a
+    {e behavioural timing model} synthesized from every quantitative
+    statement the paper makes about the library:
+
+    - highly tuned for power-of-two K: >= 93 % of peak when K = 16384
+      (best 93.53 %), strong on small square shapes where it beats the
+      generated code;
+    - marked degradation when K is not a power of two, growing with size:
+      below 1500 Gflops for 7680^3 / 10240^3 / 15360^3, down to 42.25 % of
+      peak around 8192 x 8192 x 15360, with strong shape-to-shape
+      fluctuation (we use a deterministic per-shape jitter);
+    - no batched interface: one mesh launch (and library dispatch) per
+      batch element (§8.3);
+    - no fusion: the element-wise prologue/epilogue runs as a separate
+      pass on the MPE (§8.4).
+
+    The model is calibrated once against the paper's reported means
+    (1746.97 Gflops square, 1846.96 non-square, 1603.26 batched, fusion
+    baselines 1436.46 / 919.56) and then frozen; see EXPERIMENTS.md. *)
+
+type result = { seconds : float; gflops : float }
+
+val efficiency : Sw_arch.Config.t -> m:int -> n:int -> k:int -> float
+(** Modelled fraction of cluster peak sustained by one xMath DGEMM call. *)
+
+val measure : Sw_arch.Config.t -> Sw_core.Spec.t -> result
+(** Wall time of the xMath-based implementation of a whole spec: per-batch
+    library calls, MPE-side element-wise pass for fused specs. *)
+
+val gemm :
+  alpha:float -> beta:float -> a:Sw_blas.Matrix.t -> b:Sw_blas.Matrix.t ->
+  c:Sw_blas.Matrix.t -> unit
+(** Functional behaviour of the library call (identical to the reference;
+    exposed so tests can state the baseline's correctness explicitly). *)

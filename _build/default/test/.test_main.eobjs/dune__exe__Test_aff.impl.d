@@ -1,0 +1,1 @@
+test/test_aff.ml: Access Aff Alcotest Array Bset Dep Helpers Ints List Printf QCheck Sw_poly

@@ -1,0 +1,1 @@
+test/test_arch.ml: Aff Alcotest Array Ast Comm Config Engine Helpers Interp List Mem Printf QCheck Random Spm Sw_arch Sw_ast Sw_poly Sw_tree

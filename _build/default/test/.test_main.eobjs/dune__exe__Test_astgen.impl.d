@@ -1,0 +1,1 @@
+test/test_astgen.ml: Access Aff Alcotest Ast Bset Codegen Comm Helpers List Pred Printf QCheck Stmt String Sw_ast Sw_poly Sw_tree Transform Tree

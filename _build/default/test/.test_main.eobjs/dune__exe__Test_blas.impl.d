@@ -1,0 +1,1 @@
+test/test_blas.ml: Alcotest Array Dgemm Helpers Lu Matrix QCheck Sw_blas Sw_kernels

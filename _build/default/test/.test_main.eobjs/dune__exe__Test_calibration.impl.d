@@ -1,0 +1,1 @@
+test/test_calibration.ml: Alcotest Compile Config Gemv Helpers List Options Runner Spec Sw_arch Sw_ast Sw_core Sw_kernels Sw_multi Sw_xmath Xmath

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Compile Config Gemv Helpers List Options Printf QCheck Runner Spec String Sw_arch Sw_ast Sw_core Sw_tree Tile_model Tuner

@@ -1,0 +1,1 @@
+test/test_endtoend.ml: Alcotest Compile Config List Printf Runner Spec String Sw_arch Sw_ast Sw_core Sw_tree Sw_xmath Xmath

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Cast Config Dgemm Exec Extract Helpers Lexer List Matrix Parser String Sw_arch Sw_blas Sw_core Sw_frontend Sw_poly Sw_tree

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Cemit Compile Config Filename In_channel List Printf Spec String Sw_arch Sw_core Sw_tree Sys

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Elementwise Float Helpers Kgen List Micro Printf QCheck Random String Sw_kernels

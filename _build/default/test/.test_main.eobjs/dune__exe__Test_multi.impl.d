@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Config List Multi_sim Plan Spec Sw_arch Sw_core Sw_multi

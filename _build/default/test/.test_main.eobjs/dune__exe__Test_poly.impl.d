@@ -1,0 +1,1 @@
+test/test_poly.ml: Aff Alcotest Array Bset Helpers Ints Lin List Printf Q QCheck Random Sw_poly Uset

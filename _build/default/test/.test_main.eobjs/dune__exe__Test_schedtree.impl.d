@@ -1,0 +1,1 @@
+test/test_schedtree.ml: Aff Alcotest Array Bset Hashtbl Helpers List Pred Printf QCheck Stmt String Sw_poly Sw_tree Transform Tree

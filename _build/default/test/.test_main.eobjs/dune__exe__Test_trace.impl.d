@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Compile Config List Options Printf Runner Spec String Sw_arch Sw_core Tile_model Trace

@@ -1,0 +1,1 @@
+test/test_xmath.ml: Alcotest Config Dgemm Helpers List Matrix Printf Spec Sw_arch Sw_blas Sw_core Sw_xmath Xmath

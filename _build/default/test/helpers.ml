@@ -1,0 +1,26 @@
+(* Shared helpers for the test suites. *)
+
+(* Wrap a QCheck property as an alcotest case with a fixed seed so runs are
+   reproducible. *)
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest ~long:false
+    (QCheck.Test.make ~count ~name gen prop)
+
+(* Approximate float comparison with relative tolerance. *)
+let check_close ?(tol = 1e-9) msg expected actual =
+  let scale = max 1.0 (abs_float expected) in
+  if abs_float (expected -. actual) > tol *. scale then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* Compare two float arrays elementwise. *)
+let check_array_close ?(tol = 1e-9) msg expected actual =
+  if Array.length expected <> Array.length actual then
+    Alcotest.failf "%s: length %d vs %d" msg (Array.length expected)
+      (Array.length actual);
+  Array.iteri
+    (fun i e ->
+      let a = actual.(i) in
+      let scale = max 1.0 (abs_float e) in
+      if abs_float (e -. a) > tol *. scale then
+        Alcotest.failf "%s: index %d: expected %.12g, got %.12g" msg i e a)
+    expected

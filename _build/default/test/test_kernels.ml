@@ -1,0 +1,215 @@
+(* Tests for the micro kernel and element-wise kernels. *)
+
+open Sw_kernels
+
+let check = Alcotest.check
+let qtest = Helpers.qtest
+
+let reference_gemm ~m ~n ~k ~alpha ~accumulate ~a ~b ~c0 =
+  let c = Array.copy c0 in
+  if not accumulate then Array.fill c 0 (m * n) 0.0;
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref c.((i * n) + j) in
+      for p = 0 to k - 1 do
+        acc := !acc +. (alpha *. a.((i * k) + p) *. b.((p * n) + j))
+      done;
+      c.((i * n) + j) <- !acc
+    done
+  done;
+  c
+
+let random_array rng len = Array.init len (fun _ -> Random.State.float rng 2.0 -. 1.0)
+
+let test_micro_identity () =
+  (* A = I: C must equal alpha * B. *)
+  let m = 4 and n = 4 and k = 4 in
+  let a = Array.init (m * k) (fun idx -> if idx / k = idx mod k then 1.0 else 0.0) in
+  let b = Array.init (k * n) (fun idx -> float_of_int idx) in
+  let c = Array.make (m * n) 42.0 in
+  Micro.dgemm_tile ~m ~n ~k ~alpha:2.0 ~accumulate:false ~a ~ao:0 ~b ~bo:0 ~c ~co:0;
+  Helpers.check_array_close "2*B" (Array.map (fun x -> 2.0 *. x) b) c
+
+let test_micro_accumulate () =
+  let m = 2 and n = 2 and k = 2 in
+  let a = [| 1.0; 0.0; 0.0; 1.0 |] in
+  let b = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let c = [| 10.0; 10.0; 10.0; 10.0 |] in
+  Micro.dgemm_tile ~m ~n ~k ~alpha:1.0 ~accumulate:true ~a ~ao:0 ~b ~bo:0 ~c ~co:0;
+  Helpers.check_array_close "C += A*B" [| 11.0; 12.0; 13.0; 14.0 |] c
+
+let test_micro_offsets () =
+  (* Operands embedded at non-zero offsets in larger arrays. *)
+  let m = 2 and n = 3 and k = 2 in
+  let pad = 5 in
+  let rng = Random.State.make [| 7 |] in
+  let a = random_array rng (pad + (m * k)) in
+  let b = random_array rng (pad + (k * n)) in
+  let c = Array.make (pad + (m * n)) 0.0 in
+  Micro.dgemm_tile ~m ~n ~k ~alpha:1.5 ~accumulate:false ~a ~ao:pad ~b ~bo:pad ~c ~co:pad;
+  let expect =
+    reference_gemm ~m ~n ~k ~alpha:1.5 ~accumulate:false
+      ~a:(Array.sub a pad (m * k))
+      ~b:(Array.sub b pad (k * n))
+      ~c0:(Array.make (m * n) 0.0)
+  in
+  Helpers.check_array_close "offset view" expect (Array.sub c pad (m * n));
+  (* padding untouched *)
+  Alcotest.(check bool) "prefix untouched" true (Array.for_all (fun x -> x = 0.0) (Array.sub c 0 pad))
+
+let prop_micro_matches_reference =
+  qtest ~count:100 "dgemm_tile matches the scalar reference"
+    QCheck.(quad (int_range 1 8) (int_range 1 8) (int_range 1 8) (int_range 0 1000))
+    (fun (m, n, k, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let a = random_array rng (m * k) in
+      let b = random_array rng (k * n) in
+      let c0 = random_array rng (m * n) in
+      let alpha = Random.State.float rng 2.0 in
+      let accumulate = Random.State.bool rng in
+      let c = Array.copy c0 in
+      Micro.dgemm_tile ~m ~n ~k ~alpha ~accumulate ~a ~ao:0 ~b ~bo:0 ~c ~co:0;
+      let expect = reference_gemm ~m ~n ~k ~alpha ~accumulate ~a ~b ~c0 in
+      Array.for_all2 (fun x y -> abs_float (x -. y) <= 1e-9 *. Float.max 1.0 (abs_float y)) c expect)
+
+let prop_blocked_agrees =
+  qtest ~count:100 "blocked kernel agrees with dgemm_tile bit-for-bit"
+    QCheck.(quad (int_range 1 9) (int_range 1 9) (int_range 1 9) (int_range 0 1000))
+    (fun (m, n, k, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let a = random_array rng (m * k) in
+      let b = random_array rng (k * n) in
+      let c0 = random_array rng (m * n) in
+      let c1 = Array.copy c0 and c2 = Array.copy c0 in
+      Micro.dgemm_tile ~m ~n ~k ~alpha:1.0 ~accumulate:true ~a ~ao:0 ~b ~bo:0 ~c:c1 ~co:0;
+      Micro.dgemm_tile_blocked ~m ~n ~k ~alpha:1.0 ~accumulate:true ~a ~ao:0 ~b ~bo:0 ~c:c2 ~co:0;
+      c1 = c2)
+
+let test_flops () =
+  check Alcotest.int "64x64x32" (2 * 64 * 64 * 32) (Micro.flops ~m:64 ~n:64 ~k:32)
+
+let test_elementwise_kernels () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " known") true (Elementwise.known name))
+    Elementwise.names;
+  Alcotest.(check bool) "scale known" true (Elementwise.known "scale:0.25");
+  Alcotest.(check bool) "garbage unknown" false (Elementwise.known "garbage");
+  Helpers.check_close "relu(-1)" 0.0 (Elementwise.reference "relu" (-1.0));
+  Helpers.check_close "relu(2)" 2.0 (Elementwise.reference "relu" 2.0);
+  Helpers.check_close "scale" 0.75 (Elementwise.reference "scale:0.5" 1.5);
+  Helpers.check_close "sigmoid(0)" 0.5 (Elementwise.reference "sigmoid" 0.0);
+  Helpers.check_close "quant grid" (1.0 /. 64.0) (Elementwise.reference "quant" 0.01)
+
+let test_elementwise_apply_range () =
+  let data = Array.init 10 (fun i -> float_of_int i -. 5.0) in
+  Elementwise.apply "relu" data ~off:2 ~len:5;
+  (* only indices 2..6 clamped *)
+  Helpers.check_array_close "partial apply"
+    [| -5.0; -4.0; 0.0; 0.0; 0.0; 0.0; 1.0; 2.0; 3.0; 4.0 |]
+    data
+
+let prop_quant_idempotent =
+  qtest "quantization is idempotent" (QCheck.float_range (-100.0) 100.0)
+    (fun x ->
+      let q = Elementwise.reference "quant" x in
+      Elementwise.reference "quant" q = q)
+
+let tests =
+  [
+    ("micro kernel identity", `Quick, test_micro_identity);
+    ("micro kernel accumulate", `Quick, test_micro_accumulate);
+    ("micro kernel offsets", `Quick, test_micro_offsets);
+    ("flops count", `Quick, test_flops);
+    ("element-wise registry", `Quick, test_elementwise_kernels);
+    ("element-wise partial apply", `Quick, test_elementwise_apply_range);
+    prop_micro_matches_reference;
+    prop_blocked_agrees;
+    prop_quant_idempotent;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Kgen: automatically generated micro kernels                         *)
+(* ------------------------------------------------------------------ *)
+
+let kgen_ok ~m ~n ~k =
+  match Kgen.generate ~m ~n ~k () with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "Kgen.generate: %s" e
+
+let test_kgen_vendor_shape () =
+  let t = kgen_ok ~m:64 ~n:64 ~k:32 in
+  (match Kgen.validate t with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "within 32 registers" true (Kgen.register_pressure t <= 32);
+  let fma, mem = Kgen.counts t in
+  check Alcotest.int "fma count" (64 * 64 * 32 / 8) fma;
+  Alcotest.(check bool) "fma-bound" true (fma > mem);
+  let eff = Kgen.estimated_efficiency t in
+  Alcotest.(check bool)
+    (Printf.sprintf "efficiency %.3f in [0.80, 0.99]" eff)
+    true
+    (eff > 0.80 && eff < 0.99);
+  (* the hand-written vendor routine stays ahead of the generated one *)
+  Alcotest.(check bool) "vendor kernel still better" true (eff < 0.98)
+
+let test_kgen_rejects () =
+  (match Kgen.generate ~m:4 ~n:7 ~k:4 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "n not multiple of lanes accepted");
+  match Kgen.generate ~m:0 ~n:8 ~k:4 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "m=0 accepted"
+
+let test_kgen_asm_listing () =
+  let t = kgen_ok ~m:8 ~n:16 ~k:4 in
+  let asm = Kgen.to_asm t in
+  Alcotest.(check bool) "has vmad" true
+    (let re = "vmad" in
+     let n = String.length re and m = String.length asm in
+     let rec go i = i + n <= m && (String.sub asm i n = re || go (i + 1)) in
+     go 0)
+
+let prop_kgen_matches_reference =
+  qtest ~count:60 "generated kernels compute dgemm_tile"
+    QCheck.(
+      quad (int_range 1 13) (int_range 1 4) (int_range 1 9) (int_range 0 999))
+    (fun (m, nv, k, seed) ->
+      let n = 8 * nv in
+      match Kgen.generate ~m ~n ~k () with
+      | Error _ -> false
+      | Ok t -> (
+          match Kgen.validate t with
+          | Error _ -> false
+          | Ok () ->
+              let rng = Random.State.make [| seed |] in
+              let a = random_array rng (m * k) in
+              let b = random_array rng (k * n) in
+              let c0 = random_array rng (m * n) in
+              let alpha = Random.State.float rng 2.0 in
+              let accumulate = Random.State.bool rng in
+              let c1 = Array.copy c0 and c2 = Array.copy c0 in
+              Kgen.run t ~alpha ~accumulate ~a ~b ~c:c1;
+              Micro.dgemm_tile ~m ~n ~k ~alpha ~accumulate ~a ~ao:0 ~b ~bo:0
+                ~c:c2 ~co:0;
+              Array.for_all2
+                (fun x y -> abs_float (x -. y) <= 1e-9 *. Float.max 1.0 (abs_float y))
+                c1 c2))
+
+let prop_kgen_budget =
+  qtest ~count:50 "register budget always respected"
+    QCheck.(triple (int_range 1 20) (int_range 1 6) (int_range 8 32))
+    (fun (m, nv, nregs) ->
+      match Kgen.generate ~nregs ~m ~n:(8 * nv) ~k:3 () with
+      | Error _ -> true
+      | Ok t -> Kgen.register_pressure t <= nregs && Kgen.validate t = Ok ())
+
+let kgen_tests =
+  [
+    ("kgen vendor shape (64x64x32)", `Quick, test_kgen_vendor_shape);
+    ("kgen rejects bad shapes", `Quick, test_kgen_rejects);
+    ("kgen asm listing", `Quick, test_kgen_asm_listing);
+    prop_kgen_matches_reference;
+    prop_kgen_budget;
+  ]
+
+let tests = tests @ kgen_tests

@@ -1,0 +1,21 @@
+(* Entry point: registers every suite. *)
+
+let () =
+  Alcotest.run "swgemm"
+    [
+      ("poly", Test_poly.tests);
+      ("aff", Test_aff.tests);
+      ("schedtree", Test_schedtree.tests);
+      ("astgen", Test_astgen.tests);
+      ("arch", Test_arch.tests);
+      ("kernels", Test_kernels.tests);
+      ("frontend", Test_frontend.tests);
+      ("core", Test_core.tests);
+      ("blas", Test_blas.tests);
+      ("xmath", Test_xmath.tests);
+      ("calibration", Test_calibration.tests);
+      ("endtoend", Test_endtoend.tests);
+      ("trace", Test_trace.tests);
+      ("multi", Test_multi.tests);
+      ("golden", Test_golden.tests);
+    ]

@@ -1,0 +1,149 @@
+(* Tests for the multi-cluster (MPI-level) decomposition. *)
+
+open Sw_core
+open Sw_arch
+open Sw_multi
+
+let check = Alcotest.check
+let tiny = Config.tiny ()
+
+let plan_ok spec ~clusters =
+  match Plan.make spec ~clusters with
+  | Ok p -> p
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_grid_choice () =
+  check (Alcotest.pair Alcotest.int Alcotest.int) "6 clusters, square"
+    (2, 3)
+    (Plan.choose_grid ~clusters:6 ~m:4096 ~n:8192);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "6 clusters, tall"
+    (3, 2)
+    (Plan.choose_grid ~clusters:6 ~m:8192 ~n:4096);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "4 clusters" (2, 2)
+    (Plan.choose_grid ~clusters:4 ~m:4096 ~n:4096);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "1 cluster" (1, 1)
+    (Plan.choose_grid ~clusters:1 ~m:4096 ~n:4096)
+
+let test_plan_partition () =
+  let spec = Spec.make ~m:100 ~n:90 ~k:32 () in
+  let p = plan_ok spec ~clusters:6 in
+  check Alcotest.int "six jobs" 6 (List.length p.Plan.jobs);
+  (* the jobs tile the output exactly: row/col extents sum up *)
+  let total_cells =
+    List.fold_left
+      (fun acc (j : Plan.job) ->
+        acc + (j.Plan.spec.Spec.m * j.Plan.spec.Spec.n))
+      0 p.Plan.jobs
+  in
+  check Alcotest.int "covers all of C" (100 * 90) total_cells;
+  List.iter
+    (fun (j : Plan.job) ->
+      check Alcotest.int "full K" 32 j.Plan.spec.Spec.k;
+      Alcotest.(check bool) "offsets in range" true
+        (j.Plan.row_off >= 0 && j.Plan.row_off + j.Plan.spec.Spec.m <= 100))
+    p.Plan.jobs
+
+let test_plan_rejects_batched () =
+  match Plan.make (Spec.make ~batch:2 ~m:8 ~n:8 ~k:8 ()) ~clusters:2 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "batched plan accepted"
+
+let test_plan_preserves_scalars () =
+  let spec = Spec.make ~alpha:0.5 ~beta:2.0 ~fusion:(Spec.Epilogue "relu") ~m:64 ~n:64 ~k:16 () in
+  let p = plan_ok spec ~clusters:4 in
+  List.iter
+    (fun (j : Plan.job) ->
+      check (Alcotest.float 0.0) "alpha" 0.5 j.Plan.spec.Spec.alpha;
+      check (Alcotest.float 0.0) "beta" 2.0 j.Plan.spec.Spec.beta;
+      Alcotest.(check bool) "fusion" true
+        (j.Plan.spec.Spec.fusion = Spec.Epilogue "relu"))
+    p.Plan.jobs
+
+(* ------------------------------------------------------------------ *)
+(* Functional verification                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_verify_plain () =
+  let spec = Spec.make ~m:24 ~n:16 ~k:12 () in
+  let p = plan_ok spec ~clusters:6 in
+  match Multi_sim.verify ~config:tiny p with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_verify_uneven () =
+  (* extents that do not divide evenly across the grid *)
+  let spec = Spec.make ~m:26 ~n:19 ~k:9 () in
+  let p = plan_ok spec ~clusters:4 in
+  match Multi_sim.verify ~config:tiny p with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_verify_fused () =
+  let spec = Spec.make ~alpha:1.5 ~beta:0.5 ~fusion:(Spec.Epilogue "relu") ~m:16 ~n:24 ~k:8 () in
+  let p = plan_ok spec ~clusters:6 in
+  match Multi_sim.verify ~config:tiny p with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_verify_prologue_fused () =
+  let spec = Spec.make ~fusion:(Spec.Prologue "quant") ~m:16 ~n:16 ~k:8 () in
+  let p = plan_ok spec ~clusters:2 in
+  match Multi_sim.verify ~config:tiny p with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_verify_single_cluster () =
+  let spec = Spec.make ~m:16 ~n:8 ~k:8 () in
+  let p = plan_ok spec ~clusters:1 in
+  match Multi_sim.verify ~config:tiny p with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_measure_scaling () =
+  (* more clusters -> faster wall clock on a big problem, with sublinear
+     efficiency due to NoC distribution *)
+  let config = Config.sw26010pro in
+  let spec = Spec.make ~m:8192 ~n:8192 ~k:4096 () in
+  let time clusters =
+    (Multi_sim.measure ~config (plan_ok spec ~clusters)).Multi_sim.seconds
+  in
+  let t1 = time 1 and t2 = time 2 and t6 = time 6 in
+  Alcotest.(check bool) "2 clusters faster" true (t2 < t1);
+  Alcotest.(check bool) "6 clusters faster still" true (t6 < t2);
+  Alcotest.(check bool) "but sublinear" true (t6 > t1 /. 6.5);
+  let s = Multi_sim.measure ~config (plan_ok spec ~clusters:6) in
+  Alcotest.(check bool) "efficiency in (0.3, 1.0]" true
+    (s.Multi_sim.parallel_efficiency > 0.3
+    && s.Multi_sim.parallel_efficiency <= 1.001);
+  Alcotest.(check bool) "distribution visible" true
+    (s.Multi_sim.distribution_s > 0.0)
+
+let test_measure_reports_jobs () =
+  let config = Config.sw26010pro in
+  let spec = Spec.make ~m:4096 ~n:4096 ~k:2048 () in
+  let s = Multi_sim.measure ~config (plan_ok spec ~clusters:6) in
+  check Alcotest.int "six per-cluster times" 6
+    (List.length s.Multi_sim.per_cluster_s)
+
+let tests =
+  [
+    ("grid choice", `Quick, test_grid_choice);
+    ("plan partitions C exactly", `Quick, test_plan_partition);
+    ("plan rejects batched", `Quick, test_plan_rejects_batched);
+    ("plan preserves scalars/fusion", `Quick, test_plan_preserves_scalars);
+    ("verify plain (6 clusters)", `Quick, test_verify_plain);
+    ("verify uneven extents", `Quick, test_verify_uneven);
+    ("verify fused epilogue", `Quick, test_verify_fused);
+    ("verify fused prologue", `Quick, test_verify_prologue_fused);
+    ("verify single cluster", `Quick, test_verify_single_cluster);
+    ("scaling over clusters", `Quick, test_measure_scaling);
+    ("per-cluster reporting", `Quick, test_measure_reports_jobs);
+  ]

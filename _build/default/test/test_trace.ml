@@ -1,0 +1,135 @@
+(* Tests of the execution tracing layer, and through it of the paper's
+   central performance claim: the two-level software pipeline (§6) actually
+   hides DMA and RMA latency behind the micro kernel. *)
+
+open Sw_core
+open Sw_arch
+
+let check = Alcotest.check
+
+let config = Config.sw26010pro
+let mesh = (config.Config.mesh_rows, config.Config.mesh_cols)
+
+let traced ?(options = Options.all_on) spec =
+  Runner.traced (Compile.compile ~options ~config spec)
+
+let spec = Spec.make ~m:512 ~n:512 ~k:2048 ()
+
+(* ------------------------------------------------------------------ *)
+(* Trace mechanics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_events_recorded () =
+  let trace, _ = traced spec in
+  let evs = Trace.events trace in
+  Alcotest.(check bool) "events exist" true (List.length evs > 100);
+  (* every event has a sane interval *)
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.Trace.finish < e.Trace.start then Alcotest.fail "negative interval")
+    evs;
+  (* all 64 CPEs compute *)
+  for r = 0 to 7 do
+    for c = 0 to 7 do
+      let k =
+        Trace.busy trace ~rid:r ~cid:c
+          ~kind:(function Trace.Kernel -> true | _ -> false)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "CPE(%d,%d) computed" r c)
+        true (k > 0.0)
+    done
+  done
+
+let test_byte_accounting () =
+  (* DMA bytes must match the decomposition analytically: per mesh block,
+     every CPE gets+puts its C tile once and fetches its A/B panel shares
+     nko times. *)
+  let trace, _ = traced spec in
+  let u = Trace.utilization trace ~mesh in
+  let t = (Compile.compile ~config spec).Compile.tiles in
+  let blocks = t.Tile_model.nbi * t.Tile_model.nbj in
+  let per_cpe_per_block =
+    (2 * t.Tile_model.tm * t.Tile_model.tn)
+    + (t.Tile_model.nko
+      * ((t.Tile_model.tm * t.Tile_model.tk) + (t.Tile_model.tk * t.Tile_model.tn)))
+  in
+  let expected = 8 * blocks * 64 * per_cpe_per_block in
+  check Alcotest.int "DMA bytes" expected u.Trace.dma_bytes;
+  (* RMA bytes: per block and outer iteration, each of the 8 rows
+     broadcasts 8 A tiles and each column 8 B tiles *)
+  let rma_expected =
+    8 * blocks * t.Tile_model.nko * 8
+    * ((8 * t.Tile_model.tm * t.Tile_model.tk)
+      + (8 * t.Tile_model.tk * t.Tile_model.tn))
+  in
+  check Alcotest.int "RMA bytes" rma_expected u.Trace.rma_bytes
+
+let test_gantt_renders () =
+  let trace, _ = traced spec in
+  let lane = Trace.gantt trace ~rid:0 ~cid:0 ~width:80 in
+  check Alcotest.int "width" 80 (String.length lane);
+  Alcotest.(check bool) "shows kernel activity" true (String.contains lane 'K');
+  let s = Trace.summary trace ~mesh in
+  Alcotest.(check bool) "summary non-empty" true (String.length s > 20)
+
+(* ------------------------------------------------------------------ *)
+(* The latency-hiding claims of §6                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_pipeline_hides_latency () =
+  (* with the full pipeline the mesh spends most of its time in the micro
+     kernel; without hiding it is mostly blocked. A deep K gives the
+     pipeline enough overlaps (ceil(K/256) - 1 of them, §8.1). *)
+  let spec = Spec.make ~m:512 ~n:512 ~k:8192 () in
+  let t_full, _ = traced spec in
+  let t_nohide, _ = traced ~options:Options.with_rma spec in
+  let u_full = Trace.utilization t_full ~mesh in
+  let u_nohide = Trace.utilization t_nohide ~mesh in
+  Alcotest.(check bool)
+    (Printf.sprintf "full pipeline busy (%.2f)" u_full.Trace.kernel_frac)
+    true
+    (u_full.Trace.kernel_frac > 0.75);
+  Alcotest.(check bool)
+    (Printf.sprintf "no-hiding mostly idle (%.2f)" u_nohide.Trace.kernel_frac)
+    true
+    (u_nohide.Trace.kernel_frac < 0.55);
+  Alcotest.(check bool) "blocking reduced by hiding" true
+    (u_full.Trace.blocked_frac < u_nohide.Trace.blocked_frac)
+
+let test_same_traffic_different_time () =
+  (* hiding changes when transfers happen, not how much is transferred *)
+  let t_full, p_full = traced spec in
+  let t_nohide, p_nohide = traced ~options:Options.with_rma spec in
+  let u_full = Trace.utilization t_full ~mesh in
+  let u_nohide = Trace.utilization t_nohide ~mesh in
+  check Alcotest.int "same DMA traffic" u_nohide.Trace.dma_bytes u_full.Trace.dma_bytes;
+  check Alcotest.int "same RMA traffic" u_nohide.Trace.rma_bytes u_full.Trace.rma_bytes;
+  Alcotest.(check bool) "but faster" true
+    (p_full.Runner.seconds < p_nohide.Runner.seconds)
+
+let test_rma_cuts_dma_traffic () =
+  (* §5: the broadcast scheme cuts main-memory traffic by the mesh width *)
+  let t_rma, _ = traced ~options:Options.with_rma spec in
+  let t_plain, _ = traced ~options:Options.with_asm spec in
+  let u_rma = Trace.utilization t_rma ~mesh in
+  let u_plain = Trace.utilization t_plain ~mesh in
+  (* input traffic dominates; the C tiles are the same on both sides *)
+  let c_bytes =
+    let t = (Compile.compile ~config spec).Compile.tiles in
+    8 * 2 * t.Tile_model.nbi * t.Tile_model.nbj * 64 * t.Tile_model.tm * t.Tile_model.tn
+  in
+  let inputs_rma = u_rma.Trace.dma_bytes - c_bytes in
+  let inputs_plain = u_plain.Trace.dma_bytes - c_bytes in
+  check Alcotest.int "8x reduction of input DMA traffic" inputs_plain
+    (8 * inputs_rma)
+
+let tests =
+  [
+    ("events recorded", `Quick, test_events_recorded);
+    ("byte accounting", `Quick, test_byte_accounting);
+    ("gantt renders", `Quick, test_gantt_renders);
+    ("pipeline hides latency (§6)", `Quick, test_pipeline_hides_latency);
+    ("same traffic, less time", `Quick, test_same_traffic_different_time);
+    ("RMA cuts DMA traffic 8x (§5)", `Quick, test_rma_cuts_dma_traffic);
+  ]

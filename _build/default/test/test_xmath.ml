@@ -1,0 +1,115 @@
+(* Tests for the xMath baseline model: it must reproduce the behavioural
+   envelope the paper reports for the library (§8.2-§8.4). *)
+
+open Sw_arch
+open Sw_core
+open Sw_xmath
+
+let config = Config.sw26010pro
+let peak = Config.peak_gflops config
+
+let eff ~m ~n ~k = Xmath.efficiency config ~m ~n ~k
+
+let test_strong_at_16384 () =
+  let e = eff ~m:4096 ~n:16384 ~k:16384 in
+  Alcotest.(check bool) ">= 93% when K=16384" true (e >= 0.93);
+  Alcotest.(check bool) "<= 93.6%" true (e <= 0.936)
+
+let test_pow2_band () =
+  List.iter
+    (fun k ->
+      let e = eff ~m:4096 ~n:4096 ~k in
+      Alcotest.(check bool)
+        (Printf.sprintf "pow2 k=%d in [0.84, 0.94]" k)
+        true
+        (e >= 0.84 && e <= 0.94))
+    [ 512; 1024; 2048; 4096; 8192 ]
+
+let test_non_pow2_degradation () =
+  (* <1500 Gflops for the large non-power-of-two squares *)
+  List.iter
+    (fun s ->
+      let e = eff ~m:s ~n:s ~k:s in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d^3 below 1500 Gflops" s)
+        true
+        (e *. peak < 1500.0))
+    [ 7680; 10240; 15360 ]
+
+let test_worst_case_shape () =
+  (* around 42.25% of peak at 8192 x 8192 x 15360 *)
+  let e = eff ~m:8192 ~n:8192 ~k:15360 in
+  Alcotest.(check bool) "worst case below 50%" true (e < 0.50);
+  Alcotest.(check bool) "not absurdly low" true (e >= 0.40)
+
+let test_pow2_beats_non_pow2 () =
+  let p = eff ~m:4096 ~n:4096 ~k:8192 in
+  let np = eff ~m:4096 ~n:4096 ~k:7680 in
+  Alcotest.(check bool) "pow2 k faster" true (p > np)
+
+let test_deterministic () =
+  Alcotest.(check (float 0.0))
+    "same shape, same efficiency"
+    (eff ~m:1000 ~n:2000 ~k:3000)
+    (eff ~m:1000 ~n:2000 ~k:3000)
+
+let test_measure_plain () =
+  let spec = Spec.make ~m:4096 ~n:4096 ~k:4096 () in
+  let r = Xmath.measure config spec in
+  Alcotest.(check bool) "positive" true (r.Xmath.seconds > 0.0);
+  Alcotest.(check bool) "below peak" true (r.Xmath.gflops < peak);
+  Alcotest.(check bool) "close to its efficiency" true
+    (abs_float (r.Xmath.gflops -. (eff ~m:4096 ~n:4096 ~k:4096 *. peak))
+    < 0.05 *. peak)
+
+let test_batched_startup_penalty () =
+  (* one launch per batch element: 16 small GEMMs pay heavily *)
+  let one = Xmath.measure config (Spec.make ~m:512 ~n:512 ~k:1024 ()) in
+  let batched =
+    Xmath.measure config (Spec.make ~batch:16 ~m:512 ~n:512 ~k:1024 ())
+  in
+  Helpers.check_close ~tol:1e-6 "16 launches"
+    (16.0 *. one.Xmath.seconds)
+    batched.Xmath.seconds;
+  Alcotest.(check bool) "per-flop rate unchanged" true
+    (abs_float (batched.Xmath.gflops -. one.Xmath.gflops) < 1.0)
+
+let test_fusion_penalty () =
+  (* the MPE-side element-wise pass slows the baseline down *)
+  let plain = Xmath.measure config (Spec.make ~m:4096 ~n:4096 ~k:4096 ()) in
+  let pro =
+    Xmath.measure config
+      (Spec.make ~fusion:(Spec.Prologue "quant") ~m:4096 ~n:4096 ~k:4096 ())
+  in
+  let epi =
+    Xmath.measure config
+      (Spec.make ~fusion:(Spec.Epilogue "tanh") ~m:4096 ~n:4096 ~k:4096 ())
+  in
+  Alcotest.(check bool) "prologue slower than plain" true
+    (pro.Xmath.seconds > plain.Xmath.seconds);
+  Alcotest.(check bool) "tanh epilogue much slower" true
+    (epi.Xmath.seconds > 1.2 *. plain.Xmath.seconds)
+
+let test_functional_is_reference () =
+  let open Sw_blas in
+  let a = Matrix.random ~rows:4 ~cols:4 ~seed:1 in
+  let b = Matrix.random ~rows:4 ~cols:4 ~seed:2 in
+  let c1 = Matrix.random ~rows:4 ~cols:4 ~seed:3 in
+  let c2 = Matrix.copy c1 in
+  Xmath.gemm ~alpha:1.5 ~beta:0.5 ~a ~b ~c:c1;
+  Dgemm.gemm ~alpha:1.5 ~beta:0.5 ~a ~b ~c:c2;
+  Helpers.check_close "identical" 0.0 (Matrix.max_abs_diff c1 c2)
+
+let tests =
+  [
+    ("strong at K=16384", `Quick, test_strong_at_16384);
+    ("power-of-two band", `Quick, test_pow2_band);
+    ("non-power-of-two degradation", `Quick, test_non_pow2_degradation);
+    ("worst-case shape", `Quick, test_worst_case_shape);
+    ("pow2 beats non-pow2", `Quick, test_pow2_beats_non_pow2);
+    ("deterministic", `Quick, test_deterministic);
+    ("measure plain GEMM", `Quick, test_measure_plain);
+    ("batched startup penalty", `Quick, test_batched_startup_penalty);
+    ("fusion penalty on MPE", `Quick, test_fusion_penalty);
+    ("functional = reference", `Quick, test_functional_is_reference);
+  ]
