@@ -279,7 +279,34 @@ let cost () =
         |> fun n -> n / 40 (* rough line estimate *)))
     scenarios;
   Printf.printf
-    "paper: seconds per kernel vs months of manual work for SW26010 [11, 12]\n"
+    "paper: seconds per kernel vs months of manual work for SW26010 [11, 12]\n";
+
+  header "plan cache: cold pipeline vs cache hit";
+  let cache = Plan_cache.create () in
+  let hit_iters = 100 in
+  let rows = ref [] in
+  List.iter
+    (fun (name, spec, options) ->
+      let _, cold =
+        Compile.generation_seconds (fun () ->
+            Compile.compile ~options ~cache ~config spec)
+      in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to hit_iters do
+        ignore (Compile.compile ~options ~cache ~config spec)
+      done;
+      let hit = (Unix.gettimeofday () -. t0) /. float_of_int hit_iters in
+      rows :=
+        [ name; Printf.sprintf "%.6f" cold; Printf.sprintf "%.9f" hit;
+          Printf.sprintf "%.1f" (cold /. hit) ]
+        :: !rows;
+      Printf.printf "  %-18s cold %8.2f ms, hit %8.2f us -> %8.1fx\n" name
+        (1000.0 *. cold) (1e6 *. hit) (cold /. hit))
+    scenarios;
+  let st = Plan_cache.stats cache in
+  Printf.printf "  cache: %d hits, %d misses, %d entries\n"
+    st.Plan_cache.hits st.Plan_cache.misses st.Plan_cache.entries;
+  csv "cost_cache" [ "scenario"; "cold_s"; "hit_s"; "speedup" ] (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md §5)                                             *)

@@ -76,6 +76,30 @@ let dump_ast_arg =
   let doc = "Print the generated AST." in
   Arg.(value & flag & info [ "dump-ast" ] ~doc)
 
+let passes_arg =
+  let doc =
+    "Comma-separated pass names to enable (see $(b,--pass-stats) for the \
+     pipeline). Required passes always run; listing them is harmless. \
+     Subsumes $(b,--no-rma)/$(b,--no-hiding): with $(b,--passes) the \
+     optional passes are exactly those listed."
+  in
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "passes" ] ~docv:"PASS,..." ~doc)
+
+let dump_after_arg =
+  let doc = "Print the schedule tree after the named pass (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "dump-after" ] ~docv:"PASS" ~doc)
+
+let no_cache_arg =
+  let doc = "Do not consult the compilation plan cache." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let pass_stats_arg =
+  let doc = "Print the per-pass wall-clock and tree-size statistics." in
+  Arg.(value & flag & info [ "pass-stats" ] ~doc)
+
 let parse_fusion = function
   | None -> Ok Spec.No_fusion
   | Some s -> (
@@ -111,47 +135,113 @@ let build_options ~no_asm ~no_rma ~no_hiding =
 
 let config_of ~tiny = if tiny then Config.tiny () else Config.sw26010pro
 
+(* --passes LIST: translate an explicit enabled-pass subset into the option
+   record the pipeline's relevance predicates read. Contradictory subsets
+   (pipeline_hiding without rma_broadcast) are rejected by
+   Options.validate inside Compile. *)
+let options_of_passes ~no_asm names =
+  let known = Pass_registry.names in
+  match List.find_opt (fun n -> not (List.mem n known)) names with
+  | Some n ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown pass '%s' (pipeline: %s)" n
+             (String.concat ", " known)))
+  | None ->
+      let mem n = List.mem n names in
+      if mem "strip_mine" <> mem "rma_broadcast" then
+        Error (`Msg "strip_mine and rma_broadcast must be enabled together")
+      else
+        Ok
+          ( {
+              Options.use_asm = not no_asm;
+              use_rma = mem "rma_broadcast";
+              hiding = mem "pipeline_hiding";
+            },
+            mem "fusion" )
+
 (* ------------------------------------------------------------------ *)
 (* compile                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let compile_cmd =
   let run input shape batch fusion binds fbinds ta tb no_asm no_rma no_hiding
-      tiny emit dump_tree dump_ast =
+      tiny emit dump_tree dump_ast passes dump_after no_cache pass_stats =
     match build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb with
     | Error e -> Error e
     | Ok spec -> (
         let config = config_of ~tiny in
-        let options = build_options ~no_asm ~no_rma ~no_hiding in
-        match Compile.generation_seconds (fun () ->
-                  Compile.compile ~options ~config spec)
-        with
-        | exception Compile.Compile_error e -> Error (`Msg e)
-        | compiled, secs ->
-            Printf.printf "compiled %s [%s] in %.3f ms\n"
-              (Spec.to_string compiled.Compile.spec)
-              (Options.name options) (1000.0 *. secs);
-            Printf.printf "  %s\n" (Tile_model.to_string compiled.Compile.tiles);
-            Printf.printf "  SPM bytes per CPE: %d of %d\n"
-              (Sw_ast.Ast.spm_bytes compiled.Compile.program)
-              config.Config.spm_bytes;
-            if dump_tree then
-              print_string (Sw_tree.Tree.to_string compiled.Compile.tree);
-            if dump_ast then
-              print_string (Sw_ast.Ast.to_string compiled.Compile.program.Sw_ast.Ast.body);
-            (match emit with
-            | Some dir ->
-                let mpe, cpe = Cemit.write_files compiled ~dir in
-                Printf.printf "  wrote %s and %s\n" mpe cpe
-            | None -> ());
-            Ok ())
+        let options_and_spec =
+          match passes with
+          | None -> Ok (build_options ~no_asm ~no_rma ~no_hiding, spec)
+          | Some names -> (
+              match options_of_passes ~no_asm names with
+              | Error e -> Error e
+              | Ok (options, keep_fusion) ->
+                  let spec =
+                    if keep_fusion then spec
+                    else { spec with Spec.fusion = Spec.No_fusion }
+                  in
+                  Ok (options, spec))
+        in
+        let bad_dump =
+          List.find_opt
+            (fun n -> not (List.mem n Pass_registry.names))
+            dump_after
+        in
+        match (options_and_spec, bad_dump) with
+        | Error e, _ -> Error e
+        | Ok _, Some n ->
+            Error
+              (`Msg
+                (Printf.sprintf "--dump-after: unknown pass '%s' (pipeline: %s)"
+                   n
+                   (String.concat ", " Pass_registry.names)))
+        | Ok (options, spec), None -> (
+            let observer (p : Pass.t) (st : Pass.state) =
+              if List.mem p.Pass.name dump_after then (
+                Printf.printf "=== after pass %s ===\n" p.Pass.name;
+                match st.Pass.tree with
+                | Some t -> print_string (Sw_tree.Tree.to_string t)
+                | None -> print_endline "(no schedule tree yet)")
+            in
+            let cache = if no_cache then None else Some (Plan_cache.create ()) in
+            match Compile.generation_seconds (fun () ->
+                      Compile.compile ~options ~debug:true ?cache ~observer
+                        ~config spec)
+            with
+            | exception Compile.Compile_error e -> Error (`Msg e)
+            | compiled, secs ->
+                Printf.printf "compiled %s [%s] in %.3f ms\n"
+                  (Spec.to_string compiled.Compile.spec)
+                  (Options.name options) (1000.0 *. secs);
+                Printf.printf "  %s\n" (Tile_model.to_string compiled.Compile.tiles);
+                Printf.printf "  SPM bytes per CPE: %d of %d\n"
+                  (Sw_ast.Ast.spm_bytes compiled.Compile.program)
+                  config.Config.spm_bytes;
+                if pass_stats then (
+                  print_string (Pass.report compiled.Compile.pass_stats);
+                  Printf.printf "  pipeline total: %.1f us\n"
+                    (1e6 *. Pass.total_seconds compiled.Compile.pass_stats));
+                if dump_tree then
+                  print_string (Sw_tree.Tree.to_string compiled.Compile.tree);
+                if dump_ast then
+                  print_string
+                    (Sw_ast.Ast.to_string compiled.Compile.program.Sw_ast.Ast.body);
+                (match emit with
+                | Some dir ->
+                    let mpe, cpe = Cemit.write_files compiled ~dir in
+                    Printf.printf "  wrote %s and %s\n" mpe cpe
+                | None -> ());
+                Ok ()))
   in
   let term =
     Term.(
       term_result
         (const run $ input_arg $ shape_arg $ batch_arg $ fusion_arg $ bind_arg
        $ fbind_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg $ no_hiding_arg
-       $ tiny_arg $ emit_arg $ dump_tree_arg $ dump_ast_arg))
+       $ tiny_arg $ emit_arg $ dump_tree_arg $ dump_ast_arg $ passes_arg
+       $ dump_after_arg $ no_cache_arg $ pass_stats_arg))
   in
   Cmd.v (Cmd.info "compile" ~doc:"Generate athread code for a GEMM problem") term
 

@@ -382,3 +382,14 @@ let generate ?(marks = fun _ -> None) ~mesh tree =
       in
       gen_node ~marks ctx child
   | _ -> fail "schedule tree must start with a domain node"
+
+(* Pass-compatible entry point: the pass manager threads results rather
+   than exceptions between stages, so validation failures and codegen
+   errors surface as [Error] and the driver decides how to report them. *)
+let generate_checked ?marks ~mesh tree =
+  match Sw_tree.Tree.validate tree with
+  | Error e -> Error (Printf.sprintf "invalid schedule tree: %s" e)
+  | Ok () -> (
+      match generate ?marks ~mesh tree with
+      | block -> Ok block
+      | exception Codegen_error e -> Error e)

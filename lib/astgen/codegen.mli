@@ -26,3 +26,12 @@ val generate :
     Raises {!Codegen_error} when a band bound cannot be derived, statements
     disagree on a shared loop's bounds, or a leaf statement's iterators are
     not uniquely determined by the schedule. *)
+
+val generate_checked :
+  ?marks:(string -> Ast.block option) ->
+  mesh:int * int ->
+  Tree.t ->
+  (Ast.block, string) result
+(** Pass-compatible entry point used by the [astgen] pass of the pass
+    manager: validates the tree first and turns {!Codegen_error} into
+    [Error] instead of raising. *)

@@ -18,7 +18,13 @@
 
     The result is a schedule tree ready for AST generation plus the mark
     expansions, SPM declarations and reply-counter inventory that
-    {!Compile} assembles into a program. *)
+    {!Compile} assembles into a program.
+
+    Since the pass-manager split this module is a thin façade: [tree] runs
+    the tree-transformation passes of {!Pass_registry.pipeline} and the
+    inventories re-export {!Pass_common}. New code should drive the
+    pipeline through {!Compile} (instrumentation, validation, plan cache)
+    or {!Pass.run_pipeline} directly. *)
 
 open Sw_tree
 

@@ -6,6 +6,7 @@ type t = {
   tiles : Tile_model.t;
   tree : Sw_tree.Tree.t;
   program : Sw_ast.Ast.program;
+  pass_stats : Pass.stat list;
 }
 
 exception Compile_error of string
@@ -14,53 +15,70 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
 
 let flops t = Spec.flops t.spec
 
-let compile ?(options = Options.all_on) ~config original =
+let compile ?(options = Options.all_on) ?(debug = false) ?cache ?observer
+    ~config original =
   (match Options.validate options with Ok () -> () | Error e -> fail "%s" e);
   (match Sw_arch.Config.validate config with
   | Ok () -> ()
   | Error e -> fail "invalid machine model: %s" e);
-  let spec = Spec.pad_for original config in
-  let tiles = Tile_model.choose spec config in
-  let needed =
-    Tile_model.spm_bytes_needed tiles ~options ~fusion:spec.Spec.fusion
+  let cold () =
+    let spec = Spec.pad_for original config in
+    let tiles = Tile_model.choose spec config in
+    let needed =
+      Tile_model.spm_bytes_needed tiles ~options ~fusion:spec.Spec.fusion
+    in
+    if needed > config.Sw_arch.Config.spm_bytes then
+      fail "decomposition needs %d bytes of SPM but a CPE has only %d" needed
+        config.Sw_arch.Config.spm_bytes;
+    let state = Pass.init ~spec ~options ~config ~tiles in
+    let validate = if debug then Some Pass_common.check_invariants else None in
+    let state, pass_stats =
+      match Pass.run_pipeline ?validate ?observer Pass_registry.pipeline state with
+      | Ok r -> r
+      | Error e -> fail "%s" e
+    in
+    let tree =
+      match state.Pass.tree with
+      | Some t -> t
+      | None -> fail "internal: pipeline produced no schedule tree"
+    in
+    (match Sw_tree.Tree.validate tree with
+    | Ok () -> ()
+    | Error e -> fail "internal: invalid schedule tree: %s" e);
+    let body =
+      match state.Pass.body with
+      | Some b -> b
+      | None -> fail "internal: pipeline produced no AST"
+    in
+    let ident_of s =
+      String.map
+        (fun c ->
+          if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+          then c
+          else '_')
+        s
+    in
+    let program =
+      {
+        Sw_ast.Ast.prog_name =
+          Printf.sprintf "swgemm_%s" (ident_of (Options.name options));
+        params =
+          [ ("M", spec.Spec.m); ("N", spec.Spec.n); ("K", spec.Spec.k) ]
+          @ (match spec.Spec.batch with Some b -> [ ("B", b) ] | None -> []);
+        arrays = Pass_common.arrays spec;
+        spm_decls = Pass_common.spm_decls spec options tiles;
+        replies = Pass_common.replies options;
+        body;
+      }
+    in
+    { original; spec; options; config; tiles; tree; program; pass_stats }
   in
-  if needed > config.Sw_arch.Config.spm_bytes then
-    fail "decomposition needs %d bytes of SPM but a CPE has only %d" needed
-      config.Sw_arch.Config.spm_bytes;
-  let tree = Build.tree spec options tiles in
-  (match Sw_tree.Tree.validate tree with
-  | Ok () -> ()
-  | Error e -> fail "internal: invalid schedule tree: %s" e);
-  let body =
-    try
-      Sw_ast.Codegen.generate
-        ~marks:(Build.marks spec options tiles)
-        ~mesh:(config.Sw_arch.Config.mesh_rows, config.Sw_arch.Config.mesh_cols)
-        tree
-    with Sw_ast.Codegen.Codegen_error e -> fail "code generation: %s" e
-  in
-  let ident_of s =
-    String.map
-      (fun c ->
-        if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
-        then c
-        else '_')
-      s
-  in
-  let program =
-    {
-      Sw_ast.Ast.prog_name =
-        Printf.sprintf "swgemm_%s" (ident_of (Options.name options));
-      params =
-        [ ("M", spec.Spec.m); ("N", spec.Spec.n); ("K", spec.Spec.k) ]
-        @ (match spec.Spec.batch with Some b -> [ ("B", b) ] | None -> []);
-      arrays = Build.arrays spec;
-      spm_decls = Build.spm_decls spec options tiles;
-      replies = Build.replies options;
-      body;
-    }
-  in
-  { original; spec; options; config; tiles; tree; program }
+  match cache with
+  | None -> cold ()
+  | Some cache ->
+      Plan_cache.find_or_add cache
+        ~key:(Plan_cache.key ~spec:original ~options ~config)
+        cold
 
 let generation_seconds f =
   let t0 = Unix.gettimeofday () in

@@ -2,8 +2,9 @@
 
     This is the top of the pipeline a user calls (the CLI and the C
     front-end feed into it): it pads the problem, runs the analytic tile
-    model, builds and validates the schedule tree, generates the AST with
-    the micro-kernel marks expanded, and packages everything with the
+    model, then drives the pass pipeline ({!Pass_registry.pipeline}) that
+    builds and validates the schedule tree and generates the AST with the
+    micro-kernel marks expanded, and packages everything with the
     array/SPM/reply inventories. *)
 
 type t = {
@@ -14,14 +15,28 @@ type t = {
   tiles : Tile_model.t;
   tree : Sw_tree.Tree.t;
   program : Sw_ast.Ast.program;
+  pass_stats : Pass.stat list;  (** per-pass instrumentation of this plan *)
 }
 
 exception Compile_error of string
 
 val compile :
-  ?options:Options.t -> config:Sw_arch.Config.t -> Spec.t -> t
+  ?options:Options.t ->
+  ?debug:bool ->
+  ?cache:t Plan_cache.t ->
+  ?observer:(Pass.t -> Pass.state -> unit) ->
+  config:Sw_arch.Config.t ->
+  Spec.t ->
+  t
 (** Raises {!Compile_error} on invalid option combinations, SPM overflow or
-    internal validation failures. Default options: {!Options.all_on}. *)
+    internal validation failures. Default options: {!Options.all_on}.
+
+    [debug] runs the inter-pass invariant checker
+    ({!Sw_tree.Invariant.check}) after every pass. [cache] consults and
+    fills a {!Plan_cache} keyed on (spec, options, config); a hit skips the
+    pipeline entirely (the cached plan's [pass_stats] are those of the cold
+    compilation). [observer] fires after every executed pass — the hook
+    behind [--dump-after]. *)
 
 val flops : t -> int
 (** Floating-point operations of the padded problem (what the simulator

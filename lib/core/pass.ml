@@ -1,0 +1,153 @@
+open Sw_tree
+
+type state = {
+  spec : Spec.t;
+  options : Options.t;
+  config : Sw_arch.Config.t;
+  tiles : Tile_model.t;
+  fusion : Spec.fusion;
+  stmt : Stmt.t option;
+  batch_band : Tree.band option;
+  par_band : Tree.band option;
+  block_band : Tree.band option;
+  coord_band : Tree.band option;
+  red_band : Tree.band option;
+  point_band : Tree.band option;
+  ko_band : Tree.band option;
+  l_band : Tree.band option;
+  chain : Tree.t option;
+  tree : Tree.t option;
+  body : Sw_ast.Ast.block option;
+}
+
+let init ~spec ~options ~config ~tiles =
+  {
+    spec;
+    options;
+    config;
+    tiles;
+    fusion = Spec.No_fusion;
+    stmt = None;
+    batch_band = None;
+    par_band = None;
+    block_band = None;
+    coord_band = None;
+    red_band = None;
+    point_band = None;
+    ko_band = None;
+    l_band = None;
+    chain = None;
+    tree = None;
+    body = None;
+  }
+
+type t = {
+  name : string;
+  section : string;
+  descr : string;
+  required : bool;
+  relevant : state -> bool;
+  run : state -> state;
+}
+
+exception Pass_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Pass_error s)) fmt
+
+let component st field what =
+  match field st with
+  | Some x -> x
+  | None -> fail "missing pipeline component: %s" what
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let registry : t list ref = ref []
+
+let register p =
+  if List.exists (fun q -> String.equal q.name p.name) !registry then
+    invalid_arg ("Pass.register: duplicate pass " ^ p.name);
+  registry := !registry @ [ p ]
+
+let registered () = !registry
+let find name = List.find_opt (fun p -> String.equal p.name name) !registry
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented pipeline runner                                         *)
+(* ------------------------------------------------------------------ *)
+
+type stat = {
+  pass : string;
+  ran : bool;
+  seconds : float;
+  nodes_before : int;
+  nodes_after : int;
+  depth_after : int;
+}
+
+let tree_nodes st =
+  match st.tree with None -> 0 | Some t -> (Tree.stats t).Tree.nodes
+
+let tree_depth st =
+  match st.tree with None -> 0 | Some t -> (Tree.stats t).Tree.depth
+
+let run_pipeline ?validate ?observer passes state =
+  let run_one (state, stats) p =
+    if not (p.required || p.relevant state) then
+      ( state,
+        {
+          pass = p.name;
+          ran = false;
+          seconds = 0.0;
+          nodes_before = tree_nodes state;
+          nodes_after = tree_nodes state;
+          depth_after = tree_depth state;
+        }
+        :: stats )
+    else begin
+      let nodes_before = tree_nodes state in
+      let t0 = Unix.gettimeofday () in
+      let state = p.run state in
+      let seconds = Unix.gettimeofday () -. t0 in
+      (match validate with
+      | None -> ()
+      | Some check -> (
+          match check state with
+          | Ok () -> ()
+          | Error e -> fail "after pass %s: %s" p.name e));
+      (match observer with None -> () | Some f -> f p state);
+      ( state,
+        {
+          pass = p.name;
+          ran = true;
+          seconds;
+          nodes_before;
+          nodes_after = tree_nodes state;
+          depth_after = tree_depth state;
+        }
+        :: stats )
+    end
+  in
+  match List.fold_left run_one (state, []) passes with
+  | state, stats -> Ok (state, List.rev stats)
+  | exception Pass_error e -> Error e
+
+let report stats =
+  let buffer = Buffer.create 512 in
+  Buffer.add_string buffer
+    (Printf.sprintf "%-16s %-6s %10s %8s %8s %7s\n" "pass" "ran" "time(us)"
+       "nodes" "+nodes" "depth");
+  List.iter
+    (fun s ->
+      Buffer.add_string buffer
+        (Printf.sprintf "%-16s %-6s %10.1f %8d %+8d %7d\n" s.pass
+           (if s.ran then "yes" else "no")
+           (1e6 *. s.seconds) s.nodes_after
+           (s.nodes_after - s.nodes_before)
+           s.depth_after))
+    stats;
+  Buffer.contents buffer
+
+let total_seconds stats =
+  List.fold_left (fun acc s -> acc +. s.seconds) 0.0 stats

@@ -1,0 +1,100 @@
+(** Pass manager: the paper's transformation sequence as composable,
+    validated, instrumented passes.
+
+    Each paper section is one registered pass over the pipeline state —
+    [tile] (§3.1), [mesh_bind] (§3.2, Fig. 4b), [strip_mine] (Fig. 6),
+    [dma_insert] (§4), [rma_broadcast] (§5), [pipeline_hiding] (§6),
+    [fusion] (§7.3), [astgen] (§7.1–7.2) — with a uniform
+    [state -> state] signature. Optional passes are enabled by the
+    compilation options ([relevant]), subsuming the per-optimization
+    toggles of the breakdown study; required passes always run. The runner
+    records per-pass wall-clock and schedule-tree size statistics and can
+    run a validator between every pass (debug mode) and invoke an observer
+    after each pass ([--dump-after]). *)
+
+open Sw_tree
+
+type state = {
+  spec : Spec.t;  (** padded problem *)
+  options : Options.t;
+  config : Sw_arch.Config.t;
+  tiles : Tile_model.t;
+  fusion : Spec.fusion;
+      (** fusion actually applied — [No_fusion] until the [fusion] pass
+          copies it from the spec *)
+  stmt : Stmt.t option;
+  batch_band : Tree.band option;
+  par_band : Tree.band option;  (** consumed by [mesh_bind] *)
+  block_band : Tree.band option;
+  coord_band : Tree.band option;
+  red_band : Tree.band option;
+  point_band : Tree.band option;
+  ko_band : Tree.band option;
+  l_band : Tree.band option;
+  chain : Tree.t option;  (** the reduced-dimension subtree under the C tile *)
+  tree : Tree.t option;  (** snapshot of the schedule tree after each pass *)
+  body : Sw_ast.Ast.block option;  (** generated AST, set by [astgen] *)
+}
+
+val init :
+  spec:Spec.t ->
+  options:Options.t ->
+  config:Sw_arch.Config.t ->
+  tiles:Tile_model.t ->
+  state
+
+type t = {
+  name : string;
+  section : string;  (** paper section implemented by the pass *)
+  descr : string;
+  required : bool;  (** cannot be disabled *)
+  relevant : state -> bool;
+      (** whether the options/spec call for this optional pass *)
+  run : state -> state;
+}
+
+exception Pass_error of string
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Pass_error}; a pass body's way to reject its input. *)
+
+val component : state -> (state -> 'a option) -> string -> 'a
+(** Fetch a state component a pass depends on, failing with a
+    missing-component {!Pass_error} naming [what] when absent. *)
+
+(* Registry *)
+
+val register : t -> unit
+(** Append to the global registry; raises [Invalid_argument] on a
+    duplicate name. The canonical pipeline is {!Pass_registry.pipeline}. *)
+
+val registered : unit -> t list
+val find : string -> t option
+
+(* Instrumented runner *)
+
+type stat = {
+  pass : string;
+  ran : bool;
+  seconds : float;
+  nodes_before : int;  (** schedule-tree nodes before the pass *)
+  nodes_after : int;
+  depth_after : int;
+}
+
+val run_pipeline :
+  ?validate:(state -> (unit, string) result) ->
+  ?observer:(t -> state -> unit) ->
+  t list ->
+  state ->
+  (state * stat list, string) result
+(** Run the passes in order. A pass executes when it is [required] or
+    [relevant]; skipped passes still appear in the statistics with
+    [ran = false]. When [validate] is given (debug mode) it runs after
+    every executed pass and a failure aborts the pipeline. [observer]
+    fires after every executed pass (dump hooks). *)
+
+val report : stat list -> string
+(** Fixed-width per-pass table: wall-clock, tree growth, depth. *)
+
+val total_seconds : stat list -> float

@@ -1,0 +1,25 @@
+(* §7.1–7.2: lower the final schedule tree to the athread AST, expanding
+   the micro-kernel marks to kernel calls (with the fused prologue when
+   requested). *)
+
+let run (st : Pass.state) =
+  let tree = Pass.component st (fun s -> s.Pass.tree) "schedule tree" in
+  let config = st.Pass.config in
+  match
+    Sw_ast.Codegen.generate_checked
+      ~marks:(Pass_common.marks st)
+      ~mesh:(config.Sw_arch.Config.mesh_rows, config.Sw_arch.Config.mesh_cols)
+      tree
+  with
+  | Ok body -> { st with Pass.body = Some body }
+  | Error e -> Pass.fail "code generation: %s" e
+
+let pass =
+  {
+    Pass.name = "astgen";
+    section = "7";
+    descr = "schedule tree to athread AST with micro-kernel marks";
+    required = true;
+    relevant = (fun _ -> true);
+    run;
+  }

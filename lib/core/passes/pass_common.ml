@@ -1,0 +1,644 @@
+(* Shared vocabulary of the GEMM pipeline passes: statement and buffer
+   inventories, the tile geometry, DMA/RMA payload constructors (§4, §5),
+   the software-pipelined inner subtree (§6), C-tile region assembly and
+   the snapshot function that renders the partial pipeline state as a
+   schedule tree after every pass ([--dump-after]). Moved here from the
+   former build.ml monolith; the per-section passes in this directory are
+   thin drivers over these builders. *)
+
+open Sw_poly
+open Sw_tree
+
+(* Short-hands over quasi-affine trees. *)
+let v = Aff.var
+let c = Aff.const
+let ( +: ) = Aff.add
+let ( *: ) = Aff.mul
+let fd = Aff.fdiv
+let fm = Aff.fmod
+
+let gemm_stmt (spec : Spec.t) =
+  let batched = spec.Spec.batch <> None in
+  let iters = (if batched then [ "b" ] else []) @ [ "i"; "j"; "k" ] in
+  let domain = Bset.universe ~params:[] ~dims:iters in
+  let bound t (d, hi) =
+    Bset.constrain_range t d ~lo:(Aff.const 0) ~hi:(Aff.const hi)
+  in
+  let domain =
+    List.fold_left bound domain
+      ((match spec.Spec.batch with Some b -> [ ("b", b) ] | None -> [])
+      @ [ ("i", spec.Spec.m); ("j", spec.Spec.n); ("k", spec.Spec.k) ])
+  in
+  let pre = if batched then [ v "b" ] else [] in
+  let a_idx = if spec.Spec.ta then [ v "k"; v "i" ] else [ v "i"; v "k" ] in
+  let b_idx = if spec.Spec.tb then [ v "j"; v "k" ] else [ v "k"; v "j" ] in
+  Stmt.make ~name:"S1" ~iters ~domain
+    ~accesses:
+      [
+        Access.write "C" (pre @ [ v "i"; v "j" ]);
+        Access.read "C" (pre @ [ v "i"; v "j" ]);
+        Access.read "A" (pre @ a_idx);
+        Access.read "B" (pre @ b_idx);
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Buffer and reply names                                               *)
+(* ------------------------------------------------------------------ *)
+
+let buf_c = "ldm_C"
+let buf_a = "ldm_A"
+let buf_b = "ldm_B"
+let buf_bca = "ldm_bcA"
+let buf_bcb = "ldm_bcB"
+
+let replies (o : Options.t) =
+  [ "rCg"; "rCp"; "rA"; "rB" ]
+  @ if o.Options.use_rma then [ "rAs"; "rAr"; "rBs"; "rBr" ] else []
+
+(* SPM tiles keep the storage order of the transferred region: a
+   transposed operand's tile is stored transposed and the micro kernel
+   reads it accordingly. *)
+let a_tile_shape (spec : Spec.t) (t : Tile_model.t) =
+  if spec.Spec.ta then (t.Tile_model.tk, t.Tile_model.tm)
+  else (t.Tile_model.tm, t.Tile_model.tk)
+
+let b_tile_shape (spec : Spec.t) (t : Tile_model.t) =
+  if spec.Spec.tb then (t.Tile_model.tn, t.Tile_model.tk)
+  else (t.Tile_model.tk, t.Tile_model.tn)
+
+let spm_decls (spec : Spec.t) (o : Options.t) (t : Tile_model.t) =
+  let copies = if o.Options.hiding then 2 else 1 in
+  let d name (rows, cols) copies = { Sw_ast.Ast.buf_name = name; rows; cols; copies } in
+  [ d buf_c (t.Tile_model.tm, t.Tile_model.tn) 1 ]
+  @ [
+      d buf_a (a_tile_shape spec t) copies;
+      d buf_b (b_tile_shape spec t) copies;
+    ]
+  @
+  if o.Options.use_rma then
+    [
+      d buf_bca (a_tile_shape spec t) copies;
+      d buf_bcb (b_tile_shape spec t) copies;
+    ]
+  else []
+
+let arrays (spec : Spec.t) =
+  let pre = match spec.Spec.batch with Some b -> [ b ] | None -> [] in
+  let a_dims =
+    if spec.Spec.ta then [ spec.Spec.k; spec.Spec.m ]
+    else [ spec.Spec.m; spec.Spec.k ]
+  in
+  let b_dims =
+    if spec.Spec.tb then [ spec.Spec.n; spec.Spec.k ]
+    else [ spec.Spec.k; spec.Spec.n ]
+  in
+  [
+    { Sw_ast.Ast.array_name = "A"; dims = pre @ a_dims };
+    { Sw_ast.Ast.array_name = "B"; dims = pre @ b_dims };
+    { Sw_ast.Ast.array_name = "C"; dims = pre @ [ spec.Spec.m; spec.Spec.n ] };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Extension payloads (§4, §5)                                          *)
+(* ------------------------------------------------------------------ *)
+
+type geom = {
+  spec : Spec.t;
+  opts : Options.t;
+  tiles : Tile_model.t;
+  batch : Aff.t option;
+  c_row : Aff.t;  (* first C row of this CPE's tile: mesh_m*bi + tm*ti *)
+  c_col : Aff.t;
+}
+
+let make_geom spec opts (tiles : Tile_model.t) =
+  {
+    spec;
+    opts;
+    tiles;
+    batch = (match spec.Spec.batch with Some _ -> Some (v "b") | None -> None);
+    c_row = (tiles.Tile_model.mesh_m *: v "bi") +: (tiles.Tile_model.tm *: v "ti");
+    c_col = (tiles.Tile_model.mesh_n *: v "bj") +: (tiles.Tile_model.tn *: v "tj");
+  }
+
+let geom_of (st : Pass.state) =
+  make_geom st.Pass.spec st.Pass.options st.Pass.tiles
+
+let dma_c g ~put =
+  let d =
+    {
+      Comm.array = "C";
+      spm = Comm.buf buf_c;
+      batch = g.batch;
+      row_lo = g.c_row;
+      col_lo = g.c_col;
+      rows = g.tiles.Tile_model.tm;
+      cols = g.tiles.Tile_model.tn;
+      reply = (if put then "rCp" else "rCg");
+      reply_parity = None;
+    }
+  in
+  if put then Comm.Dma_put d else Comm.Dma_get d
+
+(* A-tile DMA share of this CPE for outer iteration [ko_expr] (Eq. 1 of the
+   paper): rows follow the CPE's mesh row, columns are the k-chunk this
+   CPE's mesh column owns within the panel. Without RMA the chunk index is
+   the plain reduced loop. *)
+let dma_a g ~ko_expr ~chunk ~par =
+  let k_lo = (g.tiles.Tile_model.panel_k *: ko_expr) +: (g.tiles.Tile_model.tk *: chunk) in
+  let rows, cols = a_tile_shape g.spec g.tiles in
+  let row_lo, col_lo =
+    if g.spec.Spec.ta then (k_lo, g.c_row) else (g.c_row, k_lo)
+  in
+  Comm.Dma_get
+    {
+      Comm.array = "A";
+      spm = Comm.buf ?parity:par buf_a;
+      batch = g.batch;
+      row_lo;
+      col_lo;
+      rows;
+      cols;
+      reply = "rA";
+      reply_parity = par;
+    }
+
+let dma_b g ~ko_expr ~chunk ~par =
+  let k_lo = (g.tiles.Tile_model.panel_k *: ko_expr) +: (g.tiles.Tile_model.tk *: chunk) in
+  let rows, cols = b_tile_shape g.spec g.tiles in
+  let row_lo, col_lo =
+    if g.spec.Spec.tb then (g.c_col, k_lo) else (k_lo, g.c_col)
+  in
+  Comm.Dma_get
+    {
+      Comm.array = "B";
+      spm = Comm.buf ?parity:par buf_b;
+      batch = g.batch;
+      row_lo;
+      col_lo;
+      rows;
+      cols;
+      reply = "rB";
+      reply_parity = par;
+    }
+
+let wait reply par = Comm.Wait { reply; reply_parity = par }
+
+let rma g ~dir ~root ~src_par ~dst_par =
+  let src_buf, dst_buf, (rows, cols), rs, rr =
+    match dir with
+    | `Row -> (buf_a, buf_bca, a_tile_shape g.spec g.tiles, "rAs", "rAr")
+    | `Col -> (buf_b, buf_bcb, b_tile_shape g.spec g.tiles, "rBs", "rBr")
+  in
+  Comm.Rma_bcast
+    {
+      Comm.dir;
+      src = Comm.buf ?parity:src_par src_buf;
+      dst = Comm.buf ?parity:dst_par dst_buf;
+      rows;
+      cols;
+      root;
+      reply_s = rs;
+      reply_r = rr;
+      reply_parity = dst_par;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Tree assembly                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let ext name comm = { Tree.ext_name = name; comm }
+let f ?preds stmts = Tree.filter ?preds stmts
+let fleaf name = (f [ name ], Tree.leaf)
+
+(* Iterator-level predicates used by loop peeling (§6.2). *)
+let ko_of_k g = fd (v "k") g.tiles.Tile_model.panel_k
+let l_of_k g =
+  Aff.sub (fd (v "k") g.tiles.Tile_model.tk)
+    (g.tiles.Tile_model.mesh *: fd (v "k") g.tiles.Tile_model.panel_k)
+
+(* The point band wrapped in the micro-kernel mark (§7.2). *)
+let point_subtree (point_band : Tree.band) ~mark_name =
+  Tree.mark mark_name (Tree.Band (point_band, Tree.leaf))
+
+(* The RMA-pipelined inner subtree for one outer iteration [ko] (always the
+   loop variable "ko" of the enclosing branch band). [suffix] keeps the
+   auxiliary statement names of the two replicated instances distinct
+   (DMA-SUBTREE / RMA-SUBTREE replication in Fig. 11); [prefetch] appends
+   the waits for the next DMA panel at the last inner step. *)
+let inner_pipeline g ~(l_band : Tree.band) ~point_band ~suffix ~prefetch =
+  let p = g.tiles.Tile_model.mesh in
+  let dma_par e = if g.opts.Options.hiding then Some (fm e 2) else None in
+  let src_par = dma_par (v "ko") in
+  let mark_name = "micro_kernel:pipe" in
+  if not g.opts.Options.hiding then
+    (* §5 without §6: broadcast then compute, fully sequential. *)
+    let n s = s ^ suffix in
+    Tree.Band
+      ( l_band,
+        Tree.extension
+          [
+            ext (n "sync") Comm.Sync;
+            ext (n "rbA") (rma g ~dir:`Row ~root:(v "tkt") ~src_par:None ~dst_par:None);
+            ext (n "cbB") (rma g ~dir:`Col ~root:(v "tkt") ~src_par:None ~dst_par:None);
+            ext (n "wAs") (wait "rAs" None);
+            ext (n "wAr") (wait "rAr" None);
+            ext (n "wBs") (wait "rBs" None);
+            ext (n "wBr") (wait "rBr" None);
+          ]
+          (Tree.sequence
+             [
+               fleaf (n "sync");
+               fleaf (n "rbA");
+               fleaf (n "cbB");
+               fleaf (n "wAs");
+               fleaf (n "wAr");
+               fleaf (n "wBs");
+               fleaf (n "wBr");
+               (f [ "S1" ], point_subtree point_band ~mark_name:"micro_kernel:rma0");
+             ]) )
+  else
+    let n s = s ^ suffix in
+    let next = v "tkt" +: c 1 in
+    let next_par = Some (fm next 2) in
+    let prologue =
+      (* l = 0: broadcast the first chunk and wait for it (the x=0 row of
+         Fig. 11, issue and reply scheduled together). *)
+      ( f
+          ~preds:[ Pred.eq (l_of_k g) (c 0) ]
+          [ "S1" ],
+        Tree.Band
+          ( l_band,
+            Tree.extension
+              [
+                ext (n "sync0") Comm.Sync;
+                ext (n "rbA0")
+                  (rma g ~dir:`Row ~root:(v "tkt") ~src_par
+                     ~dst_par:(Some (fm (v "tkt") 2)));
+                ext (n "cbB0")
+                  (rma g ~dir:`Col ~root:(v "tkt") ~src_par
+                     ~dst_par:(Some (fm (v "tkt") 2)));
+                ext (n "wAs0") (wait "rAs" (Some (fm (v "tkt") 2)));
+                ext (n "wAr0") (wait "rAr" (Some (fm (v "tkt") 2)));
+                ext (n "wBs0") (wait "rBs" (Some (fm (v "tkt") 2)));
+                ext (n "wBr0") (wait "rBr" (Some (fm (v "tkt") 2)));
+              ]
+              (Tree.sequence
+                 [
+                   fleaf (n "sync0");
+                   fleaf (n "rbA0");
+                   fleaf (n "cbB0");
+                   fleaf (n "wAs0");
+                   fleaf (n "wAr0");
+                   fleaf (n "wBs0");
+                   fleaf (n "wBr0");
+                 ]) ) )
+    in
+    let steady =
+      (* 0 <= l <= P-2: issue the broadcast of l+1, compute l, then wait for
+         l+1's replies (reply indicators separated by peeling, §6.2). *)
+      ( f
+          ~preds:[ Pred.le (l_of_k g) (c (p - 2)) ]
+          [ "S1" ],
+        Tree.Band
+          ( l_band,
+            Tree.extension
+              [
+                ext (n "syncN") Comm.Sync;
+                ext (n "rbAN") (rma g ~dir:`Row ~root:next ~src_par ~dst_par:next_par);
+                ext (n "cbBN") (rma g ~dir:`Col ~root:next ~src_par ~dst_par:next_par);
+                ext (n "wAsN") (wait "rAs" next_par);
+                ext (n "wArN") (wait "rAr" next_par);
+                ext (n "wBsN") (wait "rBs" next_par);
+                ext (n "wBrN") (wait "rBr" next_par);
+              ]
+              (Tree.sequence
+                 [
+                   fleaf (n "syncN");
+                   fleaf (n "rbAN");
+                   fleaf (n "cbBN");
+                   (f [ "S1" ], point_subtree point_band ~mark_name);
+                   fleaf (n "wAsN");
+                   fleaf (n "wArN");
+                   fleaf (n "wBsN");
+                   fleaf (n "wBrN");
+                 ]) ) )
+    in
+    let last =
+      (* l = P-1: compute only; when a DMA prefetch for ko+1 is in flight,
+         its reply indicators land here (the "l = 7" filter of Fig. 11). *)
+      let dma_next_par = dma_par (v "ko" +: c 1) in
+      let waits =
+        if prefetch then
+          [ ext (n "wDA") (wait "rA" dma_next_par); ext (n "wDB") (wait "rB" dma_next_par) ]
+        else []
+      in
+      ( f
+          ~preds:[ Pred.ge (l_of_k g) (c (p - 1)) ]
+          [ "S1" ],
+        Tree.Band
+          ( l_band,
+            Tree.extension waits
+              (Tree.sequence
+                 ((f [ "S1" ], point_subtree point_band ~mark_name)
+                 :: (if prefetch then [ fleaf (n "wDA"); fleaf (n "wDB") ] else [])
+                 )) ) )
+    in
+    Tree.sequence [ prologue; steady; last ]
+
+(* ------------------------------------------------------------------ *)
+(* Chain builders: the three shapes of the reduced-dimension subtree.    *)
+(* ------------------------------------------------------------------ *)
+
+(* §4 only: per k-step DMA of this CPE's own A and B tiles. The share
+   index along k is the plain reduced tile loop. *)
+let chain_simple g ~(red_band : Tree.band) ~point_band =
+  Tree.Band
+    ( red_band,
+      Tree.extension
+        [
+          ext "getA" (dma_a g ~ko_expr:(c 0) ~chunk:(v "tkt") ~par:None);
+          ext "getB" (dma_b g ~ko_expr:(c 0) ~chunk:(v "tkt") ~par:None);
+          ext "wA" (wait "rA" None);
+          ext "wB" (wait "rB" None);
+        ]
+        (Tree.sequence
+           [
+             fleaf "getA";
+             fleaf "getB";
+             fleaf "wA";
+             fleaf "wB";
+             (f [ "S1" ], point_subtree point_band ~mark_name:"micro_kernel:simple");
+           ]) )
+
+(* §4 under the RMA decomposition, before §5 runs: DMA the panel share
+   owned by this CPE; the inner compute still reads the local (not yet
+   broadcast) tiles. The rma_broadcast pass rewrites the inner subtree. *)
+let chain_dma_panel g ~(ko_band : Tree.band) ~(l_band : Tree.band) ~point_band =
+  Tree.Band
+    ( ko_band,
+      Tree.extension
+        [
+          ext "getA" (dma_a g ~ko_expr:(v "ko") ~chunk:(v "tj") ~par:None);
+          ext "getB" (dma_b g ~ko_expr:(v "ko") ~chunk:(v "ti") ~par:None);
+          ext "wA" (wait "rA" None);
+          ext "wB" (wait "rB" None);
+        ]
+        (Tree.sequence
+           [
+             fleaf "getA";
+             fleaf "getB";
+             fleaf "wA";
+             fleaf "wB";
+             ( f [ "S1" ],
+               Tree.Band
+                 (l_band, point_subtree point_band ~mark_name:"micro_kernel:local")
+             );
+           ]) )
+
+(* §5 without §6: DMA the panel share, then broadcast sequentially. The
+   hiding flag is forced off so the dumped intermediate tree shows the
+   sequential stage even when pipeline_hiding will rewrite it next. *)
+let chain_rma_sequential g ~(ko_band : Tree.band) ~(l_band : Tree.band)
+    ~point_band =
+  let g = { g with opts = { g.opts with Options.hiding = false } } in
+  Tree.Band
+    ( ko_band,
+      Tree.extension
+        [
+          ext "getA" (dma_a g ~ko_expr:(v "ko") ~chunk:(v "tj") ~par:None);
+          ext "getB" (dma_b g ~ko_expr:(v "ko") ~chunk:(v "ti") ~par:None);
+          ext "wA" (wait "rA" None);
+          ext "wB" (wait "rB" None);
+        ]
+        (Tree.sequence
+           [
+             fleaf "getA";
+             fleaf "getB";
+             fleaf "wA";
+             fleaf "wB";
+             ( f [ "S1" ],
+               inner_pipeline g ~l_band ~point_band ~suffix:"" ~prefetch:false
+             );
+           ]) )
+
+(* §6: two-level software pipeline (Fig. 11). *)
+let chain_pipelined g ~(ko_band : Tree.band) ~(l_band : Tree.band) ~point_band =
+  let par e = Some (fm e 2) in
+  let prologue =
+    ( f ~preds:[ Pred.eq (ko_of_k g) (c 0) ] [ "S1" ],
+      Tree.Band
+        ( ko_band,
+          Tree.extension
+            [
+              ext "getA0" (dma_a g ~ko_expr:(v "ko") ~chunk:(v "tj") ~par:(par (v "ko")));
+              ext "getB0" (dma_b g ~ko_expr:(v "ko") ~chunk:(v "ti") ~par:(par (v "ko")));
+              ext "wA0" (wait "rA" (par (v "ko")));
+              ext "wB0" (wait "rB" (par (v "ko")));
+            ]
+            (Tree.sequence
+               [ fleaf "getA0"; fleaf "getB0"; fleaf "wA0"; fleaf "wB0" ]) ) )
+  in
+  let steady =
+    ( f
+        ~preds:[ Pred.le (ko_of_k g) (c (g.tiles.Tile_model.nko - 2)) ]
+        [ "S1" ],
+      Tree.Band
+        ( ko_band,
+          Tree.extension
+            [
+              ext "getAN"
+                (dma_a g ~ko_expr:(v "ko" +: c 1) ~chunk:(v "tj")
+                   ~par:(par (v "ko" +: c 1)));
+              ext "getBN"
+                (dma_b g ~ko_expr:(v "ko" +: c 1) ~chunk:(v "ti")
+                   ~par:(par (v "ko" +: c 1)));
+            ]
+            (Tree.sequence
+               [
+                 fleaf "getAN";
+                 fleaf "getBN";
+                 ( f [ "S1" ],
+                   inner_pipeline g ~l_band ~point_band ~suffix:"s"
+                     ~prefetch:true );
+               ]) ) )
+  in
+  let last =
+    ( f
+        ~preds:[ Pred.ge (ko_of_k g) (c (g.tiles.Tile_model.nko - 1)) ]
+        [ "S1" ],
+      Tree.Band
+        ( ko_band,
+          inner_pipeline g ~l_band ~point_band ~suffix:"t" ~prefetch:false
+        ) )
+  in
+  Tree.sequence [ prologue; steady; last ]
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot: partial pipeline state -> schedule tree                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The C-tile region: get/scale, the reduced chain, act/put (Fig. 9). The
+   epilogue extension appears only once the fusion pass has copied the
+   spec's fusion request into the state. *)
+let c_region (st : Pass.state) chain =
+  let g = geom_of st in
+  let tiles = st.Pass.tiles in
+  let spec = st.Pass.spec in
+  let c_exts =
+    [ ext "getC" (dma_c g ~put:false); ext "wCg" (wait "rCg" None) ]
+    @ (if spec.Spec.beta <> 1.0 then
+         [
+           ext "scaleC"
+             (Comm.Spm_map
+                {
+                  target = Comm.buf buf_c;
+                  rows = tiles.Tile_model.tm;
+                  cols = tiles.Tile_model.tn;
+                  fn = Printf.sprintf "scale:%.17g" spec.Spec.beta;
+                });
+         ]
+       else [])
+    @ (match st.Pass.fusion with
+      | Spec.Epilogue fn ->
+          [
+            ext "actC"
+              (Comm.Spm_map
+                 {
+                   target = Comm.buf buf_c;
+                   rows = tiles.Tile_model.tm;
+                   cols = tiles.Tile_model.tn;
+                   fn;
+                 });
+          ]
+      | Spec.No_fusion | Spec.Prologue _ -> [])
+    @ [ ext "putC" (dma_c g ~put:true); ext "wCp" (wait "rCp" None) ]
+  in
+  Tree.extension c_exts
+    (Tree.sequence
+       ([ fleaf "getC"; fleaf "wCg" ]
+       @ (if spec.Spec.beta <> 1.0 then
+            [ fleaf "scaleC" ]
+          else [])
+       @ [ (f [ "S1" ], chain) ]
+       @ (match st.Pass.fusion with
+         | Spec.Epilogue _ -> [ fleaf "actC" ]
+         | Spec.No_fusion | Spec.Prologue _ -> [])
+       @ [ fleaf "putC"; fleaf "wCp" ]))
+
+(* Render the partial state as a schedule tree: the compute decomposition
+   so far with a bare micro-kernel mark while communication has not been
+   inserted, the full C-tile region once it has. *)
+let snapshot (st : Pass.state) =
+  match st.Pass.stmt with
+  | None -> None
+  | Some stmt ->
+      let core =
+        match st.Pass.chain with
+        | Some chain -> Some (c_region st chain)
+        | None -> (
+            match st.Pass.point_band with
+            | None -> None
+            | Some point_band ->
+                let inner = point_subtree point_band ~mark_name:"micro_kernel" in
+                let kpart =
+                  match (st.Pass.ko_band, st.Pass.l_band) with
+                  | Some ko, Some l -> Tree.Band (ko, Tree.Band (l, inner))
+                  | _ -> (
+                      match st.Pass.red_band with
+                      | Some red -> Tree.Band (red, inner)
+                      | None -> inner)
+                in
+                Some kpart)
+      in
+      (match core with
+      | None -> None
+      | Some core ->
+          let body =
+            match (st.Pass.block_band, st.Pass.coord_band) with
+            | Some block, Some coord -> Tree.Band (block, Tree.Band (coord, core))
+            | _ -> (
+                match st.Pass.par_band with
+                | Some par -> Tree.Band (par, core)
+                | None -> core)
+          in
+          let body =
+            match st.Pass.batch_band with
+            | Some b -> Tree.Band (b, body)
+            | None -> body
+          in
+          Some (Tree.domain [ stmt ] body))
+
+let finalize st = { st with Pass.tree = snapshot st }
+
+(* ------------------------------------------------------------------ *)
+(* Mark expansion (§7.2, §7.3)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let marks (st : Pass.state) name =
+  let spec = st.Pass.spec in
+  let opts = st.Pass.options in
+  let tiles = st.Pass.tiles in
+  let style = if opts.Options.use_asm then Comm.Asm else Comm.Naive in
+  let kernel ~a ~b =
+    Comm.Kernel
+      {
+        Comm.c = Comm.buf buf_c;
+        a;
+        b;
+        m = tiles.Tile_model.tm;
+        n = tiles.Tile_model.tn;
+        k = tiles.Tile_model.tk;
+        alpha = spec.Spec.alpha;
+        accumulate = true;
+        ta = spec.Spec.ta;
+        tb = spec.Spec.tb;
+        style;
+      }
+  in
+  let a_rows, a_cols = a_tile_shape spec tiles in
+  let with_prologue ~a block =
+    match st.Pass.fusion with
+    | Spec.Prologue fn ->
+        Sw_ast.Ast.Op
+          (Comm.Spm_map
+             { target = a; rows = a_rows; cols = a_cols; fn })
+        :: block
+    | Spec.No_fusion | Spec.Epilogue _ -> block
+  in
+  match name with
+  | "micro_kernel:simple" | "micro_kernel:local" ->
+      let a = Comm.buf buf_a and b = Comm.buf buf_b in
+      Some (with_prologue ~a [ Sw_ast.Ast.Op (kernel ~a ~b) ])
+  | "micro_kernel:rma0" ->
+      let a = Comm.buf buf_bca and b = Comm.buf buf_bcb in
+      Some (with_prologue ~a [ Sw_ast.Ast.Op (kernel ~a ~b) ])
+  | "micro_kernel:pipe" ->
+      let par = Aff.fmod (Aff.var "tkt") 2 in
+      let a = Comm.buf ~parity:par buf_bca and b = Comm.buf ~parity:par buf_bcb in
+      Some (with_prologue ~a [ Sw_ast.Ast.Op (kernel ~a ~b) ])
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Invariant hook (debug mode)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let invariant_buffers (st : Pass.state) =
+  List.map
+    (fun (d : Sw_ast.Ast.spm_decl) ->
+      {
+        Invariant.buf = d.Sw_ast.Ast.buf_name;
+        rows = d.Sw_ast.Ast.rows;
+        cols = d.Sw_ast.Ast.cols;
+        copies = d.Sw_ast.Ast.copies;
+      })
+    (spm_decls st.Pass.spec st.Pass.options st.Pass.tiles)
+
+let check_invariants (st : Pass.state) =
+  match st.Pass.tree with
+  | None -> Ok ()
+  | Some tree ->
+      Invariant.check
+        ~buffers:(invariant_buffers st)
+        ~replies:(replies st.Pass.options)
+        ~spm_capacity:st.Pass.config.Sw_arch.Config.spm_bytes tree

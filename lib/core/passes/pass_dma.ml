@@ -1,0 +1,30 @@
+(* §4: insert the DMA transfers. The C tile is fetched/written once per
+   C-tile region (assembled by the snapshot); here we build the
+   reduced-dimension chain with the A/B tile transfers. Without RMA each
+   CPE fetches its own tiles every k step; with RMA it fetches only its
+   panel share and the compute still reads the local tiles until the
+   broadcast pass rewrites the inner subtree. *)
+
+let run (st : Pass.state) =
+  let g = Pass_common.geom_of st in
+  let point_band = Pass.component st (fun s -> s.Pass.point_band) "point band" in
+  let chain =
+    if st.Pass.options.Options.use_rma then
+      let ko_band = Pass.component st (fun s -> s.Pass.ko_band) "ko band" in
+      let l_band = Pass.component st (fun s -> s.Pass.l_band) "l band" in
+      Pass_common.chain_dma_panel g ~ko_band ~l_band ~point_band
+    else
+      let red_band = Pass.component st (fun s -> s.Pass.red_band) "reduced band" in
+      Pass_common.chain_simple g ~red_band ~point_band
+  in
+  Pass_common.finalize { st with Pass.chain = Some chain }
+
+let pass =
+  {
+    Pass.name = "dma_insert";
+    section = "4";
+    descr = "DMA transfers for the C tile and the A/B chain";
+    required = true;
+    relevant = (fun _ -> true);
+    run;
+  }

@@ -1,0 +1,18 @@
+(* §7.3: operator fusion. Copies the spec's fusion request into the
+   pipeline state: an epilogue activation becomes an SPM map over the C
+   tile before the put-back (added by the C-region assembly), a prologue
+   becomes an SPM map over the A tile inside the micro-kernel mark
+   expansion. Disabling this pass compiles the unfused kernel. *)
+
+let run (st : Pass.state) =
+  Pass_common.finalize { st with Pass.fusion = st.Pass.spec.Spec.fusion }
+
+let pass =
+  {
+    Pass.name = "fusion";
+    section = "7.3";
+    descr = "fuse prologue/epilogue element-wise operators";
+    required = false;
+    relevant = (fun st -> st.Pass.spec.Spec.fusion <> Spec.No_fusion);
+    run;
+  }

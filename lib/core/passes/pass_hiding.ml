@@ -1,0 +1,23 @@
+(* §6 (Fig. 11): two-level latency hiding. The outer DMA pipeline peels
+   the panel loop into prologue / steady state / last iteration with
+   double-buffered prefetch of the next panel; the inner RMA pipeline
+   peels the chunk loop likewise. Rebuilds the chain wholesale in the
+   peeled form. *)
+
+let run (st : Pass.state) =
+  let g = Pass_common.geom_of st in
+  let point_band = Pass.component st (fun s -> s.Pass.point_band) "point band" in
+  let ko_band = Pass.component st (fun s -> s.Pass.ko_band) "ko band" in
+  let l_band = Pass.component st (fun s -> s.Pass.l_band) "l band" in
+  let chain = Pass_common.chain_pipelined g ~ko_band ~l_band ~point_band in
+  Pass_common.finalize { st with Pass.chain = Some chain }
+
+let pass =
+  {
+    Pass.name = "pipeline_hiding";
+    section = "6";
+    descr = "double-buffered DMA/RMA latency hiding (loop peeling)";
+    required = false;
+    relevant = (fun st -> st.Pass.options.Options.hiding);
+    run;
+  }

@@ -1,0 +1,33 @@
+(* §3.2 (Fig. 4b, Eq. 1): mesh-level blocking of the parallel tile band
+   and binding of the per-mesh coordinates to Rid/Cid so the bound members
+   contribute no loop. Consumes the parallel band produced by [tile]. *)
+
+open Sw_tree
+
+let run (st : Pass.state) =
+  let tiles = st.Pass.tiles in
+  let par_band = Pass.component st (fun s -> s.Pass.par_band) "parallel band" in
+  let block_band, coord_band =
+    Transform.tile par_band
+      ~sizes:[ tiles.Tile_model.mesh; tiles.Tile_model.mesh ]
+      ~names:[ "bi"; "bj" ]
+  in
+  let coord_band = Transform.bind coord_band ~var:"ti" Tree.Bind_rid in
+  let coord_band = Transform.bind coord_band ~var:"tj" Tree.Bind_cid in
+  Pass_common.finalize
+    {
+      st with
+      Pass.par_band = None;
+      block_band = Some block_band;
+      coord_band = Some coord_band;
+    }
+
+let pass =
+  {
+    Pass.name = "mesh_bind";
+    section = "3.2";
+    descr = "mesh blocking and Rid/Cid coordinate binding";
+    required = true;
+    relevant = (fun _ -> true);
+    run;
+  }

@@ -1,0 +1,19 @@
+(* The canonical pipeline, in paper order. The explicit list (rather than
+   per-module registration side effects) guarantees the pass modules are
+   linked from the library archive and fixes the order once. *)
+
+let pipeline =
+  [
+    Pass_tile.pass;
+    Pass_mesh_bind.pass;
+    Pass_strip_mine.pass;
+    Pass_dma.pass;
+    Pass_rma.pass;
+    Pass_hiding.pass;
+    Pass_fusion.pass;
+    Pass_astgen.pass;
+  ]
+
+let () = List.iter Pass.register pipeline
+
+let names = List.map (fun p -> p.Pass.name) pipeline

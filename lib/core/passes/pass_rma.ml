@@ -1,0 +1,21 @@
+(* §5: replace the per-CPE local compute with row/column RMA broadcasts of
+   the panel chunks, in the fully sequential form (broadcast, wait,
+   compute). The pipeline_hiding pass overlays the §6 schedule on top. *)
+
+let run (st : Pass.state) =
+  let g = Pass_common.geom_of st in
+  let point_band = Pass.component st (fun s -> s.Pass.point_band) "point band" in
+  let ko_band = Pass.component st (fun s -> s.Pass.ko_band) "ko band" in
+  let l_band = Pass.component st (fun s -> s.Pass.l_band) "l band" in
+  let chain = Pass_common.chain_rma_sequential g ~ko_band ~l_band ~point_band in
+  Pass_common.finalize { st with Pass.chain = Some chain }
+
+let pass =
+  {
+    Pass.name = "rma_broadcast";
+    section = "5";
+    descr = "row/column RMA broadcast of panel chunks";
+    required = false;
+    relevant = (fun st -> st.Pass.options.Options.use_rma);
+    run;
+  }

@@ -1,0 +1,31 @@
+(* Fig. 6: strip-mine the reduced tile loop by the mesh width, producing
+   the panel loop [ko] and keeping [tkt] as the within-panel chunk index
+   owned by one mesh column. Only meaningful when the RMA decomposition is
+   on — without it the reduced band feeds the per-CPE DMA chain directly. *)
+
+open Sw_tree
+
+let run (st : Pass.state) =
+  let tiles = st.Pass.tiles in
+  let red_band = Pass.component st (fun s -> s.Pass.red_band) "reduced band" in
+  let ko_band, l_band =
+    Transform.strip_mine red_band ~var:"tkt" ~factor:tiles.Tile_model.mesh
+      ~outer:"ko"
+  in
+  Pass_common.finalize
+    {
+      st with
+      Pass.red_band = None;
+      ko_band = Some ko_band;
+      l_band = Some l_band;
+    }
+
+let pass =
+  {
+    Pass.name = "strip_mine";
+    section = "3.2";
+    descr = "strip-mine the reduced loop by the mesh width";
+    required = false;
+    relevant = (fun st -> st.Pass.options.Options.use_rma);
+    run;
+  }

@@ -1,0 +1,50 @@
+(* §3.1 (Figs 2–4a): build the initial schedule tree of the (batched) GEMM
+   loop nest, isolate the batch dimension, tile to the micro-kernel shape
+   and split the tile band into its parallel (ti, tj) and reduced (tkt)
+   parts. *)
+
+open Sw_tree
+
+let run (st : Pass.state) =
+  let spec = st.Pass.spec in
+  let tiles = st.Pass.tiles in
+  let stmt = Pass_common.gemm_stmt spec in
+  let initial = Tree.initial [ stmt ] in
+  let band0 =
+    match initial with
+    | Tree.Domain (_, Tree.Band (b, Tree.Leaf)) -> b
+    | _ -> Pass.fail "unexpected initial schedule tree shape"
+  in
+  (* Fig. 3: isolate the batch dimension. *)
+  let batch_band, gemm_band =
+    if spec.Spec.batch <> None then
+      let b, rest = Transform.split_off band0 ~var:"b" in
+      (Some b, rest)
+    else (None, band0)
+  in
+  (* Fig. 4a: tile to the micro-kernel shape configuration. *)
+  let tile_band, point_band =
+    Transform.tile gemm_band
+      ~sizes:[ tiles.Tile_model.tm; tiles.Tile_model.tn; tiles.Tile_model.tk ]
+      ~names:[ "ti"; "tj"; "tkt" ]
+  in
+  let par_band, red_band = Transform.split tile_band ~at:2 in
+  Pass_common.finalize
+    {
+      st with
+      Pass.stmt = Some stmt;
+      batch_band;
+      par_band = Some par_band;
+      red_band = Some red_band;
+      point_band = Some point_band;
+    }
+
+let pass =
+  {
+    Pass.name = "tile";
+    section = "3.1";
+    descr = "initial tree, batch split, micro-kernel tiling";
+    required = true;
+    relevant = (fun _ -> true);
+    run;
+  }

@@ -1,0 +1,50 @@
+type 'a t = {
+  capacity : int;
+  table : (string, 'a) Hashtbl.t;
+  mutable order : string list;  (* insertion order, oldest first *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type stats = { hits : int; misses : int; entries : int }
+
+let create ?(capacity = 64) () =
+  if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be positive";
+  { capacity; table = Hashtbl.create capacity; order = []; hits = 0; misses = 0 }
+
+(* The key must change whenever anything the pipeline reads changes: the
+   requested problem, the enabled optimizations and the machine model are
+   all plain data, so a digest of their marshalled image is exact. *)
+let key ~spec ~options ~(config : Sw_arch.Config.t) =
+  Digest.to_hex (Digest.string (Marshal.to_string (spec, options, config) []))
+
+let find_or_add t ~key:k produce =
+  match Hashtbl.find_opt t.table k with
+  | Some plan ->
+      t.hits <- t.hits + 1;
+      plan
+  | None ->
+      t.misses <- t.misses + 1;
+      let plan = produce () in
+      if not (Hashtbl.mem t.table k) then begin
+        if List.length t.order >= t.capacity then
+          (match t.order with
+          | oldest :: rest ->
+              Hashtbl.remove t.table oldest;
+              t.order <- rest
+          | [] -> ());
+        Hashtbl.add t.table k plan;
+        t.order <- t.order @ [ k ]
+      end;
+      plan
+
+let mem t k = Hashtbl.mem t.table k
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.order <- [];
+  t.hits <- 0;
+  t.misses <- 0
+
+let stats (t : 'a t) =
+  { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.table }

@@ -1,0 +1,29 @@
+(** Compilation plan cache.
+
+    Compiling a spec is deterministic in (spec, options, machine model), so
+    repeated compilations — the autotuner sweeping shapes, a batched
+    workload re-emitting the same kernel, the breakdown study — can reuse
+    the finished plan. The cache is a bounded FIFO keyed by a digest of the
+    three inputs; {!Compile.compile} consults it when given one. *)
+
+type 'a t
+
+type stats = { hits : int; misses : int; entries : int }
+
+val create : ?capacity:int -> unit -> 'a t
+(** FIFO-evicting cache holding at most [capacity] (default 64) plans.
+    Raises [Invalid_argument] when [capacity <= 0]. *)
+
+val key : spec:Spec.t -> options:Options.t -> config:Sw_arch.Config.t -> string
+(** Digest of the marshalled (spec, options, config) triple. Any change to
+    the requested problem, the enabled optimizations or the machine model
+    produces a different key. *)
+
+val find_or_add : 'a t -> key:string -> (unit -> 'a) -> 'a
+(** Return the cached plan for [key], or run the producer, cache its
+    result (evicting the oldest entry when full) and return it. A producer
+    that raises caches nothing. *)
+
+val mem : 'a t -> string -> bool
+val clear : 'a t -> unit
+val stats : 'a t -> stats

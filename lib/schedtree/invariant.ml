@@ -1,0 +1,83 @@
+(* Inter-pass well-formedness checks over schedule trees.
+
+   Tree.validate covers the structural rules every tree must obey; this
+   module adds the invariants the compilation pipeline must preserve from
+   one pass to the next: tiling may not destroy the permutability the
+   dependence analysis established, communication payloads may only name
+   SPM buffers and reply counters that are actually declared for the
+   program, and the declared buffers must fit the SPM. The pass manager
+   runs [check] between every pass in debug mode. *)
+
+type buffer = { buf : string; rows : int; cols : int; copies : int }
+
+let ( let* ) = Result.bind
+let error fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* SPM buffers and reply counters a communication payload references. *)
+let comm_refs (c : Comm.t) =
+  match c with
+  | Comm.Dma_get d | Comm.Dma_put d -> ([ d.Comm.spm ], [ d.Comm.reply ])
+  | Comm.Rma_bcast r ->
+      ([ r.Comm.src; r.Comm.dst ], [ r.Comm.reply_s; r.Comm.reply_r ])
+  | Comm.Wait w -> ([], [ w.reply ])
+  | Comm.Sync -> ([], [])
+  | Comm.Spm_map s -> ([ s.target ], [])
+  | Comm.Kernel k -> ([ k.Comm.c; k.Comm.a; k.Comm.b ], [])
+
+let check_permutability t =
+  Tree.fold
+    (fun acc node ->
+      let* () = acc in
+      match node with
+      | Tree.Band (b, _)
+        when List.length b.Tree.members > 1 && not b.Tree.permutable ->
+          error "band (%s) lost permutability"
+            (String.concat ", "
+               (List.map (fun m -> m.Tree.var) b.Tree.members))
+      | _ -> Ok ())
+    (Ok ()) t
+
+let check_buffers ~buffers ~replies t =
+  let declared name = List.exists (fun b -> String.equal b.buf name) buffers in
+  List.fold_left
+    (fun acc (e : Tree.ext) ->
+      let* () = acc in
+      let bufs, reps = comm_refs e.Tree.comm in
+      let* () =
+        List.fold_left
+          (fun acc (b : Comm.buf) ->
+            let* () = acc in
+            if declared b.Comm.base then Ok ()
+            else
+              error "extension %s references undeclared SPM buffer %s"
+                e.Tree.ext_name b.Comm.base)
+          (Ok ()) bufs
+      in
+      List.fold_left
+        (fun acc r ->
+          let* () = acc in
+          if List.mem r replies then Ok ()
+          else
+            error "extension %s references undeclared reply counter %s"
+              e.Tree.ext_name r)
+        (Ok ()) reps)
+    (Ok ()) (Tree.exts t)
+
+let footprint_bytes buffers =
+  List.fold_left (fun acc b -> acc + (8 * b.rows * b.cols * b.copies)) 0 buffers
+
+let check ?buffers ?(replies = []) ?spm_capacity t =
+  let* () = Tree.validate t in
+  let* () = check_permutability t in
+  let* () =
+    match buffers with
+    | None -> Ok ()
+    | Some buffers -> check_buffers ~buffers ~replies t
+  in
+  match (buffers, spm_capacity) with
+  | Some buffers, Some cap ->
+      let bytes = footprint_bytes buffers in
+      if bytes > cap then
+        error "SPM footprint %d bytes exceeds the %d-byte capacity" bytes cap
+      else Ok ()
+  | _ -> Ok ()

@@ -134,6 +134,76 @@ let map_children f = function
   | Mark (m, c) -> Mark (m, f c)
   | Leaf -> Leaf
 
+(* ------------------------------------------------------------------ *)
+(* Tree statistics (pass instrumentation)                               *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  nodes : int;
+  depth : int;
+  bands : int;
+  band_members : int;
+  sequences : int;
+  filters : int;
+  extensions : int;
+  ext_stmts : int;
+  marks : int;
+  leaves : int;
+}
+
+let empty_stats =
+  {
+    nodes = 0;
+    depth = 0;
+    bands = 0;
+    band_members = 0;
+    sequences = 0;
+    filters = 0;
+    extensions = 0;
+    ext_stmts = 0;
+    marks = 0;
+    leaves = 0;
+  }
+
+let stats t =
+  let rec go d acc t =
+    let acc = { acc with nodes = acc.nodes + 1; depth = max acc.depth d } in
+    match t with
+    | Domain (_, c) -> go (d + 1) acc c
+    | Band (b, c) ->
+        go (d + 1)
+          {
+            acc with
+            bands = acc.bands + 1;
+            band_members = acc.band_members + List.length b.members;
+          }
+          c
+    | Sequence cs ->
+        List.fold_left
+          (fun acc (_, c) -> go (d + 1) { acc with filters = acc.filters + 1 } c)
+          { acc with sequences = acc.sequences + 1 }
+          cs
+    | Filter (_, c) -> go (d + 1) { acc with filters = acc.filters + 1 } c
+    | Extension (es, c) ->
+        go (d + 1)
+          {
+            acc with
+            extensions = acc.extensions + 1;
+            ext_stmts = acc.ext_stmts + List.length es;
+          }
+          c
+    | Mark (_, c) -> go (d + 1) { acc with marks = acc.marks + 1 } c
+    | Leaf -> { acc with leaves = acc.leaves + 1 }
+  in
+  go 1 empty_stats t
+
+let stats_to_string s =
+  Printf.sprintf
+    "%d nodes (depth %d): %d bands/%d members, %d sequences, %d filters, %d \
+     extensions/%d stmts, %d marks, %d leaves"
+    s.nodes s.depth s.bands s.band_members s.sequences s.filters s.extensions
+    s.ext_stmts s.marks s.leaves
+
 let validate t =
   let ( let* ) r f = Result.bind r f in
   let error fmt = Printf.ksprintf (fun s -> Error s) fmt in

@@ -75,6 +75,28 @@ val loop_vars : t -> string list
 (** Variables of all band members in pre-order (bound members included). *)
 
 val map_children : (t -> t) -> t -> t
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over every node (sequence branches included). *)
+
+type stats = {
+  nodes : int;  (** total node count, sequence branches included *)
+  depth : int;  (** longest root-to-leaf path, in nodes *)
+  bands : int;
+  band_members : int;
+  sequences : int;
+  filters : int;  (** filter nodes plus sequence-branch filters *)
+  extensions : int;
+  ext_stmts : int;  (** auxiliary statements declared by extension nodes *)
+  marks : int;
+  leaves : int;
+}
+(** Size/shape statistics of a schedule tree, the per-pass instrumentation
+    reported by the pass manager ([--pass-stats]). *)
+
+val stats : t -> stats
+val stats_to_string : stats -> string
+
 val validate : t -> (unit, string) result
 (** Structural sanity: domain at root only, unique loop variables, band
     expressions given for every domain statement, filters referencing known

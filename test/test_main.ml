@@ -11,6 +11,7 @@ let () =
       ("kernels", Test_kernels.tests);
       ("frontend", Test_frontend.tests);
       ("core", Test_core.tests);
+      ("pass", Test_pass.tests);
       ("blas", Test_blas.tests);
       ("xmath", Test_xmath.tests);
       ("calibration", Test_calibration.tests);
