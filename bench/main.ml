@@ -370,6 +370,98 @@ let ablation () =
     \   over the mesh with the Fig. 8c all-broadcast, but A traffic dominates)\n" 
 
 (* ------------------------------------------------------------------ *)
+(* Resilience: simulated cost of fault recovery                         *)
+(* ------------------------------------------------------------------ *)
+
+let resilience () =
+  header "resilience: clean vs faulted runs (exact simulation)";
+  (* every scenario builds a fresh plan so the injection stats are its own;
+     seeds are fixed so the series is reproducible *)
+  let timing_kinds =
+    [ Fault.Jitter; Fault.Stall; Fault.Straggler; Fault.Delay_reply ]
+  in
+  let scenarios =
+    [
+      ("clean", fun () -> None);
+      ( "timing-noise",
+        fun () ->
+          Some
+            (Fault.plan
+               ~spec:(Fault.spec_with ~kinds:timing_kinds Fault.default_spec)
+               ~seed:1 ()) );
+      ( "drops-redelivered",
+        fun () ->
+          Some
+            (Fault.plan
+               ~spec:
+                 {
+                   (Fault.spec_with ~kinds:[ Fault.Drop_reply ]
+                      Fault.default_spec)
+                   with
+                   Fault.drop_prob = 0.1;
+                   drop_permanent_frac = 0.0;
+                 }
+               ~seed:2 ()) );
+      ( "drops-permanent",
+        fun () ->
+          Some
+            (Fault.plan
+               ~spec:
+                 {
+                   (Fault.spec_with ~kinds:[ Fault.Drop_reply ]
+                      Fault.default_spec)
+                   with
+                   Fault.drop_prob = 1.0;
+                   drop_permanent_frac = 1.0;
+                 }
+               ~seed:3 ()) );
+    ]
+  in
+  let watchdog =
+    { Engine.no_watchdog with Engine.max_events = Some 50_000_000 }
+  in
+  let shapes = [ (256, 256, 256); (512, 512, 512); (512, 512, 2048) ] in
+  Printf.printf "%-16s %-20s %12s %10s  %s\n" "shape" "scenario" "time (ms)"
+    "overhead" "recovery";
+  let rows = ref [] in
+  List.iter
+    (fun (m, n, k) ->
+      let compiled = Compile.compile ~config (Spec.make ~m ~n ~k ()) in
+      let clean = ref 0.0 in
+      List.iter
+        (fun (name, plan) ->
+          let faults = plan () in
+          match Runner.timing_resilient ?faults ~watchdog compiled with
+          | Error e -> failwith (Runner.error_to_string e)
+          | Ok r ->
+              if faults = None then clean := r.Runner.seconds;
+              let overhead = 100.0 *. ((r.Runner.seconds /. !clean) -. 1.0) in
+              let recovery = Runner.recovery_to_string r.Runner.recovery in
+              let injected =
+                match faults with
+                | None -> "-"
+                | Some f -> Fault.stats_to_string f
+              in
+              rows :=
+                [ string_of_int m; string_of_int n; string_of_int k; name;
+                  Printf.sprintf "%.4f" (1000.0 *. r.Runner.seconds);
+                  Printf.sprintf "%.2f" overhead; recovery; injected ]
+                :: !rows;
+              Printf.printf "%-16s %-20s %12.4f %9.2f%%  %s [%s]\n%!"
+                (Printf.sprintf "%dx%dx%d" m n k)
+                name
+                (1000.0 *. r.Runner.seconds)
+                overhead recovery injected)
+        scenarios)
+    shapes;
+  csv "resilience"
+    [ "m"; "n"; "k"; "scenario"; "ms"; "overhead_pct"; "recovery"; "injected" ]
+    (List.rev !rows);
+  Printf.printf
+    "(clean runs pay nothing: with no plan the fault hooks short-circuit and \
+     timings are bit-identical)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Multi-cluster scaling (the MPI level of §2.1/§10)                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -446,12 +538,14 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let all = [ fig13; fig14; fig15; fig16; cost; ablation; scaling; micro ] in
+  let all =
+    [ fig13; fig14; fig15; fig16; cost; ablation; resilience; scaling; micro ]
+  in
   let by_name =
     [
       ("fig13", fig13); ("fig14", fig14); ("fig15", fig15); ("fig16", fig16);
-      ("cost", cost); ("ablation", ablation); ("scaling", scaling);
-      ("micro", micro);
+      ("cost", cost); ("ablation", ablation); ("resilience", resilience);
+      ("scaling", scaling); ("micro", micro);
     ]
   in
   match Array.to_list Sys.argv with

@@ -35,7 +35,8 @@ let () =
      | Error e ->
          incr failures;
          Printf.printf "FAIL trial %d mesh=%d mk=? %s [%s]: %s\n%!" trial mesh
-           (Spec.to_string spec) (Options.name options) e
+           (Spec.to_string spec) (Options.name options)
+           (Runner.error_to_string e)
      | exception e ->
          incr failures;
          Printf.printf "EXN trial %d %s: %s\n%!" trial (Spec.to_string spec)

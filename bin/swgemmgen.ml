@@ -249,31 +249,105 @@ let compile_cmd =
 (* verify                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let inject_faults_arg =
+  let doc =
+    "Inject a deterministic fault plan into the simulated run: $(docv) is \
+     SEED or SEED:KIND,KIND with kinds jitter, stall, delay, drop, \
+     straggler, flip. The run executes with bounded retry and MPE fallback; \
+     the recovery outcome, injection statistics and a trace summary are \
+     reported."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject-faults" ] ~docv:"SEED[:KINDS]" ~doc)
+
+let parse_inject = function
+  | None -> Ok None
+  | Some s -> (
+      let bad_seed = `Msg "--inject-faults: SEED must be an integer" in
+      match String.split_on_char ':' s with
+      | [ seed ] -> (
+          match int_of_string_opt seed with
+          | Some seed -> Ok (Some (Fault.plan ~seed ()))
+          | None -> Error bad_seed)
+      | [ seed; kinds ] -> (
+          match int_of_string_opt seed with
+          | None -> Error bad_seed
+          | Some seed ->
+              let rec collect acc = function
+                | [] -> Ok (List.rev acc)
+                | n :: rest -> (
+                    match Fault.kind_of_string n with
+                    | Some k -> collect (k :: acc) rest
+                    | None ->
+                        Error
+                          (`Msg
+                            (Printf.sprintf
+                               "--inject-faults: unknown fault kind '%s'" n)))
+              in
+              Result.map
+                (fun ks ->
+                  Some
+                    (Fault.plan
+                       ~spec:(Fault.spec_with ~kinds:ks Fault.default_spec)
+                       ~seed ()))
+                (collect [] (String.split_on_char ',' kinds)))
+      | _ -> Error (`Msg "--inject-faults: expected SEED or SEED:kind,kind"))
+
 let verify_cmd =
   let run input shape batch fusion binds fbinds ta tb no_asm no_rma no_hiding
-      tiny =
+      tiny inject =
     match build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb with
     | Error e -> Error e
     | Ok spec -> (
         let config = config_of ~tiny in
         let options = build_options ~no_asm ~no_rma ~no_hiding in
-        match Compile.compile ~options ~config spec with
+        match (Compile.compile ~options ~config spec, parse_inject inject) with
         | exception Compile.Compile_error e -> Error (`Msg e)
-        | compiled -> (
+        | _, (Error _ as e) -> e
+        | compiled, Ok None -> (
             match Runner.verify compiled with
             | Ok () ->
                 Printf.printf "verification PASSED for %s [%s]\n"
                   (Spec.to_string compiled.Compile.spec)
                   (Options.name options);
                 Ok ()
-            | Error e -> Error (`Msg ("verification FAILED: " ^ e))))
+            | Error e ->
+                Error
+                  (`Msg ("verification FAILED: " ^ Runner.error_to_string e)))
+        | compiled, Ok (Some faults) -> (
+            let trace = Trace.create () in
+            match Runner.verify_resilient ~faults ~trace compiled with
+            | Ok r ->
+                Printf.printf "verification PASSED under faults for %s [%s]\n"
+                  (Spec.to_string compiled.Compile.spec)
+                  (Options.name options);
+                Printf.printf "  injected: %s (seed %d)\n"
+                  (Fault.stats_to_string faults) (Fault.seed faults);
+                Printf.printf "  recovery: %s\n"
+                  (Runner.recovery_to_string r.Runner.recovery);
+                Printf.printf "  simulated time: %.3f ms\n"
+                  (1000.0 *. r.Runner.seconds);
+                let mesh = (config.Config.mesh_rows, config.Config.mesh_cols) in
+                Printf.printf "  trace: %s\n" (Trace.summary trace ~mesh);
+                Printf.printf "  CPE(0,0): %s\n"
+                  (Trace.gantt trace ~rid:0 ~cid:0 ~width:64);
+                Ok ()
+            | Error e ->
+                Printf.printf "  injected: %s (seed %d)\n"
+                  (Fault.stats_to_string faults) (Fault.seed faults);
+                Error
+                  (`Msg
+                    ("verification under faults FAILED (typed): "
+                    ^ Runner.error_to_string e))))
   in
   let term =
     Term.(
       term_result
         (const run $ input_arg $ shape_arg $ batch_arg $ fusion_arg $ bind_arg
        $ fbind_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg $ no_hiding_arg
-       $ tiny_arg))
+       $ tiny_arg $ inject_faults_arg))
   in
   Cmd.v
     (Cmd.info "verify"

@@ -51,4 +51,4 @@ let () =
       (Compile.compile ~config:tiny (Spec.make ~batch:3 ~m:16 ~n:8 ~k:12 ()))
   with
   | Ok () -> print_endline "functional check (batch=3): PASSED"
-  | Error e -> failwith e
+  | Error e -> failwith (Runner.error_to_string e)

@@ -50,7 +50,7 @@ let () =
       match Runner.verify (Compile.compile ~config:tiny spec) with
       | Ok () ->
           Printf.printf "functional check (%s): PASSED\n" (Spec.to_string spec)
-      | Error e -> failwith e)
+      | Error e -> failwith (Runner.error_to_string e))
     [ Spec.Prologue "quant"; Spec.Epilogue "tanh" ];
 
   print_endline

@@ -53,7 +53,7 @@ let () =
   let small = Compile.compile ~config:tiny (Spec.make ~m:16 ~n:16 ~k:16 ()) in
   (match Runner.verify small with
   | Ok () -> print_endline "functional check vs reference DGEMM: PASSED"
-  | Error e -> failwith ("functional check FAILED: " ^ e));
+  | Error e -> failwith ("functional check FAILED: " ^ Runner.error_to_string e));
 
   (* 4. performance on the machine model, vs the xMath baseline *)
   let p = Runner.measure compiled in

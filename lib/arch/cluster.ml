@@ -16,12 +16,14 @@ type t = {
   barrier : Engine.barrier;
   functional : bool;
   trace : Trace.t option;
+  faults : Fault.t option;
 }
 
-let create ?trace ~config ~functional ~mem () =
+let create ?trace ?faults ~config ~functional ~mem () =
   (match Config.validate config with
   | Ok () -> ()
-  | Error e -> failwith ("Cluster.create: " ^ e));
+  | Error e ->
+      raise (Error.Sim_error (Error.Invalid ("Cluster.create: " ^ e))));
   let engine = Engine.create () in
   let mk_cpe rid cid =
     {
@@ -57,11 +59,15 @@ let create ?trace ~config ~functional ~mem () =
         ~parties:(config.Config.mesh_rows * config.Config.mesh_cols);
     functional;
     trace;
+    faults;
   }
 
+(* Zero-duration events (an instantaneously satisfied wait, a degenerate
+   transfer) are recorded too: dropping them would hide exactly the
+   instants a forensic trace needs. [Trace.instant] marks them. *)
 let trace_event t (cpe : cpe) kind ~start ~finish =
   match t.trace with
-  | Some tr when finish > start ->
+  | Some tr when finish >= start ->
       Trace.record tr
         { Trace.rid = cpe.rid; cid = cpe.cid; kind; start; finish }
   | Some _ | None -> ()
@@ -84,22 +90,27 @@ let alloc_replies t names =
         (fun name ->
           if not (Hashtbl.mem c.replies name) then
             Hashtbl.add c.replies name
-              [| Engine.new_counter t.engine; Engine.new_counter t.engine |])
+              [|
+                Engine.new_counter ~name:(name ^ "[0]") t.engine;
+                Engine.new_counter ~name:(name ^ "[1]") t.engine;
+              |])
         names)
 
 let races t =
   let acc = ref [] in
   iter_cpes t (fun c ->
       List.iter
-        (fun r ->
-          acc := Printf.sprintf "CPE(%d,%d): %s" c.rid c.cid r :: !acc)
+        (fun conflict ->
+          acc := { Error.rid = c.rid; cid = c.cid; conflict } :: !acc)
         (Spm.races c.spm));
-  !acc
+  List.sort Error.compare_race !acc
 
 let reply_counter c ~reply ~rcopy =
   match Hashtbl.find_opt c.replies reply with
   | Some arr -> arr.(rcopy land 1)
-  | None -> failwith ("Cluster: unknown reply counter " ^ reply)
+  | None ->
+      raise
+        (Error.Sim_error (Error.Invalid ("Cluster: unknown reply counter " ^ reply)))
 
 (* Copy a rectangle between main memory and an SPM tile. *)
 let copy_rect t ~to_spm ~array_name ~batch ~row_lo ~col_lo ~rows ~cols ~spm
@@ -118,6 +129,33 @@ let copy_rect t ~to_spm ~array_name ~batch ~row_lo ~col_lo ~rows ~cols ~spm
     else Array.blit tile dst data src cols
   done
 
+(* Reply increments pass through the fault plan: they can arrive late, be
+   re-delivered after a bounded delay (a dropped-then-recovered interrupt),
+   or be lost for good — in which case the waiter either deadlocks (with
+   forensics) or times out into the interpreter's retry path. *)
+let deliver_increment t counter =
+  match t.faults with
+  | None -> Engine.counter_incr counter
+  | Some f -> (
+      match Fault.reply_disposition f with
+      | Fault.Deliver -> Engine.counter_incr counter
+      | Fault.Delay d ->
+          Engine.schedule t.engine ~after:d (fun () -> Engine.counter_incr counter)
+      | Fault.Drop { redeliver_after } ->
+          Engine.schedule t.engine ~after:redeliver_after (fun () ->
+              Engine.counter_incr counter)
+      | Fault.Drop_forever -> ())
+
+(* SPM soft error: corrupt one element of a tile that was just written,
+   before any fiber can read it (functional mode only). *)
+let maybe_flip t spm ~buf ~copy ~elems =
+  match t.faults with
+  | Some f when t.functional -> (
+      match Fault.flip f ~elems with
+      | Some (index, delta) -> Spm.corrupt spm buf ~copy ~index ~delta
+      | None -> ())
+  | Some _ | None -> ()
+
 let dma_message t c ~put ~array_name ~batch ~row_lo ~col_lo ~rows ~cols ~buf
     ~copy ~reply ~rcopy =
   let counter = reply_counter c ~reply ~rcopy in
@@ -126,14 +164,15 @@ let dma_message t c ~put ~array_name ~batch ~row_lo ~col_lo ~rows ~cols ~buf
   let spm = c.spm in
   let start_finish = ref (0.0, 0.0) in
   let interval =
-    Engine.transfer t.dma ~bytes ~on_complete:(fun () ->
+    Engine.transfer ?faults:t.faults t.dma ~bytes ~on_complete:(fun () ->
         let start, finish = !start_finish in
         if put then Spm.note_read spm buf ~copy ~start ~finish
         else Spm.note_write spm buf ~copy ~start ~finish;
         if t.functional then
           copy_rect t ~to_spm:(not put) ~array_name ~batch ~row_lo ~col_lo
             ~rows ~cols ~spm ~buf ~copy;
-        Engine.counter_incr counter)
+        if not put then maybe_flip t spm ~buf ~copy ~elems:(rows * cols);
+        deliver_increment t counter)
   in
   start_finish := interval;
   let start, finish = interval in
@@ -171,7 +210,7 @@ let rma_bcast t c ~dir ~src ~dst ~rows ~cols ~root ~reply_s ~reply_r ~rcopy =
     let bytes = 8 * rows * cols in
     let start_finish = ref (0.0, 0.0) in
     let interval =
-      Engine.transfer link ~bytes ~on_complete:(fun () ->
+      Engine.transfer ?faults:t.faults link ~bytes ~on_complete:(fun () ->
           let start, finish = !start_finish in
           Spm.note_read c.spm src_buf ~copy:src_copy ~start ~finish;
           List.iter
@@ -182,10 +221,11 @@ let rma_bcast t c ~dir ~src ~dst ~rows ~cols ~root ~reply_s ~reply_r ~rcopy =
                 let d = Spm.tile peer.spm dst_buf ~copy:dst_copy in
                 Array.blit s 0 d 0 (rows * cols)
               end;
-              Engine.counter_incr
-                (reply_counter peer ~reply:reply_r ~rcopy))
+              maybe_flip t peer.spm ~buf:dst_buf ~copy:dst_copy
+                ~elems:(rows * cols);
+              deliver_increment t (reply_counter peer ~reply:reply_r ~rcopy))
             peers;
-          Engine.counter_incr send_counter)
+          deliver_increment t send_counter)
     in
     start_finish := interval;
     let start, finish = interval in
@@ -197,6 +237,16 @@ let wait_reply t c ~reply ~rcopy =
   Engine.await (reply_counter c ~reply ~rcopy) 1;
   trace_event t c Trace.Wait_reply ~start ~finish:(Engine.now t.engine)
 
+(* Like [wait_reply] but gives up after [timeout] simulated seconds; the
+   interpreter's retry policy builds on this. Returns [true] when the reply
+   arrived, [false] on timeout (the event is still traced either way so the
+   forensic timeline shows the stalled wait). *)
+let wait_reply_deadline t c ~reply ~rcopy ~timeout =
+  let start = Engine.now t.engine in
+  let ok = Engine.await_deadline (reply_counter c ~reply ~rcopy) 1 ~timeout in
+  trace_event t c Trace.Wait_reply ~start ~finish:(Engine.now t.engine);
+  ok
+
 let sync t (c : cpe) =
   let start = Engine.now t.engine in
   Engine.barrier_wait t.barrier;
@@ -206,6 +256,14 @@ let sync t (c : cpe) =
 let kernel t c ~c:(cb, cc) ~a:(ab, ac) ~b:(bb, bc) ~m ~n ~k ~alpha ~accumulate
     ~ta ~tb ~style =
   let dur = Config.micro_kernel_seconds t.config ~style ~m ~n ~k in
+  (* straggler CPEs run their compute slower (thermal throttling / a busy
+     neighbour on the real mesh); membership is a pure function of the fault
+     seed and the CPE coordinates, so it is program-independent *)
+  let dur =
+    match t.faults with
+    | None -> dur
+    | Some f -> dur *. Fault.kernel_slowdown f ~rid:c.rid ~cid:c.cid
+  in
   let start = Engine.now t.engine in
   let finish = start +. dur in
   Spm.note_read c.spm ab ~copy:ac ~start ~finish;

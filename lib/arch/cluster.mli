@@ -30,23 +30,30 @@ type t = {
   barrier : Engine.barrier;
   functional : bool;
   trace : Trace.t option;
+  faults : Fault.t option;
 }
 
 val create :
-  ?trace:Trace.t -> config:Config.t -> functional:bool -> mem:Mem.t -> unit -> t
+  ?trace:Trace.t -> ?faults:Fault.t -> config:Config.t -> functional:bool ->
+  mem:Mem.t -> unit -> t
+(** With [?faults], every transfer, reply delivery and kernel launch is
+    perturbed by the plan (see {!Fault}); without it the fault hooks are
+    compiled-away [None] branches and timings are bit-identical to a
+    fault-free build. *)
 
 val cpe : t -> rid:int -> cid:int -> cpe
 val iter_cpes : t -> (cpe -> unit) -> unit
 
 val alloc_buffers : t -> Sw_ast.Ast.spm_decl list -> unit
-(** Allocate the same buffers on every CPE; raises [Failure] on SPM
-    overflow. *)
+(** Allocate the same buffers on every CPE; raises {!Error.Sim_error}
+    ([Overflow]) on SPM overflow. *)
 
 val alloc_replies : t -> string list -> unit
 (** Create a double reply counter (two parity slots) per name per CPE. *)
 
-val races : t -> string list
-(** All races detected on any CPE, in no particular order. *)
+val races : t -> Error.race list
+(** All races detected on any CPE, sorted by (rid, cid, buffer, copy,
+    time) so reports are deterministic. *)
 
 (** {2 Athread primitives} (call from a CPE fiber) *)
 
@@ -72,6 +79,13 @@ val rma_bcast :
     they send nothing). *)
 
 val wait_reply : t -> cpe -> reply:string -> rcopy:int -> unit
+
+val wait_reply_deadline :
+  t -> cpe -> reply:string -> rcopy:int -> timeout:float -> bool
+(** [wait_reply] with a simulated-time deadline: [false] means the reply
+    did not arrive within [timeout] seconds and the caller should retry or
+    degrade (see {!Interp} retry policy). *)
+
 val sync : t -> cpe -> unit
 val kernel : t -> cpe -> c:string * int -> a:string * int -> b:string * int ->
   m:int -> n:int -> k:int -> alpha:float -> accumulate:bool ->

@@ -79,6 +79,16 @@ let micro_kernel_seconds c ~style ~m ~n ~k =
   in
   (flops /. rate) +. c.kernel_call_overhead_s
 
+(* Cost of running an m x n x k GEMM on the management core instead of the
+   mesh — the graceful-degradation path when CPE-side recovery is
+   exhausted. The MPE is modelled as a scalar FMA core bounded by its
+   stream bandwidth (A + B read, C read+write, 8 bytes each). *)
+let mpe_gemm_seconds c ~m ~n ~k =
+  let compute = float_of_int (2 * m * n * k) /. (c.mpe_freq_hz *. 2.0) in
+  let bytes = 8 * ((m * k) + (k * n) + (2 * m * n)) in
+  let stream = float_of_int bytes /. c.mpe_stream_bw_bytes_per_s in
+  Float.max compute stream
+
 let mpe_ew_seconds c ~fn ~elems =
   let base_fn =
     (* parameterized kernels (scale:<c>) cost like "id" *)

@@ -56,6 +56,11 @@ val peak_gflops : t -> float
 val micro_kernel_seconds : t -> style:[ `Asm | `Naive ] -> m:int -> n:int -> k:int -> float
 (** Wall time of one micro-kernel invocation on one CPE. *)
 
+val mpe_gemm_seconds : t -> m:int -> n:int -> k:int -> float
+(** Cost of running the whole GEMM on the management core: the
+    graceful-degradation path when mesh-side recovery is exhausted. Max of
+    scalar-FMA compute time and streaming time. *)
+
 val mpe_ew_seconds : t -> fn:string -> elems:int -> float
 (** Baseline cost of an element-wise pass over [elems] doubles on the MPE:
     the max of the streaming time (read + write) and the scalar compute

@@ -1,0 +1,117 @@
+(* Typed errors of the simulated cluster. One variant per failure class so
+   harnesses can match on the cause instead of parsing strings; every
+   constructor carries enough forensics (CPE coordinates, counter names,
+   simulated times) to localize the failing protocol step. *)
+
+type conflict = {
+  buffer : string;
+  copy : int;
+  kind : [ `Write_read | `Write_write | `Read_write ];
+  op_start : float;
+  op_finish : float;
+  prev_start : float;
+  prev_finish : float;
+}
+
+type race = { rid : int; cid : int; conflict : conflict }
+
+type blocked = {
+  fiber : string;  (* label of the parked fiber, e.g. "CPE(2,3)" *)
+  counter : string;  (* reply counter or barrier it is parked on *)
+  current : int;  (* the counter's value at quiescence *)
+  awaited : int;  (* the value the fiber is waiting for *)
+  parked_at : float;  (* simulated time at which it blocked *)
+}
+
+type diagnosis = {
+  sim_time : float;  (* clock when the event queue drained *)
+  events_run : int;
+  fibers : blocked list;  (* every fiber still parked, sorted *)
+}
+
+type t =
+  | Deadlock of diagnosis
+  | Race of race list
+  | Bounds of { array_name : string; detail : string }
+  | Overflow of { buffer : string; needed : int; available : int; capacity : int }
+  | Fault_exhausted of {
+      fiber : string;
+      counter : string;
+      retries : int;
+      sim_time : float;
+    }
+  | Watchdog of {
+      limit : [ `Sim_time of float | `Events of int | `Host_time of float ];
+      sim_time : float;
+      events_run : int;
+    }
+  | Invalid of string
+
+exception Sim_error of t
+
+let conflict_to_string c =
+  let verb, prev =
+    match c.kind with
+    | `Write_read -> ("write", "read")
+    | `Write_write -> ("write", "write")
+    | `Read_write -> ("read", "write")
+  in
+  Printf.sprintf "%s of %s[%d] during [%.3g, %.3g] overlaps %s during [%.3g, %.3g]"
+    verb c.buffer c.copy c.op_start c.op_finish prev c.prev_start c.prev_finish
+
+let race_to_string r =
+  Printf.sprintf "CPE(%d,%d): %s" r.rid r.cid (conflict_to_string r.conflict)
+
+(* Deterministic order: by CPE coordinates, then buffer/copy, then time. *)
+let compare_race a b =
+  let c = compare (a.rid, a.cid) (b.rid, b.cid) in
+  if c <> 0 then c
+  else
+    let c =
+      compare (a.conflict.buffer, a.conflict.copy) (b.conflict.buffer, b.conflict.copy)
+    in
+    if c <> 0 then c else compare a.conflict.op_start b.conflict.op_start
+
+let blocked_to_string b =
+  Printf.sprintf "%s awaiting %s >= %d (currently %d), parked at t=%.6gs" b.fiber
+    b.counter b.awaited b.current b.parked_at
+
+let diagnosis_to_string d =
+  Printf.sprintf "deadlock at t=%.6gs after %d event(s), %d fiber(s) blocked:\n%s"
+    d.sim_time d.events_run
+    (List.length d.fibers)
+    (String.concat "\n"
+       (List.map (fun b -> "  " ^ blocked_to_string b) d.fibers))
+
+let to_string = function
+  | Deadlock d -> diagnosis_to_string d
+  | Race rs ->
+      Printf.sprintf "%d race(s) detected:\n%s" (List.length rs)
+        (String.concat "\n" (List.map (fun r -> "  " ^ race_to_string r) rs))
+  | Bounds { array_name; detail } ->
+      Printf.sprintf "out-of-bounds access to %s: %s" array_name detail
+  | Overflow { buffer; needed; available; capacity } ->
+      Printf.sprintf
+        "SPM overflow: %s needs %d bytes but only %d of %d remain" buffer needed
+        available capacity
+  | Fault_exhausted { fiber; counter; retries; sim_time } ->
+      Printf.sprintf
+        "%s: wait on %s still unsatisfied after %d retr%s at t=%.6gs" fiber
+        counter retries
+        (if retries = 1 then "y" else "ies")
+        sim_time
+  | Watchdog { limit; sim_time; events_run } ->
+      let l =
+        match limit with
+        | `Sim_time s -> Printf.sprintf "simulated-time budget %.6gs" s
+        | `Events n -> Printf.sprintf "event budget %d" n
+        | `Host_time s -> Printf.sprintf "host wall-clock budget %.3gs" s
+      in
+      Printf.sprintf "watchdog: %s exceeded at t=%.6gs after %d event(s)" l
+        sim_time events_run
+  | Invalid s -> s
+
+let () =
+  Printexc.register_printer (function
+    | Sim_error e -> Some ("Sw_arch.Error.Sim_error: " ^ to_string e)
+    | _ -> None)

@@ -1,11 +1,17 @@
 open Sw_poly
 open Sw_tree
 
-type result = { seconds : float; races : string list }
+type retry_policy = { timeout_s : float; backoff : float; max_retries : int }
 
-exception Interp_error of string
+(* First deadline shorter than the plan's re-delivery delay so a dropped
+   reply that will be re-delivered is recovered by retrying rather than by
+   luck; backoff doubles each round. *)
+let default_retry = { timeout_s = 50e-6; backoff = 2.0; max_retries = 8 }
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Interp_error s)) fmt
+type result = { seconds : float; races : Error.race list; retries : int }
+
+let fail fmt =
+  Printf.ksprintf (fun s -> raise (Error.Sim_error (Error.Invalid s))) fmt
 
 let gflops ~flops ~seconds = float_of_int flops /. seconds /. 1e9
 
@@ -32,7 +38,37 @@ let eval_reply ~env ~params (name : string) (parity : Aff.t option) =
   | None -> (name, 0)
   | Some p -> (name, Sw_poly.Ints.fmod (eval_aff ~env ~params p) 2)
 
-let exec_op cluster (cpe : Cluster.cpe) ~env ~params (c : Comm.t) =
+(* A timed-out wait is retried with exponential backoff; when the budget is
+   exhausted the typed [Fault_exhausted] carries the CPE and counter so the
+   caller can degrade (e.g. re-run on the MPE) or report precisely. *)
+let wait_with_retry cluster (cpe : Cluster.cpe) ~retry ~retries ~reply ~rcopy =
+  match retry with
+  | None -> Cluster.wait_reply cluster cpe ~reply ~rcopy
+  | Some p ->
+      let rec attempt i timeout =
+        if Cluster.wait_reply_deadline cluster cpe ~reply ~rcopy ~timeout then
+          ()
+        else if i >= p.max_retries then
+          raise
+            (Error.Sim_error
+               (Error.Fault_exhausted
+                  {
+                    fiber =
+                      Printf.sprintf "CPE(%d,%d)" cpe.Cluster.rid
+                        cpe.Cluster.cid;
+                    counter = Printf.sprintf "%s[%d]" reply (rcopy land 1);
+                    retries = i;
+                    sim_time = Engine.now cluster.Cluster.engine;
+                  }))
+        else begin
+          incr retries;
+          attempt (i + 1) (timeout *. p.backoff)
+        end
+      in
+      attempt 0 p.timeout_s
+
+let exec_op cluster (cpe : Cluster.cpe) ~env ~params ~retry ~retries
+    (c : Comm.t) =
   let eval = eval_aff ~env ~params in
   match c with
   | Comm.Dma_get d | Comm.Dma_put d ->
@@ -57,7 +93,7 @@ let exec_op cluster (cpe : Cluster.cpe) ~env ~params (c : Comm.t) =
         ~reply_r ~rcopy
   | Comm.Wait w ->
       let reply, rcopy = eval_reply ~env ~params w.reply w.reply_parity in
-      Cluster.wait_reply cluster cpe ~reply ~rcopy
+      wait_with_retry cluster cpe ~retry ~retries ~reply ~rcopy
   | Comm.Sync -> Cluster.sync cluster cpe
   | Comm.Spm_map s ->
       Cluster.spm_map cluster cpe
@@ -72,7 +108,8 @@ let exec_op cluster (cpe : Cluster.cpe) ~env ~params (c : Comm.t) =
         ~accumulate:k.Comm.accumulate ~ta:k.Comm.ta ~tb:k.Comm.tb
         ~style:(match k.Comm.style with Comm.Asm -> `Asm | Comm.Naive -> `Naive)
 
-let run_cpe cluster cpe ~params ~user (body : Sw_ast.Ast.block) =
+let run_cpe cluster cpe ~params ~user ~retry ~retries
+    (body : Sw_ast.Ast.block) =
   let env = ref [] in
   let rec block stmts = List.iter stmt stmts
   and stmt s =
@@ -111,7 +148,7 @@ let run_cpe cluster cpe ~params ~user (body : Sw_ast.Ast.block) =
             conds
         in
         if sat then block body
-    | Sw_ast.Ast.Op c -> exec_op cluster cpe ~env ~params c
+    | Sw_ast.Ast.Op c -> exec_op cluster cpe ~env ~params ~retry ~retries c
     | Sw_ast.Ast.User { name; args } -> (
         match user with
         | Some f ->
@@ -122,10 +159,19 @@ let run_cpe cluster cpe ~params ~user (body : Sw_ast.Ast.block) =
   in
   block body
 
-let run ?trace ~config ~functional ~mem ?user (program : Sw_ast.Ast.program) =
-  let cluster = Cluster.create ?trace ~config ~functional ~mem () in
-  (try Cluster.alloc_buffers cluster program.Sw_ast.Ast.spm_decls
-   with Failure e -> fail "%s" e);
+let run ?trace ?faults ?watchdog ?retry ~config ~functional ~mem ?user
+    (program : Sw_ast.Ast.program) =
+  let cluster = Cluster.create ?trace ?faults ~config ~functional ~mem () in
+  (* Retry deadlines only matter when replies can be lost; without a fault
+     plan every wait is satisfied normally, so disarm the deadline path and
+     keep the fault-free simulation bit-identical to the plain model (no
+     stale timeout events advancing the final clock). *)
+  let retry = if faults = None then None else retry in
+  (match watchdog with
+  | Some w -> Engine.set_watchdog cluster.Cluster.engine w
+  | None -> ());
+  let retries = ref 0 in
+  Cluster.alloc_buffers cluster program.Sw_ast.Ast.spm_decls;
   Cluster.alloc_replies cluster program.Sw_ast.Ast.replies;
   Cluster.iter_cpes cluster (fun cpe ->
       let params name =
@@ -137,10 +183,15 @@ let run ?trace ~config ~functional ~mem ?user (program : Sw_ast.Ast.program) =
             | Some v -> v
             | None -> fail "unknown parameter %s" name)
       in
-      Engine.spawn cluster.Cluster.engine (fun () ->
-          run_cpe cluster cpe ~params ~user program.Sw_ast.Ast.body));
+      Engine.spawn
+        ~label:(Printf.sprintf "CPE(%d,%d)" cpe.Cluster.rid cpe.Cluster.cid)
+        cluster.Cluster.engine
+        (fun () ->
+          run_cpe cluster cpe ~params ~user ~retry ~retries
+            program.Sw_ast.Ast.body));
   let finish = Engine.run cluster.Cluster.engine in
   {
     seconds = finish +. config.Config.mesh_startup_s;
     races = Cluster.races cluster;
+    retries = !retries;
   }

@@ -39,25 +39,25 @@ let row_len t name =
   let d = (find t name).dims in
   d.(Array.length d - 1)
 
+let bounds name fmt =
+  Printf.ksprintf
+    (fun detail ->
+      raise (Error.Sim_error (Error.Bounds { array_name = name; detail })))
+    fmt
+
 let offset t name ?batch ~row ~col () =
   let a = find t name in
   match (a.dims, batch) with
   | [| r; c |], None ->
       if row < 0 || row >= r || col < 0 || col >= c then
-        invalid_arg
-          (Printf.sprintf "Mem.offset: (%d, %d) outside %s[%d][%d]" row col
-             name r c);
+        bounds name "(%d, %d) outside %s[%d][%d]" row col name r c;
       (row * c) + col
   | [| b; r; c |], Some bi ->
       if bi < 0 || bi >= b || row < 0 || row >= r || col < 0 || col >= c then
-        invalid_arg
-          (Printf.sprintf "Mem.offset: (%d, %d, %d) outside %s[%d][%d][%d]" bi
-             row col name b r c);
+        bounds name "(%d, %d, %d) outside %s[%d][%d][%d]" bi row col name b r c;
       (bi * r * c) + (row * c) + col
-  | [| _; _ |], Some _ ->
-      invalid_arg ("Mem.offset: batch index into 2-D array " ^ name)
-  | [| _; _; _ |], None ->
-      invalid_arg ("Mem.offset: missing batch index for 3-D array " ^ name)
+  | [| _; _ |], Some _ -> bounds name "batch index into 2-D array %s" name
+  | [| _; _; _ |], None -> bounds name "missing batch index for 3-D array %s" name
   | _ -> assert false
 
 let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t []

@@ -25,6 +25,8 @@ val row_len : t -> string -> int
 (** Extent of the last (contiguous) dimension. *)
 
 val offset : t -> string -> ?batch:int -> row:int -> col:int -> unit -> int
-(** Flat element offset of [(batch,) row, col]; bounds-checked. *)
+(** Flat element offset of [(batch,) row, col]; bounds-checked. Raises
+    {!Error.Sim_error} ([Bounds]) on an out-of-range or mis-batched
+    access. *)
 
 val names : t -> string list

@@ -12,7 +12,7 @@ type t = {
   functional : bool;
   buffers : (string, buffer) Hashtbl.t;
   mutable used : int;
-  mutable races : string list;
+  mutable races : Error.conflict list;
 }
 
 let create ~capacity_bytes ~functional =
@@ -31,10 +31,15 @@ let alloc t name ~rows ~cols ~copies =
     failwith ("Spm.alloc: empty buffer " ^ name);
   let bytes = 8 * rows * cols * copies in
   if t.used + bytes > t.capacity then
-    failwith
-      (Printf.sprintf
-         "Spm.alloc: %s needs %d bytes but only %d of %d remain (SPM overflow)"
-         name bytes (t.capacity - t.used) t.capacity);
+    raise
+      (Error.Sim_error
+         (Error.Overflow
+            {
+              buffer = name;
+              needed = bytes;
+              available = t.capacity - t.used;
+              capacity = t.capacity;
+            }));
   t.used <- t.used + bytes;
   let none = (neg_infinity, neg_infinity) in
   Hashtbl.add t.buffers name
@@ -78,30 +83,39 @@ let copies t name = (find t name).copies
 
 let overlap (s1, f1) (s2, f2) = s1 < f2 && s2 < f1
 
+let conflict t name c kind ~start ~finish ~prev =
+  t.races <-
+    {
+      Error.buffer = name;
+      copy = c;
+      kind;
+      op_start = start;
+      op_finish = finish;
+      prev_start = fst prev;
+      prev_finish = snd prev;
+    }
+    :: t.races
+
 let note_write t name ~copy ~start ~finish =
   let b, c = get_copy t name copy in
   if overlap (start, finish) b.last_read.(c) then
-    t.races <-
-      Printf.sprintf
-        "write of %s[%d] during [%.3g, %.3g] overlaps read during [%.3g, %.3g]"
-        name c start finish (fst b.last_read.(c)) (snd b.last_read.(c))
-      :: t.races;
+    conflict t name c `Write_read ~start ~finish ~prev:b.last_read.(c);
   if overlap (start, finish) b.last_write.(c) then
-    t.races <-
-      Printf.sprintf
-        "write of %s[%d] during [%.3g, %.3g] overlaps write during [%.3g, %.3g]"
-        name c start finish (fst b.last_write.(c)) (snd b.last_write.(c))
-      :: t.races;
+    conflict t name c `Write_write ~start ~finish ~prev:b.last_write.(c);
   b.last_write.(c) <- (start, finish)
 
 let note_read t name ~copy ~start ~finish =
   let b, c = get_copy t name copy in
   if overlap (start, finish) b.last_write.(c) then
-    t.races <-
-      Printf.sprintf
-        "read of %s[%d] during [%.3g, %.3g] overlaps write during [%.3g, %.3g]"
-        name c start finish (fst b.last_write.(c)) (snd b.last_write.(c))
-      :: t.races;
+    conflict t name c `Read_write ~start ~finish ~prev:b.last_write.(c);
   b.last_read.(c) <- (start, finish)
 
 let races t = List.rev t.races
+
+let corrupt t name ~copy ~index ~delta =
+  let b, c = get_copy t name copy in
+  if t.functional then begin
+    let tile = b.data.(c) in
+    if index >= 0 && index < Array.length tile then
+      tile.(index) <- tile.(index) +. delta
+  end

@@ -15,7 +15,8 @@ val create : capacity_bytes:int -> functional:bool -> t
     bookkeeping (used for timing-only simulations of huge problems). *)
 
 val alloc : t -> string -> rows:int -> cols:int -> copies:int -> unit
-(** Raises [Failure] when the allocation exceeds remaining capacity. *)
+(** Raises {!Error.Sim_error} ([Overflow]) when the allocation exceeds
+    remaining capacity. *)
 
 val used_bytes : t -> int
 val capacity_bytes : t -> int
@@ -35,5 +36,11 @@ val note_read : t -> string -> copy:int -> start:float -> finish:float -> unit
 (** Record a read interval (kernel consuming the buffer, DMA-put draining
     it) and check it against the last write. *)
 
-val races : t -> string list
-(** Human-readable descriptions of all races detected so far. *)
+val races : t -> Error.conflict list
+(** All races detected so far, in detection order (use
+    {!Error.conflict_to_string} to render). *)
+
+val corrupt : t -> string -> copy:int -> index:int -> delta:float -> unit
+(** Fault injection: perturb one element of a copy's backing data
+    ([functional] mode only; a no-op in timing-only mode or when [index]
+    is out of range). *)

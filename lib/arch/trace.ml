@@ -18,6 +18,8 @@ let record t e =
 
 let events t = List.rev t.evs
 
+let instant e = e.finish <= e.start
+
 let busy t ~rid ~cid ~kind =
   List.fold_left
     (fun acc e ->

@@ -25,6 +25,12 @@ val record : t -> event -> unit
 val events : t -> event list
 (** In recording order. *)
 
+val instant : event -> bool
+(** [true] for zero-duration events (e.g. a wait satisfied at issue).
+    They are recorded — dropping them would hide exactly the instants a
+    forensic timeline needs — but excluded from busy-time accounting by
+    construction (their interval is empty). *)
+
 val busy : t -> rid:int -> cid:int -> kind:(kind -> bool) -> float
 (** Total time one CPE spent in events matching the predicate. *)
 

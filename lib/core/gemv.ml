@@ -277,8 +277,9 @@ let verify ?(seed = 11) t =
   install "x" x;
   install "y" y;
   match Interp.run ~config:t.config ~functional:true ~mem t.program with
-  | exception Interp.Interp_error e -> Error e
-  | r when r.Interp.races <> [] -> Error (List.hd r.Interp.races)
+  | exception Error.Sim_error e -> Error (Error.to_string e)
+  | r when r.Interp.races <> [] ->
+      Error (Error.to_string (Error.Race r.Interp.races))
   | _ ->
       let yref = Matrix.copy y in
       Dgemm.gemm ~alpha:t.spec.valpha ~beta:t.spec.vbeta ~a ~b:x ~c:yref;
@@ -303,9 +304,10 @@ let measure t =
       Mem.alloc mem d.Sw_ast.Ast.array_name ~dims:d.Sw_ast.Ast.dims)
     t.program.Sw_ast.Ast.arrays;
   match Interp.run ~config:t.config ~functional:false ~mem t.program with
-  | exception Interp.Interp_error e -> raise (Gemv_error e)
+  | exception Error.Sim_error e -> raise (Gemv_error (Error.to_string e))
   | r ->
-      if r.Interp.races <> [] then fail "race: %s" (List.hd r.Interp.races);
+      if r.Interp.races <> [] then
+        fail "%s" (Error.to_string (Error.Race r.Interp.races));
       {
         Runner.seconds = r.Interp.seconds;
         gflops = Interp.gflops ~flops:(flops t) ~seconds:r.Interp.seconds;

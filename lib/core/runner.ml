@@ -3,9 +3,23 @@ open Sw_blas
 
 type perf = { seconds : float; gflops : float; exact : bool }
 
-exception Runner_error of string
+type error =
+  | Sim of Error.t
+  | Mismatch of { batch : int; diff : float; scale : float; spec : string }
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Runner_error s)) fmt
+let error_to_string = function
+  | Sim e -> Error.to_string e
+  | Mismatch { batch; diff; scale; spec } ->
+      Printf.sprintf
+        "batch %d: max |difference| %.3e exceeds tolerance (scale %.3e) for %s"
+        batch diff scale spec
+
+exception Runner_error of error
+
+let () =
+  Printexc.register_printer (function
+    | Runner_error e -> Some ("Runner_error: " ^ error_to_string e)
+    | _ -> None)
 
 (* ------------------------------------------------------------------ *)
 (* Functional verification                                             *)
@@ -71,43 +85,107 @@ let extract_c (compiled : Compile.t) mem =
       Matrix.init ~rows:spec.Spec.m ~cols:spec.Spec.n ~f:(fun r cc ->
           data.((bi * spec.Spec.m * spec.Spec.n) + (r * spec.Spec.n) + cc)))
 
-let verify ?(seed = 42) ?(tol = 1e-9) (compiled : Compile.t) =
+(* Compare the simulated C against the reference; reports the FIRST
+   mismatching batch (the diff/scale pair pinpoints it). *)
+let compare_result (compiled : Compile.t) ~tol ~cref mem =
   let spec = compiled.Compile.spec in
+  let got = extract_c compiled mem in
+  let rec check bi =
+    if bi >= Array.length cref then Ok ()
+    else
+      let diff = Matrix.max_abs_diff cref.(bi) got.(bi) in
+      let scale =
+        Array.fold_left
+          (fun acc x -> Float.max acc (abs_float x))
+          1.0 cref.(bi).Matrix.data
+      in
+      if diff > tol *. scale then
+        Error
+          (Mismatch { batch = bi; diff; scale; spec = Spec.to_string spec })
+      else check (bi + 1)
+  in
+  check 0
+
+let verify ?(seed = 42) ?(tol = 1e-9) (compiled : Compile.t) =
   let mem, a, b, c = setup_memory compiled ~seed in
   match
     Interp.run ~config:compiled.Compile.config ~functional:true ~mem
       compiled.Compile.program
   with
-  | exception Interp.Interp_error e -> Error ("interpreter: " ^ e)
-  | exception Failure e -> Error ("simulation: " ^ e)
+  | exception Error.Sim_error e -> Error (Sim e)
   | result ->
       if result.Interp.races <> [] then
-        Error
-          (Printf.sprintf "double-buffering race: %s"
-             (List.hd result.Interp.races))
+        (* every race, sorted by CPE then buffer — not just the first *)
+        Error (Sim (Error.Race result.Interp.races))
       else begin
         (* reference runs on copies of the original inputs *)
         let cref = Array.map Matrix.copy c in
-        reference spec ~a ~b ~c:cref;
-        let got = extract_c compiled mem in
-        let rec check bi =
-          if bi >= Array.length cref then Ok ()
-          else
-            let diff = Matrix.max_abs_diff cref.(bi) got.(bi) in
-            let scale =
-              Array.fold_left
-                (fun acc x -> Float.max acc (abs_float x))
-                1.0 cref.(bi).Matrix.data
-            in
-            if diff > tol *. scale then
-              Error
-                (Printf.sprintf
-                   "batch %d: max |difference| %.3e exceeds tolerance (scale \
-                    %.3e) for %s"
-                   bi diff scale (Spec.to_string spec))
-            else check (bi + 1)
-        in
-        check 0
+        reference compiled.Compile.spec ~a ~b ~c:cref;
+        compare_result compiled ~tol ~cref mem
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Resilient execution (fault injection + recovery)                    *)
+(* ------------------------------------------------------------------ *)
+
+type recovery =
+  | No_recovery
+  | Retried of int
+  | Mpe_fallback of { reason : string }
+
+let recovery_to_string = function
+  | No_recovery -> "clean"
+  | Retried n -> Printf.sprintf "recovered after %d retried wait(s)" n
+  | Mpe_fallback { reason } -> "MPE fallback: " ^ reason
+
+type resilient = { seconds : float; recovery : recovery }
+
+(* Cost of abandoning the mesh and redoing the whole (batched) problem on
+   the management core, charged on top of the simulated time already spent
+   when recovery gave up. *)
+let mpe_fallback_seconds (compiled : Compile.t) ~at =
+  let spec = compiled.Compile.spec in
+  let per_batch =
+    Config.mpe_gemm_seconds compiled.Compile.config ~m:spec.Spec.m
+      ~n:spec.Spec.n ~k:spec.Spec.k
+  in
+  at +. (float_of_int (batch_count spec) *. per_batch)
+
+let verify_resilient ?(seed = 42) ?(tol = 1e-9) ?faults
+    ?(retry = Interp.default_retry) ?watchdog ?trace (compiled : Compile.t) =
+  let mem, a, b, c = setup_memory compiled ~seed in
+  let cref = Array.map Matrix.copy c in
+  reference compiled.Compile.spec ~a ~b ~c:cref;
+  match
+    Interp.run ?trace ?faults ?watchdog ~retry ~config:compiled.Compile.config
+      ~functional:true ~mem compiled.Compile.program
+  with
+  | exception Error.Sim_error (Error.Fault_exhausted f) ->
+      (* graceful degradation: the mesh-side run is abandoned and the whole
+         problem re-runs on the MPE, whose result is the reference by
+         construction — correct, just slow *)
+      Ok
+        {
+          seconds = mpe_fallback_seconds compiled ~at:f.sim_time;
+          recovery =
+            Mpe_fallback { reason = Error.to_string (Error.Fault_exhausted f) };
+        }
+  | exception Error.Sim_error e -> Error (Sim e)
+  | result ->
+      if result.Interp.races <> [] then
+        Error (Sim (Error.Race result.Interp.races))
+      else begin
+        match compare_result compiled ~tol ~cref mem with
+        | Error _ as e -> e
+        | Ok () ->
+            Ok
+              {
+                seconds = result.Interp.seconds;
+                recovery =
+                  (if result.Interp.retries > 0 then
+                     Retried result.Interp.retries
+                   else No_recovery);
+              }
       end
 
 (* ------------------------------------------------------------------ *)
@@ -130,11 +208,38 @@ let run_timing ?trace (compiled : Compile.t) =
     Interp.run ?trace ~config:compiled.Compile.config ~functional:false ~mem
       compiled.Compile.program
   with
-  | exception Interp.Interp_error e -> fail "interpreter: %s" e
+  | exception Error.Sim_error e -> raise (Runner_error (Sim e))
   | result ->
       if result.Interp.races <> [] then
-        fail "timing run reported a race: %s" (List.hd result.Interp.races);
+        raise (Runner_error (Sim (Error.Race result.Interp.races)));
       result.Interp.seconds
+
+let timing_resilient ?faults ?(retry = Interp.default_retry) ?watchdog ?trace
+    (compiled : Compile.t) =
+  let mem = timing_memory compiled in
+  match
+    Interp.run ?trace ?faults ?watchdog ~retry ~config:compiled.Compile.config
+      ~functional:false ~mem compiled.Compile.program
+  with
+  | exception Error.Sim_error (Error.Fault_exhausted f) ->
+      Ok
+        {
+          seconds = mpe_fallback_seconds compiled ~at:f.sim_time;
+          recovery =
+            Mpe_fallback { reason = Error.to_string (Error.Fault_exhausted f) };
+        }
+  | exception Error.Sim_error e -> Error (Sim e)
+  | result ->
+      if result.Interp.races <> [] then
+        Error (Sim (Error.Race result.Interp.races))
+      else
+        Ok
+          {
+            seconds = result.Interp.seconds;
+            recovery =
+              (if result.Interp.retries > 0 then Retried result.Interp.retries
+               else No_recovery);
+          }
 
 let perf_of ~flops ~seconds ~exact =
   { seconds; gflops = Interp.gflops ~flops ~seconds; exact }

@@ -5,6 +5,13 @@
     result against the {!Sw_blas} reference — the end-to-end correctness
     argument for the whole pipeline.
 
+    {!verify_resilient} does the same under an injected fault plan
+    ({!Sw_arch.Fault}), with bounded retry-with-backoff on reply waits and
+    graceful degradation to an MPE re-run when retries are exhausted. Its
+    contract is the resilience property tested in [test/test_fault.ml]:
+    every run either matches the reference or returns a typed error —
+    never a hang, never silent corruption.
+
     {!measure} produces the timing the experiments report. Small problems
     are simulated exactly; large ones use block-periodic extrapolation: the
     generated code is a product of identical mesh-block executions whose
@@ -19,16 +26,68 @@ type perf = {
   exact : bool;  (** [false] when block extrapolation was used *)
 }
 
-exception Runner_error of string
+type error =
+  | Sim of Sw_arch.Error.t
+      (** typed simulation failure: deadlock diagnosis, race list (all
+          races, sorted by CPE), bounds, overflow, watchdog, ... *)
+  | Mismatch of { batch : int; diff : float; scale : float; spec : string }
+      (** functional result diverged from the reference *)
 
-val verify : ?seed:int -> ?tol:float -> Compile.t -> (unit, string) result
-(** Functional run against the reference; [Error] describes the first
-    mismatch, a detected double-buffering race, or an interpreter fault.
-    Default [tol] is [1e-9] (relative). *)
+val error_to_string : error -> string
+
+exception Runner_error of error
+
+val verify : ?seed:int -> ?tol:float -> Compile.t -> (unit, error) result
+(** Functional run against the reference; [Error] carries the typed
+    failure — a [Mismatch], or [Sim (Race ...)] listing {e every} detected
+    double-buffering race with its CPE coordinates. Default [tol] is
+    [1e-9] (relative). *)
+
+(** {2 Resilient execution} *)
+
+type recovery =
+  | No_recovery  (** clean run, no fault impact on control flow *)
+  | Retried of int  (** recovered by re-waiting [n] timed-out waits *)
+  | Mpe_fallback of { reason : string }
+      (** retries exhausted; the problem re-ran on the management core *)
+
+val recovery_to_string : recovery -> string
+
+type resilient = { seconds : float; recovery : recovery }
+
+val verify_resilient :
+  ?seed:int ->
+  ?tol:float ->
+  ?faults:Sw_arch.Fault.t ->
+  ?retry:Sw_arch.Interp.retry_policy ->
+  ?watchdog:Sw_arch.Engine.watchdog ->
+  ?trace:Sw_arch.Trace.t ->
+  Compile.t ->
+  (resilient, error) result
+(** Functional verification under fault injection. [Ok] means the final C
+    matches the reference, possibly via recovery (see {!recovery});
+    [Error] is always typed — a flipped SPM element surfaces as
+    [Mismatch], stale replies as [Sim (Race ...)] or [Mismatch], a
+    permanently lost reply without retry budget as [Sim (Deadlock ...)]
+    or [Sim (Fault_exhausted ...)]-derived fallback. [retry] defaults to
+    {!Sw_arch.Interp.default_retry}. *)
+
+val timing_resilient :
+  ?faults:Sw_arch.Fault.t ->
+  ?retry:Sw_arch.Interp.retry_policy ->
+  ?watchdog:Sw_arch.Engine.watchdog ->
+  ?trace:Sw_arch.Trace.t ->
+  Compile.t ->
+  (resilient, error) result
+(** Timing-only counterpart of {!verify_resilient}, for measuring the
+    overhead of the recovery path (see [bench resilience]). *)
+
+(** {2 Timing} *)
 
 val measure : ?force_exact:bool -> Compile.t -> perf
-(** Timing-only simulation (raises {!Runner_error} if the run reports
-    races or deadlocks). *)
+(** Timing-only simulation. Raises {!Runner_error} if the run reports
+    races, and wraps any {!Sw_arch.Error.Sim_error} (deadlock, bounds,
+    ...) as [Runner_error (Sim _)]. *)
 
 val measure_exact : Compile.t -> perf
 (** Full simulation regardless of size (slow for large shapes). *)

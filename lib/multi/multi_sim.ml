@@ -84,8 +84,9 @@ let run_job ~config (j : Plan.job) ~a ~b ~c =
   install_matrix mem "B" (Matrix.pad b ~rows:padded.Spec.k ~cols:padded.Spec.n);
   install_matrix mem "C" (Matrix.pad c ~rows:padded.Spec.m ~cols:padded.Spec.n);
   match Interp.run ~config ~functional:true ~mem compiled.Compile.program with
-  | exception Interp.Interp_error e -> Error e
-  | r when r.Interp.races <> [] -> Error (List.hd r.Interp.races)
+  | exception Error.Sim_error e -> Error (Error.to_string e)
+  | r when r.Interp.races <> [] ->
+      Error (Error.to_string (Error.Race r.Interp.races))
   | _ ->
       let data = Mem.data mem "C" in
       let full =

@@ -12,6 +12,12 @@ let check_close ?(tol = 1e-9) msg expected actual =
   if abs_float (expected -. actual) > tol *. scale then
     Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
 
+(* Substring test, for asserting on diagnostic message shapes. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
 (* Compare two float arrays elementwise. *)
 let check_array_close ?(tol = 1e-9) msg expected actual =
   if Array.length expected <> Array.length actual then

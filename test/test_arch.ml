@@ -54,8 +54,38 @@ let test_deadlock_detection () =
   let c = Engine.new_counter eng in
   Engine.spawn eng (fun () -> Engine.await c 1);
   match Engine.run eng with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected deadlock failure"
+  | exception Error.Sim_error (Error.Deadlock _) -> ()
+  | _ -> Alcotest.fail "expected typed deadlock"
+
+let test_deadlock_diagnosis_shape () =
+  (* the quiescence report must name the fiber, the counter, the current vs
+     awaited value and the park time of every blocked fiber *)
+  let eng = Engine.create () in
+  let c = Engine.new_counter ~name:"reply_A[0]" eng in
+  Engine.spawn ~label:"CPE(1,2)" eng (fun () ->
+      Engine.delay 3.0;
+      Engine.await c 2);
+  Engine.spawn ~label:"CPE(0,0)" eng (fun () ->
+      Engine.counter_incr c;
+      Engine.await c 2);
+  match Engine.run eng with
+  | exception Error.Sim_error (Error.Deadlock d) ->
+      check Alcotest.int "two blocked fibers" 2
+        (List.length d.Error.fibers);
+      (* sorted by fiber label *)
+      let f0 = List.nth d.Error.fibers 0 and f1 = List.nth d.Error.fibers 1 in
+      check Alcotest.string "first fiber" "CPE(0,0)" f0.Error.fiber;
+      check Alcotest.string "second fiber" "CPE(1,2)" f1.Error.fiber;
+      check Alcotest.string "counter named" "reply_A[0]" f0.Error.counter;
+      check Alcotest.int "current value" 1 f0.Error.current;
+      check Alcotest.int "awaited value" 2 f0.Error.awaited;
+      Helpers.check_close "park time recorded" 3.0 f1.Error.parked_at;
+      let msg = Error.to_string (Error.Deadlock d) in
+      Alcotest.(check bool) "message names the CPE" true
+        (Helpers.contains msg "CPE(1,2)");
+      Alcotest.(check bool) "message names the counter" true
+        (Helpers.contains msg "reply_A[0]")
+  | _ -> Alcotest.fail "expected typed deadlock"
 
 let test_barrier () =
   let eng = Engine.create () in
@@ -140,10 +170,11 @@ let test_mem_offsets () =
     (Mem.data mem "T").(Mem.offset mem "T" ~batch:1 ~row:2 ~col:1 ());
   check Alcotest.int "row_len" 4 (Mem.row_len mem "T");
   (match Mem.offset mem "A" ~row:4 ~col:0 () with
-  | exception Invalid_argument _ -> ()
+  | exception Error.Sim_error (Error.Bounds b) ->
+      check Alcotest.string "array named" "A" b.array_name
   | _ -> Alcotest.fail "bounds check");
   match Mem.offset mem "A" ~batch:0 ~row:0 ~col:0 () with
-  | exception Invalid_argument _ -> ()
+  | exception Error.Sim_error (Error.Bounds _) -> ()
   | _ -> Alcotest.fail "batch into 2-D"
 
 (* ------------------------------------------------------------------ *)
@@ -155,7 +186,10 @@ let test_spm_capacity () =
   Spm.alloc spm "x" ~rows:4 ~cols:8 ~copies:2;
   check Alcotest.int "used" (8 * 4 * 8 * 2) (Spm.used_bytes spm);
   (match Spm.alloc spm "y" ~rows:8 ~cols:9 ~copies:1 with
-  | exception Failure _ -> ()
+  | exception Error.Sim_error (Error.Overflow o) ->
+      check Alcotest.string "buffer named" "y" o.buffer;
+      check Alcotest.int "needed bytes" (8 * 8 * 9) o.needed;
+      check Alcotest.int "capacity" 1024 o.capacity
   | _ -> Alcotest.fail "expected overflow");
   check Alcotest.int "copies" 2 (Spm.copies spm "x");
   check Alcotest.int "rows" 4 (Spm.tile_rows spm "x")
@@ -288,7 +322,7 @@ let test_interp_mini_gemm () =
   Mem.alloc mem "C" ~dims:[ 4; 4 ];
   let config = Config.tiny ~mesh:1 ~mk:(4, 4, 4) () in
   let r = Interp.run ~config ~functional:true ~mem (mini_program ~alpha:3.0) in
-  check Alcotest.(list string) "no races" [] r.Interp.races;
+  check Alcotest.int "no races" 0 (List.length r.Interp.races);
   Alcotest.(check bool) "took some time" true (r.Interp.seconds > 0.0);
   (* C = 3 * A * I = 3A *)
   let c = Mem.data mem "C" in
@@ -362,7 +396,7 @@ let test_interp_spm_overflow () =
   Mem.alloc mem "A" ~dims:[ 4; 4 ];
   let config = Config.tiny ~mesh:1 ~mk:(4, 4, 4) () in
   match Interp.run ~config ~functional:true ~mem prog with
-  | exception Interp.Interp_error _ -> ()
+  | exception Error.Sim_error (Error.Overflow _) -> ()
   | _ -> Alcotest.fail "expected SPM overflow error"
 
 let test_rma_broadcast_functional () =
@@ -444,7 +478,7 @@ let test_rma_broadcast_functional () =
     }
   in
   let r = Interp.run ~config ~functional:true ~mem prog in
-  check Alcotest.(list string) "no races" [] r.Interp.races;
+  check Alcotest.int "no races" 0 (List.length r.Interp.races);
   (* every CPE's quadrant of C holds the column-0 tile of its mesh row *)
   let c = Mem.data mem "C" in
   let a = Mem.data mem "A" in
@@ -472,6 +506,7 @@ let tests =
     ("deterministic ties", `Quick, test_engine_deterministic_ties);
     ("counter wakeup", `Quick, test_counter_wakeup);
     ("deadlock detection", `Quick, test_deadlock_detection);
+    ("deadlock diagnosis shape", `Quick, test_deadlock_diagnosis_shape);
     ("barrier rounds", `Quick, test_barrier);
     ("channel serialization", `Quick, test_channel_serialization);
     ("mem offsets and init", `Quick, test_mem_offsets);
@@ -497,7 +532,7 @@ let test_schedule_into_past () =
   Engine.spawn eng (fun () -> Engine.delay 1.0);
   ignore (Engine.run eng);
   match Engine.schedule eng ~after:(-2.0) (fun () -> ()) with
-  | exception Invalid_argument _ -> ()
+  | exception Error.Sim_error (Error.Invalid _) -> ()
   | _ -> Alcotest.fail "negative scheduling accepted"
 
 let test_counter_reset_with_waiters () =
@@ -507,7 +542,7 @@ let test_counter_reset_with_waiters () =
   Engine.spawn eng (fun () ->
       Engine.delay 1.0;
       (match Engine.counter_reset c with
-      | exception Failure _ -> ()
+      | exception Error.Sim_error (Error.Invalid _) -> ()
       | _ -> Alcotest.fail "reset with waiters accepted");
       Engine.counter_incr c);
   ignore (Engine.run eng)
@@ -521,7 +556,9 @@ let test_barrier_mismatch_deadlocks () =
     Engine.spawn eng (fun () -> Engine.barrier_wait b)
   done;
   match Engine.run eng with
-  | exception Failure _ -> ()
+  | exception Error.Sim_error (Error.Deadlock d) ->
+      check Alcotest.int "both waiters reported" 2
+        (List.length d.Error.fibers)
   | _ -> Alcotest.fail "expected deadlock"
 
 let test_zero_byte_transfer () =
@@ -552,6 +589,55 @@ let test_many_fibers_scale () =
   ignore (Engine.run eng);
   check Alcotest.int "all fibers completed" n !done_count
 
+let test_await_deadline_timeout () =
+  let eng = Engine.create () in
+  let c = Engine.new_counter eng in
+  let outcome = ref None in
+  Engine.spawn eng (fun () ->
+      outcome := Some (Engine.await_deadline c 1 ~timeout:2.0));
+  let finish = Engine.run eng in
+  check Alcotest.(option bool) "timed out" (Some false) !outcome;
+  Helpers.check_close "gave up at the deadline" 2.0 finish
+
+let test_await_deadline_satisfied () =
+  let eng = Engine.create () in
+  let c = Engine.new_counter eng in
+  let outcome = ref None in
+  Engine.spawn eng (fun () ->
+      outcome := Some (Engine.await_deadline c 1 ~timeout:5.0));
+  Engine.spawn eng (fun () ->
+      Engine.delay 1.0;
+      Engine.counter_incr c);
+  ignore (Engine.run eng);
+  check Alcotest.(option bool) "woken before deadline" (Some true) !outcome;
+  (* the stale timeout event must not fire the continuation twice: a second
+     run to the drained queue succeeds *)
+  Engine.counter_incr c
+
+let test_watchdog_events () =
+  let eng = Engine.create () in
+  Engine.set_watchdog eng { Engine.no_watchdog with Engine.max_events = Some 10 };
+  (* a self-rescheduling closure would run forever without the budget *)
+  let rec again () = Engine.schedule eng ~after:1.0 again in
+  Engine.schedule eng ~after:1.0 again;
+  match Engine.run eng with
+  | exception Error.Sim_error (Error.Watchdog w) -> (
+      match w.limit with
+      | `Events 10 -> ()
+      | _ -> Alcotest.fail "wrong limit reported")
+  | _ -> Alcotest.fail "expected watchdog trip"
+
+let test_watchdog_sim_time () =
+  let eng = Engine.create () in
+  Engine.set_watchdog eng { Engine.no_watchdog with Engine.max_sim_s = Some 5.0 };
+  let rec again () = Engine.schedule eng ~after:1.0 again in
+  Engine.schedule eng ~after:1.0 again;
+  match Engine.run eng with
+  | exception Error.Sim_error (Error.Watchdog w) ->
+      Alcotest.(check bool) "tripped past the budget" true
+        (w.sim_time > 5.0)
+  | _ -> Alcotest.fail "expected watchdog trip"
+
 let prop_engine_determinism =
   qtest ~count:20 "simulations are exactly reproducible"
     (QCheck.int_range 0 1000)
@@ -580,6 +666,10 @@ let engine_edge_tests =
     ("counter reset with waiters", `Quick, test_counter_reset_with_waiters);
     ("barrier mismatch deadlocks", `Quick, test_barrier_mismatch_deadlocks);
     ("zero-byte transfer", `Quick, test_zero_byte_transfer);
+    ("await_deadline times out", `Quick, test_await_deadline_timeout);
+    ("await_deadline satisfied", `Quick, test_await_deadline_satisfied);
+    ("watchdog event budget", `Quick, test_watchdog_events);
+    ("watchdog simulated-time budget", `Quick, test_watchdog_sim_time);
     ("thousands of fibers", `Quick, test_many_fibers_scale);
     prop_engine_determinism;
   ]
@@ -624,7 +714,7 @@ let test_interp_user_callback () =
   let mem = Mem.create () in
   let config = Config.tiny ~mesh:2 ~mk:(2, 2, 2) () in
   let r = Interp.run ~config ~functional:true ~mem ~user prog in
-  Alcotest.(check (list string)) "no races" [] r.Interp.races;
+  check Alcotest.int "no races" 0 (List.length r.Interp.races);
   check Alcotest.int "4 CPEs x 3 iterations" 12 (List.length !seen);
   (* Rid parameter resolves per CPE *)
   Alcotest.(check bool) "rid passed through" true
@@ -645,7 +735,7 @@ let test_interp_user_missing_callback () =
   let mem = Mem.create () in
   let config = Config.tiny ~mesh:1 ~mk:(2, 2, 2) () in
   match Interp.run ~config ~functional:true ~mem prog with
-  | exception Interp.Interp_error _ -> ()
+  | exception Error.Sim_error (Error.Invalid _) -> ()
   | _ -> Alcotest.fail "missing user callback accepted"
 
 let user_tests =

@@ -15,7 +15,7 @@ let compile ?options spec = Compile.compile ?options ~config:tiny spec
 let expect_ok ?seed compiled =
   match Runner.verify ?seed compiled with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Runner.error_to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* Spec / tile model                                                    *)
@@ -106,7 +106,7 @@ let test_variant (vname, options) () =
   let c = compile ~options spec in
   match Runner.verify c with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "%s: %s" vname e
+  | Error e -> Alcotest.failf "%s: %s" vname (Runner.error_to_string e)
 
 let test_alpha_beta () =
   List.iter
@@ -144,7 +144,7 @@ let test_batched_all_variants () =
       let spec = Spec.make ~batch:2 ~m:8 ~n:8 ~k:8 () in
       match Runner.verify (compile ~options spec) with
       | Ok () -> ()
-      | Error e -> Alcotest.failf "%s: %s" vname e)
+      | Error e -> Alcotest.failf "%s: %s" vname (Runner.error_to_string e))
     Options.breakdown
 
 let test_fusion_prologue () =
@@ -179,7 +179,7 @@ let prop_all_shapes_verify =
       let spec = Spec.make ~m:(8 * bm) ~n:(8 * bn) ~k:(4 * pk) () in
       match Runner.verify ~seed (compile spec) with
       | Ok () -> true
-      | Error e -> QCheck.Test.fail_report e)
+      | Error e -> QCheck.Test.fail_report (Runner.error_to_string e))
 
 let prop_variants_agree =
   qtest ~count:10 "all four variants compute identical results"
@@ -190,7 +190,7 @@ let prop_variants_agree =
         (fun (_, options) ->
           match Runner.verify ~seed (compile ~options spec) with
           | Ok () -> true
-          | Error e -> QCheck.Test.fail_report e)
+          | Error e -> QCheck.Test.fail_report (Runner.error_to_string e))
         Options.breakdown)
 
 (* ------------------------------------------------------------------ *)
@@ -305,7 +305,7 @@ let test_transposed_variants () =
       let spec = Spec.make ~ta ~tb ~m:16 ~n:8 ~k:16 () in
       match Runner.verify (compile spec) with
       | Ok () -> ()
-      | Error e -> Alcotest.failf "ta=%b tb=%b: %s" ta tb e)
+      | Error e -> Alcotest.failf "ta=%b tb=%b: %s" ta tb (Runner.error_to_string e))
     [ (true, false); (false, true); (true, true) ]
 
 let test_transposed_all_option_levels () =
@@ -314,7 +314,7 @@ let test_transposed_all_option_levels () =
       let spec = Spec.make ~ta:true ~tb:true ~m:8 ~n:8 ~k:8 () in
       match Runner.verify (compile ~options spec) with
       | Ok () -> ()
-      | Error e -> Alcotest.failf "%s: %s" vname e)
+      | Error e -> Alcotest.failf "%s: %s" vname (Runner.error_to_string e))
     Options.breakdown
 
 let test_transposed_fused_batched () =
@@ -342,7 +342,7 @@ let prop_transposes_agree_with_plain =
       let spec = Spec.make ~ta:true ~tb:true ~m:(8 * bm) ~n:8 ~k:(4 * pk) () in
       match Runner.verify ~seed (compile spec) with
       | Ok () -> true
-      | Error e -> QCheck.Test.fail_report e)
+      | Error e -> QCheck.Test.fail_report (Runner.error_to_string e))
 
 let transpose_tests =
   [
@@ -418,7 +418,7 @@ let test_mesh3_verify () =
       let spec = Spec.make ~m ~n ~k () in
       match Runner.verify (Compile.compile ~config:tiny3 spec) with
       | Ok () -> ()
-      | Error e -> Alcotest.failf "3x3 mesh %dx%dx%d: %s" m n k e)
+      | Error e -> Alcotest.failf "3x3 mesh %dx%dx%d: %s" m n k (Runner.error_to_string e))
     [ (12, 12, 6); (24, 12, 12); (12, 24, 18); (36, 24, 30) ]
 
 let test_mesh3_all_variants () =
@@ -427,7 +427,7 @@ let test_mesh3_all_variants () =
       let spec = Spec.make ~m:12 ~n:12 ~k:12 () in
       match Runner.verify (Compile.compile ~options ~config:tiny3 spec) with
       | Ok () -> ()
-      | Error e -> Alcotest.failf "3x3 mesh %s: %s" vname e)
+      | Error e -> Alcotest.failf "3x3 mesh %s: %s" vname (Runner.error_to_string e))
     Options.breakdown
 
 let test_mesh3_batched_fused () =
@@ -437,14 +437,14 @@ let test_mesh3_batched_fused () =
   in
   match Runner.verify (Compile.compile ~config:tiny3 spec) with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Runner.error_to_string e)
 
 let test_mesh4_transposed () =
   let tiny4 = Config.tiny ~mesh:4 ~mk:(2, 2, 2) () in
   let spec = Spec.make ~ta:true ~m:16 ~n:8 ~k:16 () in
   match Runner.verify (Compile.compile ~config:tiny4 spec) with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Runner.error_to_string e)
 
 let mesh_tests =
   [
@@ -509,7 +509,7 @@ let test_everything_at_once () =
         Runner.verify (Compile.compile ~options ~config:tiny3 spec)
       with
       | Ok () -> ()
-      | Error e -> Alcotest.failf "%s: %s" vname e)
+      | Error e -> Alcotest.failf "%s: %s" vname (Runner.error_to_string e))
     Options.breakdown
 
 let tests =
@@ -527,7 +527,7 @@ let test_degenerate_mesh1 () =
         (fun spec ->
           match Runner.verify (Compile.compile ~options ~config spec) with
           | Ok () -> ()
-          | Error e -> Alcotest.failf "mesh=1 %s: %s" vname e)
+          | Error e -> Alcotest.failf "mesh=1 %s: %s" vname (Runner.error_to_string e))
         [
           Spec.make ~m:4 ~n:4 ~k:8 ();
           Spec.make ~m:12 ~n:4 ~k:38 ~fusion:(Spec.Epilogue "relu") ();

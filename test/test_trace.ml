@@ -73,6 +73,45 @@ let test_gantt_renders () =
   let s = Trace.summary trace ~mesh in
   Alcotest.(check bool) "summary non-empty" true (String.length s > 20)
 
+let test_zero_duration_events_recorded () =
+  (* a wait on an already-satisfied reply consumes no simulated time; the
+     instant must still appear on the forensic timeline *)
+  let tiny = Config.tiny () in
+  let mem = Mem.create () in
+  Mem.alloc mem "A" ~dims:[ 8; 8 ];
+  let trace = Trace.create () in
+  let cluster = Cluster.create ~trace ~config:tiny ~functional:false ~mem () in
+  Cluster.alloc_buffers cluster
+    [ { Sw_ast.Ast.buf_name = "bufA"; rows = 4; cols = 4; copies = 1 } ];
+  Cluster.alloc_replies cluster [ "rA" ];
+  let c00 = Cluster.cpe cluster ~rid:0 ~cid:0 in
+  Engine.spawn ~label:"CPE(0,0)" cluster.Cluster.engine (fun () ->
+      Cluster.dma_get cluster c00 ~array_name:"A" ~batch:None ~row_lo:0
+        ~col_lo:0 ~rows:4 ~cols:4 ~buf:"bufA" ~copy:0 ~reply:"rA" ~rcopy:0;
+      Cluster.wait_reply cluster c00 ~reply:"rA" ~rcopy:0;
+      (* second wait on the same reply: satisfied at issue, zero duration *)
+      Cluster.wait_reply cluster c00 ~reply:"rA" ~rcopy:0);
+  ignore (Engine.run cluster.Cluster.engine);
+  let waits =
+    List.filter
+      (fun (e : Trace.event) -> e.Trace.kind = Trace.Wait_reply)
+      (Trace.events trace)
+  in
+  check Alcotest.int "both waits recorded" 2 (List.length waits);
+  let instants = List.filter Trace.instant waits in
+  check Alcotest.int "one is instantaneous" 1 (List.length instants);
+  let e = List.hd instants in
+  check (Alcotest.float 0.0) "empty interval" e.Trace.start e.Trace.finish;
+  (* instants never contribute to busy-time accounting *)
+  let blocked =
+    Trace.busy trace ~rid:0 ~cid:0
+      ~kind:(function Trace.Wait_reply -> true | _ -> false)
+  in
+  let real = List.find (fun e -> not (Trace.instant e)) waits in
+  check (Alcotest.float 1e-15) "busy = the one real wait"
+    (real.Trace.finish -. real.Trace.start)
+    blocked
+
 (* ------------------------------------------------------------------ *)
 (* The latency-hiding claims of §6                                      *)
 (* ------------------------------------------------------------------ *)
@@ -129,6 +168,7 @@ let tests =
     ("events recorded", `Quick, test_events_recorded);
     ("byte accounting", `Quick, test_byte_accounting);
     ("gantt renders", `Quick, test_gantt_renders);
+    ("zero-duration events recorded", `Quick, test_zero_duration_events_recorded);
     ("pipeline hides latency (§6)", `Quick, test_pipeline_hides_latency);
     ("same traffic, less time", `Quick, test_same_traffic_different_time);
     ("RMA cuts DMA traffic 8x (§5)", `Quick, test_rma_cuts_dma_traffic);
