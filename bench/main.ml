@@ -18,8 +18,18 @@ open Sw_xmath
 let config = Config.sw26010pro
 let peak = Config.peak_gflops config
 
+(* Machine-readable sink: alongside its text and CSVs, every series lands
+   in results/BENCH_<series>.json — the tables, a generated-kernel Gflops
+   summary, wall-clock, and (under --metrics) the metrics recorded while
+   it ran. Written silently so stdout stays byte-identical. *)
+let metrics_registry = ref None
+let json_tables = ref []
+let gflops_log = ref []
+
 let ours ?(options = Options.all_on) spec =
-  (Runner.measure (Compile.compile ~options ~config spec)).Runner.gflops
+  let g = (Runner.measure (Compile.compile ~options ~config spec)).Runner.gflops in
+  gflops_log := g :: !gflops_log;
+  g
 
 let lib spec = (Xmath.measure config spec).Xmath.gflops
 
@@ -40,6 +50,20 @@ let csv name columns rows =
       output_char oc '\n')
     rows;
   close_out oc;
+  json_tables :=
+    ( name,
+      Sw_obs.Json.Obj
+        [
+          ("columns", List (List.map (fun c -> Sw_obs.Json.String c) columns));
+          ( "rows",
+            List
+              (List.map
+                 (fun row ->
+                   Sw_obs.Json.List
+                     (List.map (fun x -> Sw_obs.Json.String x) row))
+                 rows) );
+        ] )
+    :: !json_tables;
   Printf.printf "[wrote results/%s.csv]\n" name
 
 (* ------------------------------------------------------------------ *)
@@ -537,10 +561,57 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
-let () =
-  let all =
-    [ fig13; fig14; fig15; fig16; cost; ablation; resilience; scaling; micro ]
+let run_series name f =
+  json_tables := [];
+  gflops_log := [];
+  let before = Option.map Sw_obs.Metrics.snapshot !metrics_registry in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let wall = Unix.gettimeofday () -. t0 in
+  let metrics_json =
+    match (!metrics_registry, before) with
+    | Some r, Some before ->
+        Sw_obs.Metrics.to_json
+          (Sw_obs.Metrics.diff ~before ~after:(Sw_obs.Metrics.snapshot r))
+    | _ -> Sw_obs.Json.Null
   in
+  let gflops_json =
+    match List.rev !gflops_log with
+    | [] -> Sw_obs.Json.Null
+    | gs ->
+        Sw_obs.Json.Obj
+          [
+            ("count", Int (List.length gs));
+            ("mean", Float (mean gs));
+            ("max", Float (List.fold_left Float.max 0.0 gs));
+          ]
+  in
+  let json =
+    Sw_obs.Json.Obj
+      [
+        ("series", String name);
+        ( "config",
+          Obj
+            [
+              ( "mesh",
+                String
+                  (Printf.sprintf "%dx%d" config.Config.mesh_rows
+                     config.Config.mesh_cols) );
+              ("peak_gflops", Float peak);
+              ( "mem_bw_gbytes_per_s",
+                Float (config.Config.mem_bw_bytes_per_s /. 1e9) );
+            ] );
+        ("wall_seconds", Float wall);
+        ("generated_gflops", gflops_json);
+        ("tables", Obj (List.rev !json_tables));
+        ("metrics", metrics_json);
+      ]
+  in
+  Sw_obs.Json.write_file ~pretty:true
+    ~path:(Filename.concat "results" ("BENCH_" ^ name ^ ".json"))
+    json
+
+let () =
   let by_name =
     [
       ("fig13", fig13); ("fig14", fig14); ("fig15", fig15); ("fig16", fig16);
@@ -548,13 +619,20 @@ let () =
       ("scaling", scaling); ("micro", micro);
     ]
   in
-  match Array.to_list Sys.argv with
-  | [] | [ _ ] -> List.iter (fun f -> f ()) all
-  | _ :: names ->
+  let args = List.tl (Array.to_list Sys.argv) in
+  let names = List.filter (fun a -> a <> "--metrics") args in
+  if List.mem "--metrics" args then begin
+    let r = Sw_obs.Metrics.create () in
+    Sw_obs.Metrics.install r;
+    metrics_registry := Some r
+  end;
+  match names with
+  | [] -> List.iter (fun (n, f) -> run_series n f) by_name
+  | names ->
       List.iter
         (fun n ->
           match List.assoc_opt n by_name with
-          | Some f -> f ()
+          | Some f -> run_series n f
           | None ->
               Printf.eprintf "unknown experiment %s (have: %s)\n" n
                 (String.concat ", " (List.map fst by_name));

@@ -2,11 +2,52 @@
    shapes, problem sizes, batch sizes, transposes, alpha/beta, fusion
    patterns and optimization levels; each generated program is executed
    functionally on the simulated cluster and checked against the reference.
-   Heavier than the unit suite; run with `dune exec bin/sweep.exe`. *)
+   Heavier than the unit suite; run with `dune exec bin/sweep.exe`.
+
+   With --metrics, a registry is installed and every candidate is compiled
+   through a shared plan cache: each trial reports its cache traffic and
+   exposed reply-wait latency, and the run ends with the full snapshot. *)
 open Sw_core
 open Sw_arch
 
 let () =
+  let metrics = Array.exists (String.equal "--metrics") Sys.argv in
+  let registry =
+    if metrics then begin
+      let r = Sw_obs.Metrics.create () in
+      Sw_obs.Metrics.install r;
+      Some r
+    end
+    else None
+  in
+  let cache = if metrics then Some (Plan_cache.create ~capacity:128 ()) else None in
+  let trial_report before =
+    match (registry, before) with
+    | Some r, Some before ->
+        let d = Sw_obs.Metrics.diff ~before ~after:(Sw_obs.Metrics.snapshot r) in
+        let count ?labels name =
+          match Sw_obs.Metrics.find d ?labels name with
+          | Some (Sw_obs.Metrics.Counter n) -> n
+          | _ -> 0
+        in
+        let waits level =
+          match
+            Sw_obs.Metrics.find d
+              ~labels:[ ("level", level) ]
+              "sim.reply_wait_seconds"
+          with
+          | Some (Sw_obs.Metrics.Histogram { n; sum; _ }) -> (n, sum)
+          | _ -> (0, 0.0)
+        in
+        let dn, ds = waits "dma" and rn, rs = waits "rma" in
+        Printf.printf
+          "    cache %d hit / %d miss; waits: dma %d (%.1f us exposed), rma \
+           %d (%.1f us exposed)\n"
+          (count "plan_cache.hits_total")
+          (count "plan_cache.misses_total")
+          dn (1e6 *. ds) rn (1e6 *. rs)
+    | _ -> ()
+  in
   let rng = Random.State.make [| 20260705 |] in
   let failures = ref 0 and total = ref 0 in
   for trial = 1 to 250 do
@@ -30,10 +71,15 @@ let () =
     let options = List.nth (List.map snd Options.breakdown) (Random.State.int rng 4) in
     let spec = Spec.make ?batch ~alpha ~beta ~ta ~tb ~fusion ~m ~n ~k () in
     incr total;
-    (match Runner.verify ~seed:trial (Compile.compile ~options ~config spec) with
-     | Ok () -> ()
+    let before = Option.map Sw_obs.Metrics.snapshot registry in
+    if metrics then
+      Printf.printf "trial %3d %s [%s]\n%!" trial (Spec.to_string spec)
+        (Options.name options);
+    (match Runner.verify ~seed:trial (Compile.compile ?cache ~options ~config spec) with
+     | Ok () -> trial_report before
      | Error e ->
          incr failures;
+         trial_report before;
          Printf.printf "FAIL trial %d mesh=%d mk=? %s [%s]: %s\n%!" trial mesh
            (Spec.to_string spec) (Options.name options)
            (Runner.error_to_string e)
@@ -42,5 +88,15 @@ let () =
          Printf.printf "EXN trial %d %s: %s\n%!" trial (Spec.to_string spec)
            (Printexc.to_string e))
   done;
+  (match (registry, cache) with
+  | Some r, Some c ->
+      let st = Plan_cache.stats c in
+      Printf.printf
+        "plan cache: %d hits, %d misses, %d evictions, %d entries\n"
+        st.Plan_cache.hits st.Plan_cache.misses st.Plan_cache.evictions
+        st.Plan_cache.entries;
+      print_string "--- metrics ---\n";
+      print_string (Sw_obs.Metrics.to_text (Sw_obs.Metrics.snapshot r))
+  | _ -> ());
   Printf.printf "sweep: %d trials, %d failures\n" !total !failures;
   exit (if !failures = 0 then 0 else 1)

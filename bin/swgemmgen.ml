@@ -100,6 +100,31 @@ let pass_stats_arg =
   let doc = "Print the per-pass wall-clock and tree-size statistics." in
   Arg.(value & flag & info [ "pass-stats" ] ~doc)
 
+let metrics_arg =
+  let doc =
+    "Install a metrics registry for the run and print its snapshot \
+     afterwards (pass runs, cache traffic, simulator wait latencies, fault \
+     injections). Without this flag no registry exists and the \
+     instrumentation sites are inert; output is unchanged."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* --metrics: the registry lives only for the duration of the run so
+   successive cmdliner evaluations (tests) cannot see each other. *)
+let with_metrics enabled f =
+  if not enabled then f ()
+  else begin
+    let registry = Sw_obs.Metrics.create () in
+    Sw_obs.Metrics.install registry;
+    Fun.protect
+      ~finally:(fun () -> Sw_obs.Metrics.uninstall ())
+      (fun () ->
+        let r = f () in
+        print_string "--- metrics ---\n";
+        print_string (Sw_obs.Metrics.to_text (Sw_obs.Metrics.snapshot registry));
+        r)
+  end
+
 let parse_fusion = function
   | None -> Ok Spec.No_fusion
   | Some s -> (
@@ -297,7 +322,8 @@ let parse_inject = function
 
 let verify_cmd =
   let run input shape batch fusion binds fbinds ta tb no_asm no_rma no_hiding
-      tiny inject =
+      tiny inject metrics =
+    with_metrics metrics @@ fun () ->
     match build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb with
     | Error e -> Error e
     | Ok spec -> (
@@ -347,7 +373,7 @@ let verify_cmd =
       term_result
         (const run $ input_arg $ shape_arg $ batch_arg $ fusion_arg $ bind_arg
        $ fbind_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg $ no_hiding_arg
-       $ tiny_arg $ inject_faults_arg))
+       $ tiny_arg $ inject_faults_arg $ metrics_arg))
   in
   Cmd.v
     (Cmd.info "verify"
@@ -397,6 +423,138 @@ let perf_cmd =
   in
   Cmd.v
     (Cmd.info "perf" ~doc:"Estimate performance and compare against xMath")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let out_dir_arg =
+  let doc = "Directory the profile artifacts are written into." in
+  Arg.(value & opt string "results" & info [ "out-dir" ] ~docv:"DIR" ~doc)
+
+(* Both artifacts are named after the padded spec, e.g.
+   profile-gemm_64x64x64.json: keep only filename-safe characters. *)
+let file_slug s =
+  String.map
+    (fun c ->
+      if
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '-' || c = '.'
+      then c
+      else '_')
+    s
+
+let profile_cmd =
+  let run input shape batch fusion binds fbinds ta tb no_asm no_rma no_hiding
+      tiny out_dir =
+    match build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb with
+    | Error e -> Error e
+    | Ok spec -> (
+        let config = config_of ~tiny in
+        let options = build_options ~no_asm ~no_rma ~no_hiding in
+        (* Everything below runs under a live registry and span sink: the
+           host side (passes, compile) lands on pid 1, the simulated
+           cluster (one track per CPE) on pid 0 of the same trace file. *)
+        let registry = Sw_obs.Metrics.create () in
+        Sw_obs.Metrics.install registry;
+        let sink = Sw_obs.Span.create () in
+        Sw_obs.Span.install sink;
+        Sw_obs.Span.set_process_name sink ~pid:Sw_obs.Span.host_pid
+          "generator (host time)";
+        Sw_obs.Span.set_thread_name sink ~pid:Sw_obs.Span.host_pid ~tid:0
+          "pipeline";
+        let finally () =
+          Sw_obs.Span.uninstall ();
+          Sw_obs.Metrics.uninstall ()
+        in
+        Fun.protect ~finally @@ fun () ->
+        match Compile.compile ~options ~config spec with
+        | exception Compile.Compile_error e -> Error (`Msg e)
+        | compiled -> (
+            match
+              Sw_obs.Span.ambient ~cat:"sim" "simulate" (fun () ->
+                  Runner.traced compiled)
+            with
+            | exception Runner.Runner_error e ->
+                Error (`Msg (Runner.error_to_string e))
+            | trace, perf ->
+                let mesh = (config.Config.mesh_rows, config.Config.mesh_cols) in
+                let util = Trace.utilization trace ~mesh in
+                let prof = Obs_bridge.profile trace in
+                let roofline =
+                  Sw_obs.Profile.roofline
+                    ~flops:(float_of_int (Compile.flops compiled))
+                    ~bytes:(float_of_int util.Trace.dma_bytes)
+                    ~seconds:perf.Runner.seconds
+                    ~peak_gflops:(Config.peak_gflops config)
+                    ~bw_gbytes_per_s:(config.Config.mem_bw_bytes_per_s /. 1e9)
+                in
+                Obs_bridge.to_chrome trace ~mesh sink;
+                let slug = file_slug (Spec.to_string compiled.Compile.spec) in
+                let report_path =
+                  Filename.concat out_dir (Printf.sprintf "profile-%s.json" slug)
+                in
+                let trace_path =
+                  Filename.concat out_dir
+                    (Printf.sprintf "profile-%s.trace.json" slug)
+                in
+                let report =
+                  Sw_obs.Json.Obj
+                    [
+                      ("spec", String (Spec.to_string compiled.Compile.spec));
+                      ("options", String (Options.name options));
+                      ("gflops", Float perf.Runner.gflops);
+                      ("seconds", Float perf.Runner.seconds);
+                      ("exact", Bool perf.Runner.exact);
+                      ("dma_bytes", Int util.Trace.dma_bytes);
+                      ("rma_bytes", Int util.Trace.rma_bytes);
+                      ("profile", Sw_obs.Profile.to_json prof);
+                      ("roofline", Sw_obs.Profile.roofline_to_json roofline);
+                      ( "metrics",
+                        Sw_obs.Metrics.to_json
+                          (Sw_obs.Metrics.snapshot registry) );
+                    ]
+                in
+                Sw_obs.Json.write_file ~pretty:true ~path:report_path report;
+                Sw_obs.Json.write_file ~path:trace_path
+                  (Sw_obs.Span.to_chrome sink);
+                Printf.printf "profile of %s [%s]\n"
+                  (Spec.to_string compiled.Compile.spec)
+                  (Options.name options);
+                Printf.printf "  %10.2f Gflops (%5.2f%% of peak)%s\n"
+                  perf.Runner.gflops
+                  (100.0 *. perf.Runner.gflops /. Config.peak_gflops config)
+                  (if perf.Runner.exact then "" else "  [extrapolated]");
+                print_string (Sw_obs.Profile.to_text prof);
+                Printf.printf
+                  "  roofline: AI %.2f flop/B vs ridge %.2f -> %s (attainable \
+                   %.2f Gflops)\n"
+                  roofline.Sw_obs.Profile.ai roofline.Sw_obs.Profile.ridge
+                  (Sw_obs.Profile.verdict_to_string
+                     roofline.Sw_obs.Profile.verdict)
+                  roofline.Sw_obs.Profile.attainable_gflops;
+                Printf.printf "  [wrote %s]\n  [wrote %s]\n" report_path
+                  trace_path;
+                Ok ()))
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ input_arg $ shape_arg $ batch_arg $ fusion_arg $ bind_arg
+       $ fbind_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg $ no_hiding_arg
+       $ tiny_arg $ out_dir_arg))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Trace a simulated run and report the latency-hiding profile: the \
+          per-CPE compute/exposed-DMA/exposed-RMA/barrier/idle partition, \
+          hidden-vs-exposed communication per pipeline level, and a \
+          roofline verdict. Writes a JSON report and a Chrome trace-event \
+          file (open at https://ui.perfetto.dev)")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -474,4 +632,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ compile_cmd; verify_cmd; perf_cmd; breakdown_cmd; tune_cmd ]))
+          [
+            compile_cmd;
+            verify_cmd;
+            perf_cmd;
+            profile_cmd;
+            breakdown_cmd;
+            tune_cmd;
+          ]))

@@ -17,6 +17,13 @@ type t = {
   functional : bool;
   trace : Trace.t option;
   faults : Fault.t option;
+  (* which primitive last armed each reply counter name: true = RMA
+     broadcast, false = DMA. Lets wait events attribute their exposed
+     latency to a pipeline level without hard-coding reply names. *)
+  reply_rma : (string, bool) Hashtbl.t;
+  (* wait-latency histograms, resolved once from the ambient registry *)
+  m_wait_dma : Sw_obs.Metrics.histogram option;
+  m_wait_rma : Sw_obs.Metrics.histogram option;
 }
 
 let create ?trace ?faults ~config ~functional ~mem () =
@@ -60,6 +67,19 @@ let create ?trace ?faults ~config ~functional ~mem () =
     functional;
     trace;
     faults;
+    reply_rma = Hashtbl.create 16;
+    m_wait_dma =
+      Option.map
+        (fun r ->
+          Sw_obs.Metrics.histogram r ~labels:[ ("level", "dma") ]
+            "sim.reply_wait_seconds")
+        (Sw_obs.Metrics.current ());
+    m_wait_rma =
+      Option.map
+        (fun r ->
+          Sw_obs.Metrics.histogram r ~labels:[ ("level", "rma") ]
+            "sim.reply_wait_seconds")
+        (Sw_obs.Metrics.current ());
   }
 
 (* Zero-duration events (an instantaneously satisfied wait, a degenerate
@@ -160,6 +180,7 @@ let dma_message t c ~put ~array_name ~batch ~row_lo ~col_lo ~rows ~cols ~buf
     ~copy ~reply ~rcopy =
   let counter = reply_counter c ~reply ~rcopy in
   Engine.counter_reset counter;
+  Hashtbl.replace t.reply_rma reply false;
   let bytes = 8 * rows * cols in
   let spm = c.spm in
   let start_finish = ref (0.0, 0.0) in
@@ -195,6 +216,8 @@ let rma_bcast t c ~dir ~src ~dst ~rows ~cols ~root ~reply_s ~reply_r ~rcopy =
   let recv_counter = reply_counter c ~reply:reply_r ~rcopy in
   Engine.counter_reset send_counter;
   Engine.counter_reset recv_counter;
+  Hashtbl.replace t.reply_rma reply_s true;
+  Hashtbl.replace t.reply_rma reply_r true;
   if my_coord <> root then
     (* this CPE sends nothing; its send counter is trivially satisfied *)
     Engine.counter_incr send_counter
@@ -232,10 +255,21 @@ let rma_bcast t c ~dir ~src ~dst ~rows ~cols ~root ~reply_s ~reply_r ~rcopy =
     trace_event t c (Trace.Rma { bytes; sender = true }) ~start ~finish
   end
 
+let reply_is_rma t reply =
+  match Hashtbl.find_opt t.reply_rma reply with Some b -> b | None -> false
+
+let note_wait t ~rma ~start ~finish =
+  match (if rma then t.m_wait_rma else t.m_wait_dma) with
+  | None -> ()
+  | Some h -> Sw_obs.Metrics.observe h (finish -. start)
+
 let wait_reply t c ~reply ~rcopy =
   let start = Engine.now t.engine in
   Engine.await (reply_counter c ~reply ~rcopy) 1;
-  trace_event t c Trace.Wait_reply ~start ~finish:(Engine.now t.engine)
+  let finish = Engine.now t.engine in
+  let rma = reply_is_rma t reply in
+  note_wait t ~rma ~start ~finish;
+  trace_event t c (Trace.Wait_reply { reply; rma }) ~start ~finish
 
 (* Like [wait_reply] but gives up after [timeout] simulated seconds; the
    interpreter's retry policy builds on this. Returns [true] when the reply
@@ -244,7 +278,10 @@ let wait_reply t c ~reply ~rcopy =
 let wait_reply_deadline t c ~reply ~rcopy ~timeout =
   let start = Engine.now t.engine in
   let ok = Engine.await_deadline (reply_counter c ~reply ~rcopy) 1 ~timeout in
-  trace_event t c Trace.Wait_reply ~start ~finish:(Engine.now t.engine);
+  let finish = Engine.now t.engine in
+  let rma = reply_is_rma t reply in
+  note_wait t ~rma ~start ~finish;
+  trace_event t c (Trace.Wait_reply { reply; rma }) ~start ~finish;
   ok
 
 let sync t (c : cpe) =

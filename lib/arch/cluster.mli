@@ -31,6 +31,15 @@ type t = {
   functional : bool;
   trace : Trace.t option;
   faults : Fault.t option;
+  reply_rma : (string, bool) Hashtbl.t;
+      (** which primitive last armed each reply counter name ([true] =
+          RMA broadcast, [false] = DMA): wait events use it to attribute
+          exposed latency to a pipeline level *)
+  m_wait_dma : Sw_obs.Metrics.histogram option;
+      (** reply-wait latency instruments, resolved once at {!create} from
+          the ambient {!Sw_obs.Metrics} registry; [None] when metrics are
+          off, making every observation a single match *)
+  m_wait_rma : Sw_obs.Metrics.histogram option;
 }
 
 val create :

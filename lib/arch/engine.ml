@@ -92,6 +92,11 @@ type t = {
   mutable watchdog : watchdog;
   mutable events_run : int;
   mutable host_start : float;
+  (* instruments resolved once at creation from the ambient registry, so
+     the per-event cost when metrics are on is one observation and when
+     off a single match on None *)
+  m_queue_depth : Sw_obs.Metrics.histogram option;
+  m_events : Sw_obs.Metrics.counter option;
 }
 
 and counter = {
@@ -120,6 +125,16 @@ let create () =
     watchdog = no_watchdog;
     events_run = 0;
     host_start = 0.0;
+    m_queue_depth =
+      Option.map
+        (fun r ->
+          Sw_obs.Metrics.histogram r ~lower:1.0 ~growth:2.0 ~buckets:24
+            "sim.queue_depth")
+        (Sw_obs.Metrics.current ());
+    m_events =
+      Option.map
+        (fun r -> Sw_obs.Metrics.counter r "sim.events_total")
+        (Sw_obs.Metrics.current ());
   }
 
 let now t = t.clock
@@ -135,7 +150,10 @@ let push t ~at payload =
             (Printf.sprintf "Engine: scheduling into the past (%.6g < %.6g)" at
                t.clock)));
   t.seq <- t.seq + 1;
-  Heap.push t.heap { Heap.time = at; seq = t.seq; payload }
+  Heap.push t.heap { Heap.time = at; seq = t.seq; payload };
+  match t.m_queue_depth with
+  | None -> ()
+  | Some h -> Sw_obs.Metrics.observe h (float_of_int t.heap.Heap.size)
 
 let schedule t ~after f = push t ~at:(t.clock +. after) f
 
@@ -261,6 +279,7 @@ let armed w = w.max_sim_s <> None || w.max_events <> None || w.max_host_s <> Non
 
 let run t =
   t.host_start <- Sys.time ();
+  let events_at_entry = t.events_run in
   let guarded = armed t.watchdog in
   let rec loop () =
     match Heap.pop t.heap with
@@ -273,6 +292,9 @@ let run t =
         loop ()
   in
   loop ();
+  (match t.m_events with
+  | None -> ()
+  | Some c -> Sw_obs.Metrics.incr ~by:(t.events_run - events_at_entry) c);
   if t.blocked > 0 then
     raise
       (Error.Sim_error

@@ -68,6 +68,9 @@ type t = {
   seed : int;
   rng : Random.State.t;
   counts : int array;  (* injections performed, indexed by kind *)
+  (* mirror counters in the ambient metrics registry (if one was installed
+     when the plan was built), labelled by kind *)
+  m_inject : Sw_obs.Metrics.counter array option;
 }
 
 let kind_index = function
@@ -79,11 +82,32 @@ let kind_index = function
   | Flip -> 5
 
 let plan ?(spec = default_spec) ~seed () =
-  { spec; seed; rng = Random.State.make [| 0x5057; seed |]; counts = Array.make 6 0 }
+  {
+    spec;
+    seed;
+    rng = Random.State.make [| 0x5057; seed |];
+    counts = Array.make 6 0;
+    m_inject =
+      Option.map
+        (fun r ->
+          Array.of_list
+            (List.map
+               (fun k ->
+                 Sw_obs.Metrics.counter r
+                   ~labels:[ ("kind", kind_to_string k) ]
+                   "fault.injections_total")
+               all_kinds))
+        (Sw_obs.Metrics.current ());
+  }
 
 let seed t = t.seed
 let enabled t k = List.mem k t.spec.kinds
-let bump t k = t.counts.(kind_index k) <- t.counts.(kind_index k) + 1
+
+let bump t k =
+  t.counts.(kind_index k) <- t.counts.(kind_index k) + 1;
+  match t.m_inject with
+  | None -> ()
+  | Some arr -> Sw_obs.Metrics.incr arr.(kind_index k)
 
 let stats t =
   List.filter_map

@@ -62,6 +62,7 @@ let wait_with_retry cluster (cpe : Cluster.cpe) ~retry ~retries ~reply ~rcopy =
                   }))
         else begin
           incr retries;
+          Sw_obs.Metrics.incr_a "sim.retries_total";
           attempt (i + 1) (timeout *. p.backoff)
         end
       in

@@ -1,0 +1,86 @@
+(* Map simulated-cluster traces onto the observability layer: per-CPE
+   profiler samples for the latency-hiding analysis, and per-CPE Chrome
+   trace tracks (pid 0, one tid per CPE) for Perfetto. *)
+
+let track_name ~rid ~cid = Printf.sprintf "CPE(%d,%d)" rid cid
+
+let sample_cls = function
+  | Trace.Kernel | Trace.Spm_op -> Some Sw_obs.Profile.Compute
+  | Trace.Dma _ -> Some (Sw_obs.Profile.Comm Sw_obs.Profile.Dma)
+  | Trace.Rma { sender = true; _ } ->
+      Some (Sw_obs.Profile.Comm Sw_obs.Profile.Rma)
+  | Trace.Rma _ -> None
+  | Trace.Wait_reply { rma; _ } ->
+      Some
+        (Sw_obs.Profile.Wait
+           (if rma then Sw_obs.Profile.Rma else Sw_obs.Profile.Dma))
+  | Trace.Barrier -> Some Sw_obs.Profile.Barrier
+
+let samples trace =
+  List.filter_map
+    (fun (e : Trace.event) ->
+      match sample_cls e.Trace.kind with
+      | None -> None
+      | Some cls ->
+          Some
+            {
+              Sw_obs.Profile.track = track_name ~rid:e.Trace.rid ~cid:e.Trace.cid;
+              cls;
+              start = e.Trace.start;
+              finish = e.Trace.finish;
+            })
+    (Trace.events trace)
+
+let profile trace = Sw_obs.Profile.analyze (samples trace)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let event_name = function
+  | Trace.Kernel -> ("kernel", "compute")
+  | Trace.Spm_op -> ("spm_op", "compute")
+  | Trace.Dma { put = true; _ } -> ("dma_put", "dma")
+  | Trace.Dma _ -> ("dma_get", "dma")
+  | Trace.Rma { sender = true; _ } -> ("rma_bcast", "rma")
+  | Trace.Rma _ -> ("rma_recv", "rma")
+  | Trace.Wait_reply _ -> ("wait_reply", "wait")
+  | Trace.Barrier -> ("barrier", "wait")
+
+let event_args = function
+  | Trace.Dma { bytes; put } ->
+      [ ("bytes", Sw_obs.Span.I bytes); ("put", Sw_obs.Span.B put) ]
+  | Trace.Rma { bytes; sender } ->
+      [ ("bytes", Sw_obs.Span.I bytes); ("sender", Sw_obs.Span.B sender) ]
+  | Trace.Wait_reply { reply; rma } ->
+      [
+        ("reply", Sw_obs.Span.S reply);
+        ("level", Sw_obs.Span.S (if rma then "rma" else "dma"));
+      ]
+  | Trace.Kernel | Trace.Spm_op | Trace.Barrier -> []
+
+let to_chrome trace ~mesh:(rows, cols) sink =
+  Sw_obs.Span.set_process_name sink ~pid:Sw_obs.Span.sim_pid
+    "simulated cluster (simulated time)";
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Sw_obs.Span.set_thread_name sink ~pid:Sw_obs.Span.sim_pid
+        ~tid:((r * cols) + c)
+        (track_name ~rid:r ~cid:c)
+    done
+  done;
+  List.iter
+    (fun (e : Trace.event) ->
+      let name, cat = event_name e.Trace.kind in
+      let args = event_args e.Trace.kind in
+      let tid = (e.Trace.rid * cols) + e.Trace.cid in
+      let ts_us = 1e6 *. e.Trace.start in
+      if Trace.instant e then
+        Sw_obs.Span.instant sink ~cat ~args ~pid:Sw_obs.Span.sim_pid ~tid
+          ~ts_us name
+      else
+        Sw_obs.Span.complete sink ~cat ~args ~pid:Sw_obs.Span.sim_pid ~tid
+          ~ts_us
+          ~dur_us:(1e6 *. (e.Trace.finish -. e.Trace.start))
+          name)
+    (Trace.events trace)

@@ -3,8 +3,10 @@ type kind =
   | Spm_op
   | Dma of { bytes : int; put : bool }
   | Rma of { bytes : int; sender : bool }
-  | Wait_reply
+  | Wait_reply of { reply : string; rma : bool }
   | Barrier
+
+let is_wait = function Wait_reply _ -> true | _ -> false
 
 type event = { rid : int; cid : int; kind : kind; start : float; finish : float }
 
@@ -36,7 +38,12 @@ type utilization = {
   rma_bytes : int;
 }
 
+let empty_utilization =
+  { span = 0.0; kernel_frac = 0.0; blocked_frac = 0.0; dma_bytes = 0; rma_bytes = 0 }
+
 let utilization t ~mesh:(rows, cols) =
+  if t.evs = [] then empty_utilization
+  else begin
   let lo = ref infinity and hi = ref neg_infinity in
   let dma_bytes = ref 0 and rma_bytes = ref 0 in
   List.iter
@@ -46,8 +53,10 @@ let utilization t ~mesh:(rows, cols) =
       match e.kind with
       | Dma { bytes; _ } -> dma_bytes := !dma_bytes + bytes
       | Rma { bytes; sender = true } -> rma_bytes := !rma_bytes + bytes
-      | Rma _ | Kernel | Spm_op | Wait_reply | Barrier -> ())
+      | Rma _ | Kernel | Spm_op | Wait_reply _ | Barrier -> ())
     t.evs;
+  (* a trace of only instants has zero span; every frac guards against
+     dividing by it and reports an all-zero utilization *)
   let span = if !hi > !lo then !hi -. !lo else 0.0 in
   let ncpe = float_of_int (rows * cols) in
   let frac kind =
@@ -64,10 +73,11 @@ let utilization t ~mesh:(rows, cols) =
   {
     span;
     kernel_frac = frac (function Kernel -> true | _ -> false);
-    blocked_frac = frac (function Wait_reply | Barrier -> true | _ -> false);
+    blocked_frac = frac (function Wait_reply _ | Barrier -> true | _ -> false);
     dma_bytes = !dma_bytes;
     rma_bytes = !rma_bytes;
   }
+  end
 
 let gantt t ~rid ~cid ~width =
   let evs = List.filter (fun e -> e.rid = rid && e.cid = cid) t.evs in
@@ -83,7 +93,7 @@ let gantt t ~rid ~cid ~width =
         | Spm_op -> (3, 'E')
         | Rma _ -> (2, 'R')
         | Dma _ -> (2, 'D')
-        | Wait_reply -> (1, 'w')
+        | Wait_reply _ -> (1, 'w')
         | Barrier -> (1, 'b')
       in
       let cell_prio = Array.make width 0 in

@@ -13,8 +13,13 @@ type kind =
   | Spm_op  (** element-wise pass *)
   | Dma of { bytes : int; put : bool }
   | Rma of { bytes : int; sender : bool }
-  | Wait_reply
+  | Wait_reply of { reply : string; rma : bool }
+      (** [reply] is the counter name; [rma] tells whether the reply was
+          armed by an RMA broadcast (else a DMA transfer) — the profiler
+          uses it to attribute exposed latency to a pipeline level. *)
   | Barrier
+
+val is_wait : kind -> bool
 
 type event = { rid : int; cid : int; kind : kind; start : float; finish : float }
 
@@ -43,6 +48,8 @@ type utilization = {
 }
 
 val utilization : t -> mesh:int * int -> utilization
+(** An empty trace — or one holding only zero-duration instants — has no
+    span; the result is then all zeros rather than a division by zero. *)
 
 val gantt : t -> rid:int -> cid:int -> width:int -> string
 (** ASCII lane of one CPE's activity: [K] kernel, [D] DMA wait-side,

@@ -17,6 +17,15 @@ let flops t = Spec.flops t.spec
 
 let compile ?(options = Options.all_on) ?(debug = false) ?cache ?observer
     ~config original =
+  Sw_obs.Span.ambient ~cat:"compile"
+    ~args:
+      [
+        ("m", Sw_obs.Span.I original.Spec.m);
+        ("n", Sw_obs.Span.I original.Spec.n);
+        ("k", Sw_obs.Span.I original.Spec.k);
+      ]
+    "compile"
+  @@ fun () ->
   (match Options.validate options with Ok () -> () | Error e -> fail "%s" e);
   (match Sw_arch.Config.validate config with
   | Ok () -> ()

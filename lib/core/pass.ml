@@ -108,8 +108,22 @@ let run_pipeline ?validate ?observer passes state =
     else begin
       let nodes_before = tree_nodes state in
       let t0 = Unix.gettimeofday () in
-      let state = p.run state in
+      let state =
+        Sw_obs.Span.ambient ~cat:"pass"
+          ~args:[ ("section", Sw_obs.Span.S p.section) ]
+          p.name
+          (fun () -> p.run state)
+      in
       let seconds = Unix.gettimeofday () -. t0 in
+      (if Sw_obs.Metrics.enabled () then begin
+         let labels = [ ("pass", p.name) ] in
+         Sw_obs.Metrics.incr_a ~labels "pass.runs_total";
+         Sw_obs.Metrics.observe_a ~labels "pass.seconds" seconds;
+         Sw_obs.Metrics.set_a ~labels "pass.tree_nodes"
+           (float_of_int (tree_nodes state));
+         Sw_obs.Metrics.set_a ~labels "pass.tree_depth"
+           (float_of_int (tree_depth state))
+       end);
       (match validate with
       | None -> ()
       | Some check -> (

@@ -4,13 +4,21 @@ type 'a t = {
   mutable order : string list;  (* insertion order, oldest first *)
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
-type stats = { hits : int; misses : int; entries : int }
+type stats = { hits : int; misses : int; evictions : int; entries : int }
 
 let create ?(capacity = 64) () =
   if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be positive";
-  { capacity; table = Hashtbl.create capacity; order = []; hits = 0; misses = 0 }
+  {
+    capacity;
+    table = Hashtbl.create capacity;
+    order = [];
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
 
 (* The key must change whenever anything the pipeline reads changes: the
    requested problem, the enabled optimizations and the machine model are
@@ -22,16 +30,20 @@ let find_or_add t ~key:k produce =
   match Hashtbl.find_opt t.table k with
   | Some plan ->
       t.hits <- t.hits + 1;
+      Sw_obs.Metrics.incr_a "plan_cache.hits_total";
       plan
   | None ->
       t.misses <- t.misses + 1;
+      Sw_obs.Metrics.incr_a "plan_cache.misses_total";
       let plan = produce () in
       if not (Hashtbl.mem t.table k) then begin
         if List.length t.order >= t.capacity then
           (match t.order with
           | oldest :: rest ->
               Hashtbl.remove t.table oldest;
-              t.order <- rest
+              t.order <- rest;
+              t.evictions <- t.evictions + 1;
+              Sw_obs.Metrics.incr_a "plan_cache.evictions_total"
           | [] -> ());
         Hashtbl.add t.table k plan;
         t.order <- t.order @ [ k ]
@@ -44,7 +56,13 @@ let clear t =
   Hashtbl.reset t.table;
   t.order <- [];
   t.hits <- 0;
-  t.misses <- 0
+  t.misses <- 0;
+  t.evictions <- 0
 
 let stats (t : 'a t) =
-  { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.table }
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    entries = Hashtbl.length t.table;
+  }

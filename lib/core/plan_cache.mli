@@ -8,7 +8,10 @@
 
 type 'a t
 
-type stats = { hits : int; misses : int; entries : int }
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+(** When an ambient {!Sw_obs.Metrics} registry is installed, every hit,
+    miss and FIFO eviction also bumps [plan_cache.hits_total] /
+    [plan_cache.misses_total] / [plan_cache.evictions_total]. *)
 
 val create : ?capacity:int -> unit -> 'a t
 (** FIFO-evicting cache holding at most [capacity] (default 64) plans.

@@ -164,6 +164,7 @@ let verify_resilient ?(seed = 42) ?(tol = 1e-9) ?faults
       (* graceful degradation: the mesh-side run is abandoned and the whole
          problem re-runs on the MPE, whose result is the reference by
          construction — correct, just slow *)
+      Sw_obs.Metrics.incr_a "runner.mpe_fallbacks_total";
       Ok
         {
           seconds = mpe_fallback_seconds compiled ~at:f.sim_time;
@@ -222,6 +223,7 @@ let timing_resilient ?faults ?(retry = Interp.default_retry) ?watchdog ?trace
       ~functional:false ~mem compiled.Compile.program
   with
   | exception Error.Sim_error (Error.Fault_exhausted f) ->
+      Sw_obs.Metrics.incr_a "runner.mpe_fallbacks_total";
       Ok
         {
           seconds = mpe_fallback_seconds compiled ~at:f.sim_time;

@@ -1,0 +1,31 @@
+(** Minimal JSON emitter.
+
+    The observability layer writes three artifact families — metric
+    snapshots, Chrome trace-event files, profile reports — and every
+    consumer (Perfetto, CI validators, re-plotting scripts) parses them
+    with a strict JSON parser, so the emitter must be exact: full string
+    escaping (quotes, backslashes, control characters as \uXXXX) and no
+    bare [nan]/[inf] literals (both render as [null]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** The JSON string-literal image of [s], without the surrounding
+    quotes. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Render; [pretty] (default false) adds newlines and two-space
+    indentation. *)
+
+val to_channel : ?pretty:bool -> out_channel -> t -> unit
+
+val write_file : ?pretty:bool -> path:string -> t -> unit
+(** Create parent directory if missing (one level), write atomically via a
+    temporary file. *)

@@ -1,0 +1,299 @@
+type level = Dma | Rma
+
+type cls =
+  | Compute
+  | Comm of level
+  | Wait of level
+  | Barrier
+
+type sample = { track : string; cls : cls; start : float; finish : float }
+
+type lane = {
+  track : string;
+  compute : float;
+  exposed_dma : float;
+  exposed_rma : float;
+  barrier : float;
+  idle : float;
+  hidden_dma : float;
+  hidden_rma : float;
+  comm_dma : float;
+  comm_rma : float;
+}
+
+type t = {
+  span : float;
+  lanes : lane list;
+  compute_frac : float;
+  exposed_dma_frac : float;
+  exposed_rma_frac : float;
+  barrier_frac : float;
+  idle_frac : float;
+  hidden_dma_frac : float;
+  hidden_rma_frac : float;
+}
+
+(* Class indices for the sweep's active-count table. *)
+let n_classes = 6
+
+let class_index = function
+  | Compute -> 0
+  | Comm Dma -> 1
+  | Comm Rma -> 2
+  | Wait Dma -> 3
+  | Wait Rma -> 4
+  | Barrier -> 5
+
+(* One track: sweep the interval boundaries in time order, maintaining how
+   many intervals of each class cover the current elementary segment, and
+   attribute each segment to exactly one partition state. *)
+let analyze_lane ~track ~lo ~hi samples =
+  let bounds =
+    List.concat_map
+      (fun s ->
+        let a = Float.max s.start lo and b = Float.min s.finish hi in
+        if b > a then
+          let c = class_index s.cls in
+          [ (a, 1, c); (b, -1, c) ]
+        else [])
+      samples
+  in
+  let bounds =
+    List.sort
+      (fun (ta, da, _) (tb, db, _) ->
+        if ta <> tb then compare ta tb else compare da db (* close before open *))
+      bounds
+  in
+  let active = Array.make n_classes 0 in
+  let acc =
+    ref
+      {
+        track;
+        compute = 0.0;
+        exposed_dma = 0.0;
+        exposed_rma = 0.0;
+        barrier = 0.0;
+        idle = 0.0;
+        hidden_dma = 0.0;
+        hidden_rma = 0.0;
+        comm_dma = 0.0;
+        comm_rma = 0.0;
+      }
+  in
+  let charge dur =
+    if dur > 0.0 then begin
+      let l = !acc in
+      let l =
+        if active.(0) > 0 then { l with compute = l.compute +. dur }
+        else if active.(1) > 0 || active.(3) > 0 then
+          { l with exposed_dma = l.exposed_dma +. dur }
+        else if active.(2) > 0 || active.(4) > 0 then
+          { l with exposed_rma = l.exposed_rma +. dur }
+        else if active.(5) > 0 then { l with barrier = l.barrier +. dur }
+        else { l with idle = l.idle +. dur }
+      in
+      let l =
+        if active.(1) > 0 then { l with comm_dma = l.comm_dma +. dur } else l
+      in
+      let l =
+        if active.(2) > 0 then { l with comm_rma = l.comm_rma +. dur } else l
+      in
+      let l =
+        if active.(0) > 0 && active.(1) > 0 then
+          { l with hidden_dma = l.hidden_dma +. dur }
+        else l
+      in
+      let l =
+        if active.(0) > 0 && active.(2) > 0 then
+          { l with hidden_rma = l.hidden_rma +. dur }
+        else l
+      in
+      acc := l
+    end
+  in
+  let cursor = ref lo in
+  List.iter
+    (fun (t, delta, c) ->
+      charge (t -. !cursor);
+      cursor := t;
+      active.(c) <- active.(c) + delta)
+    bounds;
+  charge (hi -. !cursor);
+  !acc
+
+let analyze samples =
+  match samples with
+  | [] ->
+      {
+        span = 0.0;
+        lanes = [];
+        compute_frac = 0.0;
+        exposed_dma_frac = 0.0;
+        exposed_rma_frac = 0.0;
+        barrier_frac = 0.0;
+        idle_frac = 0.0;
+        hidden_dma_frac = 1.0;
+        hidden_rma_frac = 1.0;
+      }
+  | _ ->
+      let lo =
+        List.fold_left (fun a s -> Float.min a s.start) infinity samples
+      in
+      let hi =
+        List.fold_left (fun a s -> Float.max a s.finish) neg_infinity samples
+      in
+      let span = Float.max (hi -. lo) 0.0 in
+      let by_track = Hashtbl.create 64 in
+      List.iter
+        (fun (s : sample) ->
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt by_track s.track)
+          in
+          Hashtbl.replace by_track s.track (s :: prev))
+        samples;
+      let lanes =
+        Hashtbl.fold
+          (fun track ss acc -> analyze_lane ~track ~lo ~hi ss :: acc)
+          by_track []
+        |> List.sort (fun a b -> compare a.track b.track)
+      in
+      let nl = float_of_int (List.length lanes) in
+      let mean f =
+        if span <= 0.0 || nl = 0.0 then 0.0
+        else List.fold_left (fun a l -> a +. f l) 0.0 lanes /. (nl *. span)
+      in
+      let total f = List.fold_left (fun a l -> a +. f l) 0.0 lanes in
+      let hidden_frac hidden exposed =
+        let h = total hidden and e = total exposed in
+        if h +. e <= 0.0 then 1.0 else h /. (h +. e)
+      in
+      {
+        span;
+        lanes;
+        compute_frac = mean (fun l -> l.compute);
+        exposed_dma_frac = mean (fun l -> l.exposed_dma);
+        exposed_rma_frac = mean (fun l -> l.exposed_rma);
+        barrier_frac = mean (fun l -> l.barrier);
+        idle_frac = mean (fun l -> l.idle);
+        hidden_dma_frac =
+          hidden_frac (fun l -> l.hidden_dma) (fun l -> l.exposed_dma);
+        hidden_rma_frac =
+          hidden_frac (fun l -> l.hidden_rma) (fun l -> l.exposed_rma);
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Roofline                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = Compute_bound | Memory_bound | Balanced
+
+type roofline = {
+  ai : float;
+  ridge : float;
+  attainable_gflops : float;
+  achieved_gflops : float;
+  verdict : verdict;
+}
+
+let verdict_to_string = function
+  | Compute_bound -> "compute-bound"
+  | Memory_bound -> "memory-bound"
+  | Balanced -> "balanced"
+
+let roofline ~flops ~bytes ~seconds ~peak_gflops ~bw_gbytes_per_s =
+  let ai = if bytes > 0.0 then flops /. bytes else infinity in
+  let ridge =
+    if bw_gbytes_per_s > 0.0 then peak_gflops /. bw_gbytes_per_s else 0.0
+  in
+  let attainable_gflops =
+    Float.min peak_gflops (ai *. bw_gbytes_per_s)
+  in
+  let achieved_gflops =
+    if seconds > 0.0 then flops /. seconds /. 1e9 else 0.0
+  in
+  let verdict =
+    if ai > 1.1 *. ridge then Compute_bound
+    else if ai < 0.9 *. ridge then Memory_bound
+    else Balanced
+  in
+  { ai; ridge; attainable_gflops; achieved_gflops; verdict }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let lane_json span l =
+  let frac x = if span > 0.0 then x /. span else 0.0 in
+  Json.Obj
+    [
+      ("track", Json.String l.track);
+      ("compute_frac", Json.Float (frac l.compute));
+      ("exposed_dma_frac", Json.Float (frac l.exposed_dma));
+      ("exposed_rma_frac", Json.Float (frac l.exposed_rma));
+      ("barrier_frac", Json.Float (frac l.barrier));
+      ("idle_frac", Json.Float (frac l.idle));
+      ("hidden_dma_s", Json.Float l.hidden_dma);
+      ("hidden_rma_s", Json.Float l.hidden_rma);
+      ("comm_dma_s", Json.Float l.comm_dma);
+      ("comm_rma_s", Json.Float l.comm_rma);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("span_s", Json.Float t.span);
+      ("compute_frac", Json.Float t.compute_frac);
+      ("exposed_dma_frac", Json.Float t.exposed_dma_frac);
+      ("exposed_rma_frac", Json.Float t.exposed_rma_frac);
+      ("barrier_frac", Json.Float t.barrier_frac);
+      ("idle_frac", Json.Float t.idle_frac);
+      ("hidden_dma_frac", Json.Float t.hidden_dma_frac);
+      ("hidden_rma_frac", Json.Float t.hidden_rma_frac);
+      ("lanes", Json.List (List.map (lane_json t.span) t.lanes));
+    ]
+
+let roofline_to_json r =
+  Json.Obj
+    [
+      ("arithmetic_intensity", Json.Float r.ai);
+      ("ridge", Json.Float r.ridge);
+      ("attainable_gflops", Json.Float r.attainable_gflops);
+      ("achieved_gflops", Json.Float r.achieved_gflops);
+      ("verdict", Json.String (verdict_to_string r.verdict));
+    ]
+
+let to_text t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "span %.3f ms | compute %.1f%% | exposed DMA %.1f%% | exposed RMA \
+        %.1f%% | barrier %.1f%% | idle %.1f%%\n"
+       (1000.0 *. t.span)
+       (100.0 *. t.compute_frac)
+       (100.0 *. t.exposed_dma_frac)
+       (100.0 *. t.exposed_rma_frac)
+       (100.0 *. t.barrier_frac)
+       (100.0 *. t.idle_frac));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "latency hiding: DMA %.1f%% hidden, RMA %.1f%% hidden behind compute\n"
+       (100.0 *. t.hidden_dma_frac)
+       (100.0 *. t.hidden_rma_frac));
+  if t.lanes <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "%-12s %8s %8s %8s %8s %8s\n" "track" "compute" "xDMA"
+         "xRMA" "barrier" "idle");
+    let frac x = if t.span > 0.0 then 100.0 *. x /. t.span else 0.0 in
+    List.iteri
+      (fun i l ->
+        if i < 16 then
+          Buffer.add_string buf
+            (Printf.sprintf "%-12s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n"
+               l.track (frac l.compute) (frac l.exposed_dma)
+               (frac l.exposed_rma) (frac l.barrier) (frac l.idle)))
+      t.lanes;
+    if List.length t.lanes > 16 then
+      Buffer.add_string buf
+        (Printf.sprintf "  ... and %d more lanes\n" (List.length t.lanes - 16))
+  end;
+  Buffer.contents buf

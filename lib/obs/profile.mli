@@ -1,0 +1,93 @@
+(** Latency-hiding profiler.
+
+    Input: timed activity samples on named tracks (one track per CPE).
+    Output: for each track an exact partition of the global time span into
+    five exclusive states — compute, exposed DMA, exposed RMA, barrier,
+    idle — plus, per pipeline level (DMA = memory<->SPM, the outer
+    software-pipeline level; RMA = on-mesh broadcast, the inner level),
+    how much communication time was hidden behind compute versus exposed.
+
+    Classification of an instant on a track, by priority: computing;
+    else DMA active or waited on (exposed DMA); else RMA active or waited
+    on (exposed RMA); else at a barrier; else idle. Because this is a
+    partition, the five durations sum exactly to the span on every track
+    — the invariant the paper's §6 latency-hiding argument is checked
+    against. Hidden communication (a transfer in flight while the same
+    track computes) is accounted separately and never double-books the
+    partition.
+
+    A {!roofline} verdict classifies the whole run as compute- or
+    memory-bound from its arithmetic intensity against the machine's
+    ridge point. *)
+
+type level = Dma | Rma
+
+type cls =
+  | Compute  (** micro-kernel or SPM element-wise work *)
+  | Comm of level  (** an asynchronous transfer in flight *)
+  | Wait of level  (** the fiber blocked on that level's reply *)
+  | Barrier
+
+type sample = { track : string; cls : cls; start : float; finish : float }
+
+type lane = {
+  track : string;
+  compute : float;
+  exposed_dma : float;
+  exposed_rma : float;
+  barrier : float;
+  idle : float;  (** the five fields partition the span exactly *)
+  hidden_dma : float;  (** DMA in flight while computing *)
+  hidden_rma : float;
+  comm_dma : float;  (** union measure of DMA activity *)
+  comm_rma : float;
+}
+
+type t = {
+  span : float;  (** first start to last finish over all tracks *)
+  lanes : lane list;  (** sorted by track name *)
+  compute_frac : float;  (** mean over lanes of compute / span *)
+  exposed_dma_frac : float;
+  exposed_rma_frac : float;
+  barrier_frac : float;
+  idle_frac : float;
+  hidden_dma_frac : float;
+      (** aggregate hidden / (hidden + exposed) for the DMA level; [1.0]
+          when the level has no communication at all *)
+  hidden_rma_frac : float;
+}
+
+val analyze : sample list -> t
+(** Empty input yields [span = 0], no lanes, zero fractions and hidden
+    fractions of [1.0]. *)
+
+(** {2 Roofline} *)
+
+type verdict = Compute_bound | Memory_bound | Balanced
+
+type roofline = {
+  ai : float;  (** arithmetic intensity, flops / main-memory byte *)
+  ridge : float;  (** peak_gflops / bandwidth: the roofline's ridge point *)
+  attainable_gflops : float;  (** min(peak, ai * bw) *)
+  achieved_gflops : float;
+  verdict : verdict;  (** [Balanced] within 10% of the ridge *)
+}
+
+val roofline :
+  flops:float ->
+  bytes:float ->
+  seconds:float ->
+  peak_gflops:float ->
+  bw_gbytes_per_s:float ->
+  roofline
+
+val verdict_to_string : verdict -> string
+
+(** {2 Rendering} *)
+
+val to_text : t -> string
+(** Aggregate fractions, per-level hiding, and a per-lane table capped at
+    the first 16 lanes. *)
+
+val to_json : t -> Json.t
+val roofline_to_json : roofline -> Json.t

@@ -1,0 +1,121 @@
+type arg = S of string | I of int | F of float | B of bool
+
+type ev = {
+  name : string;
+  cat : string;
+  ph : string;  (* "X" complete, "i" instant *)
+  pid : int;
+  tid : int;
+  ts_us : float;
+  dur_us : float;  (* ignored for instants *)
+  args : (string * arg) list;
+}
+
+type sink = {
+  clock : unit -> float;
+  epoch : float;
+  mutable evs : ev list;  (* newest first *)
+  mutable nevs : int;
+  mutable names : ((int * int option) * string) list;  (* (pid, tid?) -> name *)
+}
+
+let host_pid = 1
+let sim_pid = 0
+
+let create ?(clock = Unix.gettimeofday) () =
+  { clock; epoch = clock (); evs = []; nevs = 0; names = [] }
+
+let push t e =
+  t.evs <- e :: t.evs;
+  t.nevs <- t.nevs + 1
+
+let complete t ?(cat = "") ?(args = []) ~pid ~tid ~ts_us ~dur_us name =
+  push t { name; cat; ph = "X"; pid; tid; ts_us; dur_us; args }
+
+let instant t ?(cat = "") ?(args = []) ~pid ~tid ~ts_us name =
+  push t { name; cat; ph = "i"; pid; tid; ts_us; dur_us = 0.0; args }
+
+let span t ?cat ?args ?(tid = 0) name f =
+  let t0 = t.clock () in
+  Fun.protect
+    ~finally:(fun () ->
+      let t1 = t.clock () in
+      complete t ?cat ?args ~pid:host_pid ~tid
+        ~ts_us:(1e6 *. (t0 -. t.epoch))
+        ~dur_us:(1e6 *. (t1 -. t0))
+        name)
+    f
+
+let set_process_name t ~pid name =
+  t.names <- ((pid, None), name) :: List.remove_assoc (pid, None) t.names
+
+let set_thread_name t ~pid ~tid name =
+  t.names <- ((pid, Some tid), name) :: List.remove_assoc (pid, Some tid) t.names
+
+let length t = t.nevs
+
+(* ------------------------------------------------------------------ *)
+(* Ambient sink                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let installed : sink option ref = ref None
+
+let install s = installed := Some s
+let uninstall () = installed := None
+let current () = !installed
+
+let ambient ?cat ?args name f =
+  match !installed with None -> f () | Some s -> span s ?cat ?args name f
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export                                            *)
+(* ------------------------------------------------------------------ *)
+
+let json_arg = function
+  | S s -> Json.String s
+  | I i -> Json.Int i
+  | F f -> Json.Float f
+  | B b -> Json.Bool b
+
+let json_args args = Json.Obj (List.map (fun (k, v) -> (k, json_arg v)) args)
+
+let json_ev e =
+  Json.Obj
+    ([
+       ("name", Json.String e.name);
+       ("cat", Json.String (if e.cat = "" then "default" else e.cat));
+       ("ph", Json.String e.ph);
+       ("pid", Json.Int e.pid);
+       ("tid", Json.Int e.tid);
+       ("ts", Json.Float e.ts_us);
+     ]
+    @ (if e.ph = "X" then [ ("dur", Json.Float e.dur_us) ] else [])
+    @ (if e.ph = "i" then [ ("s", Json.String "t") ] else [])
+    @ if e.args = [] then [] else [ ("args", json_args e.args) ])
+
+let json_meta ((pid, tid), name) =
+  let kind, tid_fields =
+    match tid with
+    | None -> ("process_name", [])
+    | Some tid -> ("thread_name", [ ("tid", Json.Int tid) ])
+  in
+  Json.Obj
+    ([
+       ("name", Json.String kind);
+       ("ph", Json.String "M");
+       ("pid", Json.Int pid);
+     ]
+    @ tid_fields
+    @ [ ("args", Json.Obj [ ("name", Json.String name) ]) ])
+
+let to_chrome t =
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List
+          (List.map json_meta (List.rev t.names)
+          @ List.rev_map json_ev t.evs) );
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let to_chrome_string t = Json.to_string (to_chrome t)

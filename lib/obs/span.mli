@@ -1,0 +1,85 @@
+(** Span-based tracing with Chrome trace-event export.
+
+    A {!sink} accumulates complete events ([ph = "X"]) on (pid, tid)
+    tracks plus naming metadata, and renders the Chrome trace-event JSON
+    format — load the file in Perfetto (https://ui.perfetto.dev) or
+    [chrome://tracing].
+
+    Two time domains share one file by convention: host-side spans (the
+    generator: passes, cache, whole compilations) live on [pid = 1] with
+    timestamps relative to sink creation, and simulated-cluster events
+    (mapped from [Sw_arch.Trace] by [Sw_arch.Obs_bridge]) live on
+    [pid = 0] with simulated-time timestamps. Both are microseconds, as
+    the format requires. *)
+
+type sink
+
+val create : ?clock:(unit -> float) -> unit -> sink
+(** [clock] returns seconds (default [Unix.gettimeofday]); span timestamps
+    are taken relative to the clock's value at sink creation. *)
+
+type arg = S of string | I of int | F of float | B of bool
+
+val host_pid : int
+(** pid 1: host wall-clock tracks (the generator). *)
+
+val sim_pid : int
+(** pid 0: simulated-time tracks (the cluster). *)
+
+val span :
+  sink ->
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  ?tid:int ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** Time [f] on a host track ([host_pid]); exception-safe. Nested calls
+    produce properly nested complete events, which Perfetto renders as a
+    flame. *)
+
+val complete :
+  sink ->
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  pid:int ->
+  tid:int ->
+  ts_us:float ->
+  dur_us:float ->
+  string ->
+  unit
+(** Record an externally-timed complete event. *)
+
+val instant :
+  sink ->
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  pid:int ->
+  tid:int ->
+  ts_us:float ->
+  string ->
+  unit
+
+val set_process_name : sink -> pid:int -> string -> unit
+val set_thread_name : sink -> pid:int -> tid:int -> string -> unit
+
+val length : sink -> int
+(** Events recorded so far (metadata excluded). *)
+
+(** {2 Ambient sink} *)
+
+val install : sink -> unit
+val uninstall : unit -> unit
+val current : unit -> sink option
+
+val ambient :
+  ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** [span] against the installed sink, or a plain call when none is. *)
+
+(** {2 Export} *)
+
+val to_chrome : sink -> Json.t
+(** The [{"traceEvents": [...], "displayTimeUnit": "ms"}] object, events
+    in recording order, metadata first. *)
+
+val to_chrome_string : sink -> string

@@ -17,6 +17,7 @@ let () =
       ("calibration", Test_calibration.tests);
       ("endtoend", Test_endtoend.tests);
       ("trace", Test_trace.tests);
+      ("obs", Test_obs.tests);
       ("fault", Test_fault.tests);
       ("multi", Test_multi.tests);
       ("golden", Test_golden.tests);

@@ -94,7 +94,7 @@ let test_zero_duration_events_recorded () =
   ignore (Engine.run cluster.Cluster.engine);
   let waits =
     List.filter
-      (fun (e : Trace.event) -> e.Trace.kind = Trace.Wait_reply)
+      (fun (e : Trace.event) -> Trace.is_wait e.Trace.kind)
       (Trace.events trace)
   in
   check Alcotest.int "both waits recorded" 2 (List.length waits);
@@ -103,14 +103,43 @@ let test_zero_duration_events_recorded () =
   let e = List.hd instants in
   check (Alcotest.float 0.0) "empty interval" e.Trace.start e.Trace.finish;
   (* instants never contribute to busy-time accounting *)
-  let blocked =
-    Trace.busy trace ~rid:0 ~cid:0
-      ~kind:(function Trace.Wait_reply -> true | _ -> false)
-  in
+  (* DMA armed the reply, so the wait must be attributed to the DMA level *)
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.kind with
+      | Trace.Wait_reply { reply; rma } ->
+          check Alcotest.string "reply name" "rA" reply;
+          check Alcotest.bool "attributed to DMA" false rma
+      | _ -> ())
+    waits;
+  let blocked = Trace.busy trace ~rid:0 ~cid:0 ~kind:Trace.is_wait in
   let real = List.find (fun e -> not (Trace.instant e)) waits in
   check (Alcotest.float 1e-15) "busy = the one real wait"
     (real.Trace.finish -. real.Trace.start)
     blocked
+
+let test_empty_trace_utilization () =
+  (* an empty trace, or one of only instants, has no span: utilization
+     must come back all-zero instead of dividing by it *)
+  let empty = Trace.create () in
+  let u = Trace.utilization empty ~mesh:(2, 2) in
+  check (Alcotest.float 0.0) "span" 0.0 u.Trace.span;
+  check (Alcotest.float 0.0) "kernel frac" 0.0 u.Trace.kernel_frac;
+  check (Alcotest.float 0.0) "blocked frac" 0.0 u.Trace.blocked_frac;
+  check Alcotest.int "dma bytes" 0 u.Trace.dma_bytes;
+  check Alcotest.int "rma bytes" 0 u.Trace.rma_bytes;
+  let instants_only = Trace.create () in
+  Trace.record instants_only
+    {
+      Trace.rid = 0;
+      cid = 0;
+      kind = Trace.Wait_reply { reply = "r"; rma = false };
+      start = 3.0;
+      finish = 3.0;
+    };
+  let u = Trace.utilization instants_only ~mesh:(2, 2) in
+  check (Alcotest.float 0.0) "instants-only span" 0.0 u.Trace.span;
+  check (Alcotest.float 0.0) "instants-only blocked" 0.0 u.Trace.blocked_frac
 
 (* ------------------------------------------------------------------ *)
 (* The latency-hiding claims of §6                                      *)
@@ -169,6 +198,7 @@ let tests =
     ("byte accounting", `Quick, test_byte_accounting);
     ("gantt renders", `Quick, test_gantt_renders);
     ("zero-duration events recorded", `Quick, test_zero_duration_events_recorded);
+    ("empty trace utilization", `Quick, test_empty_trace_utilization);
     ("pipeline hides latency (§6)", `Quick, test_pipeline_hides_latency);
     ("same traffic, less time", `Quick, test_same_traffic_different_time);
     ("RMA cuts DMA traffic 8x (§5)", `Quick, test_rma_cuts_dma_traffic);
