@@ -26,9 +26,26 @@ let metrics_registry = ref None
 let json_tables = ref []
 let gflops_log = ref []
 
-let ours ?(options = Options.all_on) spec =
-  let g = (Runner.measure (Compile.compile ~options ~config spec)).Runner.gflops in
-  gflops_log := g :: !gflops_log;
+(* The measurement fan-out of each figure runs over --jobs host domains;
+   everything that mutates shared state (printing, CSV/JSON sinks, the
+   Gflops log) stays on the main domain, after the pool barrier, in shape
+   order — stdout and results/ are byte-identical for every --jobs. *)
+let pool = ref None
+
+let pmap f xs =
+  match !pool with Some p -> Sw_host.Pool.map p f xs | None -> List.map f xs
+
+let session ?(options = Options.all_on) () = Session.one_shot ~options ~config ()
+
+(* Pure measurement (safe inside pool tasks); [ours] adds the logging. *)
+let measure_ours ?options spec =
+  (Runner.measure (Compile.run (session ?options ()) spec)).Runner.gflops
+
+let log_gflops g = gflops_log := g :: !gflops_log
+
+let ours ?options spec =
+  let g = measure_ours ?options spec in
+  log_gflops g;
   g
 
 let lib spec = (Xmath.measure config spec).Xmath.gflops
@@ -79,20 +96,27 @@ let fig13 () =
   List.iter (fun (n, _) -> Printf.printf "%17s" n) Options.breakdown;
   Printf.printf "%17s\n" "xMath";
   let cols = Array.make (List.length Options.breakdown + 1) [] in
-  List.iter
-    (fun s ->
-      let spec = Spec.make ~m:s ~n:s ~k:s () in
+  let measured =
+    pmap
+      (fun s ->
+        let spec = Spec.make ~m:s ~n:s ~k:s () in
+        ( List.map (fun (_, options) -> measure_ours ~options spec)
+            Options.breakdown,
+          lib spec ))
+      fig13_shapes
+  in
+  List.iter2
+    (fun s (gs, x) ->
       Printf.printf "%-8d" s;
       List.iteri
-        (fun i (_, options) ->
-          let g = ours ~options spec in
+        (fun i g ->
+          log_gflops g;
           cols.(i) <- g :: cols.(i);
           Printf.printf "%17.2f" g)
-        Options.breakdown;
-      let x = lib spec in
+        gs;
       cols.(List.length Options.breakdown) <- x :: cols.(List.length Options.breakdown);
       Printf.printf "%17.2f\n%!" x)
-    fig13_shapes;
+    fig13_shapes measured;
   Printf.printf "%-8s" "mean";
   Array.iter (fun c -> Printf.printf "%17.2f" (mean c)) cols;
   print_newline ();
@@ -139,10 +163,16 @@ let fig14 () =
   let rows = ref [] in
   let worst_lib = ref (1.0, (0, 0, 0)) in
   let best_ours = ref (0.0, (0, 0, 0)) and best_lib = ref (0.0, (0, 0, 0)) in
-  List.iter
-    (fun (m, n, k) ->
-      let spec = Spec.make ~m ~n ~k () in
-      let o = ours spec and x = lib spec in
+  let measured =
+    pmap
+      (fun (m, n, k) ->
+        let spec = Spec.make ~m ~n ~k () in
+        (measure_ours spec, lib spec))
+      fig14_shapes
+  in
+  List.iter2
+    (fun (m, n, k) (o, x) ->
+      log_gflops o;
       ours_all := o :: !ours_all;
       lib_all := x :: !lib_all;
       if x /. peak < fst !worst_lib then worst_lib := (x /. peak, (m, n, k));
@@ -155,7 +185,7 @@ let fig14 () =
       Printf.printf "%-22s %12.2f %12.2f %8.2fx\n%!"
         (Printf.sprintf "%dx%dx%d" m n k)
         o x (o /. x))
-    fig14_shapes;
+    fig14_shapes measured;
   csv "fig14" [ "m"; "n"; "k"; "ours"; "xmath" ] (List.rev !rows);
   Printf.printf "means: ours %.2f, xMath %.2f -> %+.2f%% (paper: 1911.22 vs \
                  1846.96, +9.25%%)\n"
@@ -189,24 +219,32 @@ let fig15 () =
   Printf.printf "%-30s %12s %12s %9s\n" "workload" "ours" "xMath" "ratio";
   let ours_all = ref [] and lib_all = ref [] and ratios = ref [] in
   let rows = ref [] in
-  List.iter
-    (fun batch ->
-      List.iter
-        (fun (m, n, k) ->
-          let spec = Spec.make ~batch ~m ~n ~k () in
-          let o = ours spec and x = lib spec in
-          ours_all := o :: !ours_all;
-          lib_all := x :: !lib_all;
-          ratios := (o /. x) :: !ratios;
-          rows :=
-            [ string_of_int batch; string_of_int m; string_of_int n;
-              string_of_int k; Printf.sprintf "%.2f" o; Printf.sprintf "%.2f" x ]
-            :: !rows;
-          Printf.printf "%-30s %12.2f %12.2f %8.2fx\n%!"
-            (Printf.sprintf "batch=%-2d %dx%dx%d" batch m n k)
-            o x (o /. x))
-        fig15_shapes)
-    [ 2; 4; 8; 16 ];
+  let workloads =
+    List.concat_map
+      (fun batch -> List.map (fun (m, n, k) -> (batch, m, n, k)) fig15_shapes)
+      [ 2; 4; 8; 16 ]
+  in
+  let measured =
+    pmap
+      (fun (batch, m, n, k) ->
+        let spec = Spec.make ~batch ~m ~n ~k () in
+        (measure_ours spec, lib spec))
+      workloads
+  in
+  List.iter2
+    (fun (batch, m, n, k) (o, x) ->
+      log_gflops o;
+      ours_all := o :: !ours_all;
+      lib_all := x :: !lib_all;
+      ratios := (o /. x) :: !ratios;
+      rows :=
+        [ string_of_int batch; string_of_int m; string_of_int n;
+          string_of_int k; Printf.sprintf "%.2f" o; Printf.sprintf "%.2f" x ]
+        :: !rows;
+      Printf.printf "%-30s %12.2f %12.2f %8.2fx\n%!"
+        (Printf.sprintf "batch=%-2d %dx%dx%d" batch m n k)
+        o x (o /. x))
+    workloads measured;
   csv "fig15" [ "batch"; "m"; "n"; "k"; "ours"; "xmath" ] (List.rev !rows);
   Printf.printf
     "means: ours %.2f, xMath %.2f; mean per-shape speedup %.2fx (paper: \
@@ -229,10 +267,16 @@ let fig16_one ~title ~fusion ~paper =
   Printf.printf "%-22s %12s %12s %9s\n" "shape" "fused" "baseline" "ratio";
   let f_all = ref [] and b_all = ref [] in
   let rows = ref [] in
-  List.iter
-    (fun (m, n, k) ->
-      let spec = Spec.make ~fusion ~m ~n ~k () in
-      let o = ours spec and x = lib spec in
+  let measured =
+    pmap
+      (fun (m, n, k) ->
+        let spec = Spec.make ~fusion ~m ~n ~k () in
+        (measure_ours spec, lib spec))
+      fig16_shapes
+  in
+  List.iter2
+    (fun (m, n, k) (o, x) ->
+      log_gflops o;
       f_all := o :: !f_all;
       b_all := x :: !b_all;
       rows :=
@@ -242,7 +286,7 @@ let fig16_one ~title ~fusion ~paper =
       Printf.printf "%-22s %12.2f %12.2f %8.2fx\n%!"
         (Printf.sprintf "%dx%dx%d" m n k)
         o x (o /. x))
-    fig16_shapes;
+    fig16_shapes measured;
   csv
     (match fusion with
     | Spec.Prologue _ -> "fig16_prologue"
@@ -294,7 +338,7 @@ let cost () =
     (fun (name, spec, options) ->
       let compiled, secs =
         Compile.generation_seconds (fun () ->
-            Compile.compile ~options ~config spec)
+            Compile.run (session ~options ()) spec)
       in
       Printf.printf
         "  %-18s %8.2f ms (schedule tree + polyhedral bounds + AST + %d C lines)\n"
@@ -311,13 +355,13 @@ let cost () =
   let rows = ref [] in
   List.iter
     (fun (name, spec, options) ->
+      let cached = Session.create ~options ~cache ~config () in
       let _, cold =
-        Compile.generation_seconds (fun () ->
-            Compile.compile ~options ~cache ~config spec)
+        Compile.generation_seconds (fun () -> Compile.run cached spec)
       in
       let t0 = Unix.gettimeofday () in
       for _ = 1 to hit_iters do
-        ignore (Compile.compile ~options ~cache ~config spec)
+        ignore (Compile.run cached spec)
       done;
       let hit = (Unix.gettimeofday () -. t0) /. float_of_int hit_iters in
       rows :=
@@ -351,10 +395,12 @@ let ablation () =
   header "ablation: batch dimension placement (§3, §8.3)";
   let batch = 8 and m = 2048 and n = 2048 and k = 5120 in
   let spec = Spec.make ~batch ~m ~n ~k () in
-  let inside = (Runner.measure (Compile.compile ~config spec)).Runner.gflops in
+  let inside = (Runner.measure (Compile.run (session ()) spec)).Runner.gflops in
   (* per-batch mesh relaunch: batch independent launches of the unbatched
      kernel (what a library without a batched interface must do) *)
-  let single = Runner.measure (Compile.compile ~config (Spec.make ~m ~n ~k ())) in
+  let single =
+    Runner.measure (Compile.run (session ()) (Spec.make ~m ~n ~k ()))
+  in
   let relaunch_s = float_of_int batch *. single.Runner.seconds in
   let relaunch =
     float_of_int (Spec.flops spec) /. relaunch_s /. 1e9
@@ -369,7 +415,8 @@ let ablation () =
   let spec = Spec.make ~m:8192 ~n:8192 ~k:8192 () in
   let base = ours spec in
   let with_cfg cfg =
-    (Runner.measure (Compile.compile ~config:cfg spec)).Runner.gflops
+    (Runner.measure (Compile.run (Session.one_shot ~config:cfg ()) spec))
+      .Runner.gflops
   in
   Printf.printf "  baseline model:            %8.2f Gflops\n" base;
   Printf.printf "  memory bandwidth / 2:      %8.2f Gflops (DMA hiding saturates)\n"
@@ -450,7 +497,7 @@ let resilience () =
   let rows = ref [] in
   List.iter
     (fun (m, n, k) ->
-      let compiled = Compile.compile ~config (Spec.make ~m ~n ~k ()) in
+      let compiled = Compile.run (session ()) (Spec.make ~m ~n ~k ()) in
       let clean = ref 0.0 in
       List.iter
         (fun (name, plan) ->
@@ -499,7 +546,8 @@ let scaling () =
       match Sw_multi.Plan.make spec ~clusters with
       | Error e -> failwith e
       | Ok plan ->
-          let s = Sw_multi.Multi_sim.measure ~config plan in
+          let jobs = match !pool with Some p -> Sw_host.Pool.jobs p | None -> 1 in
+          let s = Sw_multi.Multi_sim.measure ~jobs (session ()) plan in
           Printf.printf "%-10d %-8s %12.2f %14.3f %11.1f%%\n%!" clusters
             (Printf.sprintf "%dx%d" plan.Sw_multi.Plan.grid_rows
                plan.Sw_multi.Plan.grid_cols)
@@ -518,8 +566,7 @@ let micro () =
   let open Toolkit in
   let gen name spec options =
     Test.make ~name
-      (Staged.stage (fun () ->
-           ignore (Compile.compile ~options ~config spec)))
+      (Staged.stage (fun () -> ignore (Compile.run (session ~options ()) spec)))
   in
   let tests =
     [
@@ -620,12 +667,27 @@ let () =
     ]
   in
   let args = List.tl (Array.to_list Sys.argv) in
+  let jobs = ref (Sw_host.Pool.default_jobs ()) in
+  let rec strip = function
+    | [] -> []
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> jobs := j
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+            exit 1);
+        strip rest
+    | a :: rest -> a :: strip rest
+  in
+  let args = strip args in
   let names = List.filter (fun a -> a <> "--metrics") args in
   if List.mem "--metrics" args then begin
     let r = Sw_obs.Metrics.create () in
     Sw_obs.Metrics.install r;
     metrics_registry := Some r
   end;
+  Sw_host.Pool.with_pool ~jobs:!jobs @@ fun p ->
+  pool := Some p;
   match names with
   | [] -> List.iter (fun (n, f) -> run_series n f) by_name
   | names ->

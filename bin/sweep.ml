@@ -1,17 +1,57 @@
-(* Randomized end-to-end sweep: 250 trials over meshes (1x1..3x3), kernel
-   shapes, problem sizes, batch sizes, transposes, alpha/beta, fusion
-   patterns and optimization levels; each generated program is executed
-   functionally on the simulated cluster and checked against the reference.
-   Heavier than the unit suite; run with `dune exec bin/sweep.exe`.
+(* Randomized end-to-end sweep: 250 trials (override with --trials N) over
+   meshes (1x1..3x3), kernel shapes, problem sizes, batch sizes, transposes,
+   alpha/beta, fusion patterns and optimization levels; each generated
+   program is executed functionally on the simulated cluster and checked
+   against the reference. Heavier than the unit suite; run with
+   `dune exec bin/sweep.exe`.
+
+   Trials are distributed over --jobs N host domains (default: the
+   machine's recommended domain count). Trial parameters are drawn from the
+   RNG up front in trial order and each trial's output is buffered and
+   printed in trial order, so stdout and --json output are identical for
+   every --jobs value; --jobs 1 runs inline with no domains.
 
    With --metrics, a registry is installed and every candidate is compiled
    through a shared plan cache: each trial reports its cache traffic and
-   exposed reply-wait latency, and the run ends with the full snapshot. *)
+   exposed reply-wait latency, and the run ends with the full snapshot.
+   Under --jobs > 1 the metric *totals* stay deterministic, but which
+   trial a shared-cache hit or eviction is attributed to depends on
+   scheduling — --metrics diagnostics are exempt from byte-identity. *)
 open Sw_core
 open Sw_arch
 
+type trial = {
+  idx : int;
+  config : Config.t;
+  mesh : int;
+  spec : Spec.t;
+  options : Options.t;
+}
+
 let () =
-  let metrics = Array.exists (String.equal "--metrics") Sys.argv in
+  let argv = Sys.argv in
+  let metrics = Array.exists (String.equal "--metrics") argv in
+  let int_arg name default =
+    let r = ref default in
+    Array.iteri
+      (fun i a ->
+        if String.equal a name && i + 1 < Array.length argv then
+          r := int_of_string argv.(i + 1))
+      argv;
+    !r
+  in
+  let str_arg name =
+    let r = ref None in
+    Array.iteri
+      (fun i a ->
+        if String.equal a name && i + 1 < Array.length argv then
+          r := Some argv.(i + 1))
+      argv;
+    !r
+  in
+  let jobs = int_arg "--jobs" (Sw_host.Pool.default_jobs ()) in
+  let trials = int_arg "--trials" 250 in
+  let json_path = str_arg "--json" in
   let registry =
     if metrics then begin
       let r = Sw_obs.Metrics.create () in
@@ -20,11 +60,16 @@ let () =
     end
     else None
   in
-  let cache = if metrics then Some (Plan_cache.create ~capacity:128 ()) else None in
-  let trial_report before =
-    match (registry, before) with
+  let cache =
+    if metrics then Some (Plan_cache.create ~capacity:128 ~shards:8 ())
+    else None
+  in
+  let trial_report buf before =
+    match (Sw_obs.Metrics.current (), before) with
     | Some r, Some before ->
-        let d = Sw_obs.Metrics.diff ~before ~after:(Sw_obs.Metrics.snapshot r) in
+        let d =
+          Sw_obs.Metrics.diff ~before ~after:(Sw_obs.Metrics.snapshot r)
+        in
         let count ?labels name =
           match Sw_obs.Metrics.find d ?labels name with
           | Some (Sw_obs.Metrics.Counter n) -> n
@@ -40,54 +85,94 @@ let () =
           | _ -> (0, 0.0)
         in
         let dn, ds = waits "dma" and rn, rs = waits "rma" in
-        Printf.printf
-          "    cache %d hit / %d miss; waits: dma %d (%.1f us exposed), rma \
-           %d (%.1f us exposed)\n"
-          (count "plan_cache.hits_total")
-          (count "plan_cache.misses_total")
-          dn (1e6 *. ds) rn (1e6 *. rs)
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    cache %d hit / %d miss; waits: dma %d (%.1f us exposed), \
+              rma %d (%.1f us exposed)\n"
+             (count "plan_cache.hits_total")
+             (count "plan_cache.misses_total")
+             dn (1e6 *. ds) rn (1e6 *. rs))
     | _ -> ()
   in
+  (* Draw every trial's parameters up front, in trial order, so the
+     sampled grid is independent of how trials are later scheduled. *)
   let rng = Random.State.make [| 20260705 |] in
-  let failures = ref 0 and total = ref 0 in
-  for trial = 1 to 250 do
-    let mesh = 1 + Random.State.int rng 3 in
-    let mk = (2 * (1 + Random.State.int rng 2), 2 * (1 + Random.State.int rng 2), 2) in
-    let config = Config.tiny ~mesh ~mk () in
-    let m = 1 + Random.State.int rng 40 in
-    let n = 1 + Random.State.int rng 40 in
-    let k = 1 + Random.State.int rng 40 in
-    let batch = if Random.State.bool rng then Some (1 + Random.State.int rng 3) else None in
-    let alpha = Random.State.float rng 4.0 -. 2.0 in
-    let beta = Random.State.float rng 4.0 -. 2.0 in
-    let ta = Random.State.bool rng and tb = Random.State.bool rng in
-    let fusion =
-      match Random.State.int rng 4 with
-      | 0 -> Spec.Prologue "quant"
-      | 1 -> Spec.Epilogue "relu"
-      | 2 -> Spec.Epilogue "tanh"
-      | _ -> Spec.No_fusion
-    in
-    let options = List.nth (List.map snd Options.breakdown) (Random.State.int rng 4) in
-    let spec = Spec.make ?batch ~alpha ~beta ~ta ~tb ~fusion ~m ~n ~k () in
-    incr total;
-    let before = Option.map Sw_obs.Metrics.snapshot registry in
+  let plan =
+    List.init trials (fun i ->
+        let idx = i + 1 in
+        let mesh = 1 + Random.State.int rng 3 in
+        let mk =
+          (2 * (1 + Random.State.int rng 2), 2 * (1 + Random.State.int rng 2), 2)
+        in
+        let config = Config.tiny ~mesh ~mk () in
+        let m = 1 + Random.State.int rng 40 in
+        let n = 1 + Random.State.int rng 40 in
+        let k = 1 + Random.State.int rng 40 in
+        let batch =
+          if Random.State.bool rng then Some (1 + Random.State.int rng 3)
+          else None
+        in
+        let alpha = Random.State.float rng 4.0 -. 2.0 in
+        let beta = Random.State.float rng 4.0 -. 2.0 in
+        let ta = Random.State.bool rng and tb = Random.State.bool rng in
+        let fusion =
+          match Random.State.int rng 4 with
+          | 0 -> Spec.Prologue "quant"
+          | 1 -> Spec.Epilogue "relu"
+          | 2 -> Spec.Epilogue "tanh"
+          | _ -> Spec.No_fusion
+        in
+        let options =
+          List.nth (List.map snd Options.breakdown) (Random.State.int rng 4)
+        in
+        let spec = Spec.make ?batch ~alpha ~beta ~ta ~tb ~fusion ~m ~n ~k () in
+        { idx; config; mesh; spec; options })
+  in
+  let run_trial (t : trial) =
+    let buf = Buffer.create 128 in
+    let before = Option.map Sw_obs.Metrics.snapshot (Sw_obs.Metrics.current ()) in
     if metrics then
-      Printf.printf "trial %3d %s [%s]\n%!" trial (Spec.to_string spec)
-        (Options.name options);
-    (match Runner.verify ~seed:trial (Compile.compile ?cache ~options ~config spec) with
-     | Ok () -> trial_report before
-     | Error e ->
-         incr failures;
-         trial_report before;
-         Printf.printf "FAIL trial %d mesh=%d mk=? %s [%s]: %s\n%!" trial mesh
-           (Spec.to_string spec) (Options.name options)
-           (Runner.error_to_string e)
-     | exception e ->
-         incr failures;
-         Printf.printf "EXN trial %d %s: %s\n%!" trial (Spec.to_string spec)
-           (Printexc.to_string e))
-  done;
+      Buffer.add_string buf
+        (Printf.sprintf "trial %3d %s [%s]\n" t.idx (Spec.to_string t.spec)
+           (Options.name t.options));
+    let session = Session.create ~options:t.options ?cache ~config:t.config () in
+    let failed =
+      match Compile.run_result session t.spec with
+      | Error e ->
+          Buffer.add_string buf
+            (Printf.sprintf "EXN trial %d %s: %s\n" t.idx
+               (Spec.to_string t.spec) (Error.to_string e));
+          true
+      | Ok compiled -> (
+          match Runner.verify ~seed:t.idx compiled with
+          | Ok () ->
+              trial_report buf before;
+              false
+          | Error e ->
+              trial_report buf before;
+              Buffer.add_string buf
+                (Printf.sprintf "FAIL trial %d mesh=%d mk=? %s [%s]: %s\n"
+                   t.idx t.mesh (Spec.to_string t.spec)
+                   (Options.name t.options)
+                   (Runner.error_to_string e));
+              true
+          | exception e ->
+              Buffer.add_string buf
+                (Printf.sprintf "EXN trial %d %s: %s\n" t.idx
+                   (Spec.to_string t.spec) (Printexc.to_string e));
+              true)
+    in
+    (Buffer.contents buf, failed)
+  in
+  let outcomes =
+    Sw_host.Pool.with_pool ~jobs (fun pool ->
+        Sw_host.Pool.map pool run_trial plan)
+  in
+  List.iter (fun (out, _) -> print_string out) outcomes;
+  let failures =
+    List.fold_left (fun acc (_, failed) -> if failed then acc + 1 else acc)
+      0 outcomes
+  in
   (match (registry, cache) with
   | Some r, Some c ->
       let st = Plan_cache.stats c in
@@ -98,5 +183,30 @@ let () =
       print_string "--- metrics ---\n";
       print_string (Sw_obs.Metrics.to_text (Sw_obs.Metrics.snapshot r))
   | _ -> ());
-  Printf.printf "sweep: %d trials, %d failures\n" !total !failures;
-  exit (if !failures = 0 then 0 else 1)
+  Printf.printf "sweep: %d trials, %d failures\n" trials failures;
+  (match json_path with
+  | Some path ->
+      let j =
+        Sw_obs.Json.Obj
+          [
+            ("trials", Sw_obs.Json.Int trials);
+            ("failures", Sw_obs.Json.Int failures);
+            ( "results",
+              Sw_obs.Json.List
+                (List.map2
+                   (fun (t : trial) (_, failed) ->
+                     Sw_obs.Json.Obj
+                       [
+                         ("trial", Sw_obs.Json.Int t.idx);
+                         ("spec", Sw_obs.Json.String (Spec.to_string t.spec));
+                         ( "options",
+                           Sw_obs.Json.String (Options.name t.options) );
+                         ("mesh", Sw_obs.Json.Int t.mesh);
+                         ("ok", Sw_obs.Json.Bool (not failed));
+                       ])
+                   plan outcomes) );
+          ]
+      in
+      Sw_obs.Json.write_file ~pretty:true ~path j
+  | None -> ());
+  exit (if failures = 0 then 0 else 1)

@@ -100,6 +100,18 @@ let pass_stats_arg =
   let doc = "Print the per-pass wall-clock and tree-size statistics." in
   Arg.(value & flag & info [ "pass-stats" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Host domains used for fan-outs such as the fault-seed matrix (default: \
+     the machine's recommended domain count). Results are deterministic: \
+     $(b,--jobs 1) runs inline and any other value produces byte-identical \
+     output."
+  in
+  Arg.(
+    value
+    & opt int (Sw_host.Pool.default_jobs ())
+    & info [ "jobs" ] ~docv:"N" ~doc)
+
 let metrics_arg =
   let doc =
     "Install a metrics registry for the run and print its snapshot \
@@ -231,11 +243,13 @@ let compile_cmd =
                 | None -> print_endline "(no schedule tree yet)")
             in
             let cache = if no_cache then None else Some (Plan_cache.create ()) in
-            match Compile.generation_seconds (fun () ->
-                      Compile.compile ~options ~debug:true ?cache ~observer
-                        ~config spec)
+            let session =
+              Session.create ~options ~debug:true ?cache ~observer ~config ()
+            in
+            match
+              Compile.generation_seconds (fun () -> Compile.run session spec)
             with
-            | exception Compile.Compile_error e -> Error (`Msg e)
+            | exception Error.Sim_error e -> Error (`Msg (Error.to_string e))
             | compiled, secs ->
                 Printf.printf "compiled %s [%s] in %.3f ms\n"
                   (Spec.to_string compiled.Compile.spec)
@@ -287,52 +301,66 @@ let inject_faults_arg =
     & opt (some string) None
     & info [ "inject-faults" ] ~docv:"SEED[:KINDS]" ~doc)
 
+(* SEEDS[:KINDS]: SEEDS is one integer seed or a comma-separated matrix of
+   them; each seed names an independent deterministic fault plan and the
+   matrix is verified concurrently over --jobs host domains. *)
 let parse_inject = function
   | None -> Ok None
   | Some s -> (
       let bad_seed = `Msg "--inject-faults: SEED must be an integer" in
+      let parse_seeds seeds =
+        let rec collect acc = function
+          | [] -> Ok (List.rev acc)
+          | n :: rest -> (
+              match int_of_string_opt n with
+              | Some seed -> collect (seed :: acc) rest
+              | None -> Error bad_seed)
+        in
+        collect [] (String.split_on_char ',' seeds)
+      in
+      let parse_kinds kinds =
+        let rec collect acc = function
+          | [] -> Ok (List.rev acc)
+          | n :: rest -> (
+              match Fault.kind_of_string n with
+              | Some k -> collect (k :: acc) rest
+              | None ->
+                  Error
+                    (`Msg
+                      (Printf.sprintf
+                         "--inject-faults: unknown fault kind '%s'" n)))
+        in
+        collect [] (String.split_on_char ',' kinds)
+      in
       match String.split_on_char ':' s with
-      | [ seed ] -> (
-          match int_of_string_opt seed with
-          | Some seed -> Ok (Some (Fault.plan ~seed ()))
-          | None -> Error bad_seed)
-      | [ seed; kinds ] -> (
-          match int_of_string_opt seed with
-          | None -> Error bad_seed
-          | Some seed ->
-              let rec collect acc = function
-                | [] -> Ok (List.rev acc)
-                | n :: rest -> (
-                    match Fault.kind_of_string n with
-                    | Some k -> collect (k :: acc) rest
-                    | None ->
-                        Error
-                          (`Msg
-                            (Printf.sprintf
-                               "--inject-faults: unknown fault kind '%s'" n)))
-              in
-              Result.map
-                (fun ks ->
-                  Some
-                    (Fault.plan
-                       ~spec:(Fault.spec_with ~kinds:ks Fault.default_spec)
-                       ~seed ()))
-                (collect [] (String.split_on_char ',' kinds)))
-      | _ -> Error (`Msg "--inject-faults: expected SEED or SEED:kind,kind"))
+      | [ seeds ] -> Result.map (fun ss -> Some (ss, None)) (parse_seeds seeds)
+      | [ seeds; kinds ] ->
+          Result.bind (parse_seeds seeds) (fun ss ->
+              Result.map (fun ks -> Some (ss, Some ks)) (parse_kinds kinds))
+      | _ ->
+          Error
+            (`Msg "--inject-faults: expected SEED[,SEED..] or SEEDS:kind,kind"))
+
+let fault_plan_for ~kinds seed =
+  match kinds with
+  | None -> Fault.plan ~seed ()
+  | Some ks ->
+      Fault.plan ~spec:(Fault.spec_with ~kinds:ks Fault.default_spec) ~seed ()
 
 let verify_cmd =
   let run input shape batch fusion binds fbinds ta tb no_asm no_rma no_hiding
-      tiny inject metrics =
+      tiny inject jobs metrics =
     with_metrics metrics @@ fun () ->
     match build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb with
     | Error e -> Error e
     | Ok spec -> (
         let config = config_of ~tiny in
         let options = build_options ~no_asm ~no_rma ~no_hiding in
-        match (Compile.compile ~options ~config spec, parse_inject inject) with
-        | exception Compile.Compile_error e -> Error (`Msg e)
+        let session = Session.one_shot ~options ~config () in
+        match (Compile.run_result session spec, parse_inject inject) with
+        | Error e, _ -> Error (`Msg (Error.to_string e))
         | _, (Error _ as e) -> e
-        | compiled, Ok None -> (
+        | Ok compiled, Ok None -> (
             match Runner.verify compiled with
             | Ok () ->
                 Printf.printf "verification PASSED for %s [%s]\n"
@@ -342,38 +370,58 @@ let verify_cmd =
             | Error e ->
                 Error
                   (`Msg ("verification FAILED: " ^ Runner.error_to_string e)))
-        | compiled, Ok (Some faults) -> (
-            let trace = Trace.create () in
-            match Runner.verify_resilient ~faults ~trace compiled with
-            | Ok r ->
-                Printf.printf "verification PASSED under faults for %s [%s]\n"
-                  (Spec.to_string compiled.Compile.spec)
-                  (Options.name options);
-                Printf.printf "  injected: %s (seed %d)\n"
-                  (Fault.stats_to_string faults) (Fault.seed faults);
-                Printf.printf "  recovery: %s\n"
-                  (Runner.recovery_to_string r.Runner.recovery);
-                Printf.printf "  simulated time: %.3f ms\n"
-                  (1000.0 *. r.Runner.seconds);
-                let mesh = (config.Config.mesh_rows, config.Config.mesh_cols) in
-                Printf.printf "  trace: %s\n" (Trace.summary trace ~mesh);
-                Printf.printf "  CPE(0,0): %s\n"
-                  (Trace.gantt trace ~rid:0 ~cid:0 ~width:64);
-                Ok ()
-            | Error e ->
-                Printf.printf "  injected: %s (seed %d)\n"
-                  (Fault.stats_to_string faults) (Fault.seed faults);
-                Error
-                  (`Msg
-                    ("verification under faults FAILED (typed): "
-                    ^ Runner.error_to_string e))))
+        | Ok compiled, Ok (Some (seeds, kinds)) -> (
+            (* Each seed of the matrix is an independent job: fanned out
+               over --jobs domains, its report buffered and printed in seed
+               order, so the output is identical for every --jobs value.
+               The first failing seed (in matrix order) decides the exit. *)
+            let verify_seed seed =
+              let faults = fault_plan_for ~kinds seed in
+              let trace = Trace.create () in
+              let buf = Buffer.create 256 in
+              let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+              let outcome =
+                match Runner.verify_resilient ~faults ~trace compiled with
+                | Ok r ->
+                    p "verification PASSED under faults for %s [%s]\n"
+                      (Spec.to_string compiled.Compile.spec)
+                      (Options.name options);
+                    p "  injected: %s (seed %d)\n"
+                      (Fault.stats_to_string faults) (Fault.seed faults);
+                    p "  recovery: %s\n"
+                      (Runner.recovery_to_string r.Runner.recovery);
+                    p "  simulated time: %.3f ms\n" (1000.0 *. r.Runner.seconds);
+                    let mesh =
+                      (config.Config.mesh_rows, config.Config.mesh_cols)
+                    in
+                    p "  trace: %s\n" (Trace.summary trace ~mesh);
+                    p "  CPE(0,0): %s\n"
+                      (Trace.gantt trace ~rid:0 ~cid:0 ~width:64);
+                    None
+                | Error e ->
+                    p "  injected: %s (seed %d)\n"
+                      (Fault.stats_to_string faults) (Fault.seed faults);
+                    Some
+                      ("verification under faults FAILED (typed): "
+                      ^ Runner.error_to_string e)
+              in
+              (Buffer.contents buf, outcome)
+            in
+            let outcomes =
+              Sw_host.Pool.with_pool ~jobs (fun pool ->
+                  Sw_host.Pool.map pool verify_seed seeds)
+            in
+            List.iter (fun (out, _) -> print_string out) outcomes;
+            match List.find_map (fun (_, failed) -> failed) outcomes with
+            | Some msg -> Error (`Msg msg)
+            | None -> Ok ()))
   in
   let term =
     Term.(
       term_result
         (const run $ input_arg $ shape_arg $ batch_arg $ fusion_arg $ bind_arg
        $ fbind_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg $ no_hiding_arg
-       $ tiny_arg $ inject_faults_arg $ metrics_arg))
+       $ tiny_arg $ inject_faults_arg $ jobs_arg $ metrics_arg))
   in
   Cmd.v
     (Cmd.info "verify"
@@ -395,9 +443,9 @@ let perf_cmd =
     | Ok spec -> (
         let config = config_of ~tiny in
         let options = build_options ~no_asm ~no_rma ~no_hiding in
-        match Compile.compile ~options ~config spec with
-        | exception Compile.Compile_error e -> Error (`Msg e)
-        | compiled ->
+        match Compile.run_result (Session.one_shot ~options ~config ()) spec with
+        | Error e -> Error (`Msg (Error.to_string e))
+        | Ok compiled ->
             let p = Runner.measure compiled in
             let x = Sw_xmath.Xmath.measure config compiled.Compile.spec in
             Printf.printf "%s [%s]\n"
@@ -471,9 +519,9 @@ let profile_cmd =
           Sw_obs.Metrics.uninstall ()
         in
         Fun.protect ~finally @@ fun () ->
-        match Compile.compile ~options ~config spec with
-        | exception Compile.Compile_error e -> Error (`Msg e)
-        | compiled -> (
+        match Compile.run_result (Session.one_shot ~options ~config ()) spec with
+        | Error e -> Error (`Msg (Error.to_string e))
+        | Ok compiled -> (
             match
               Sw_obs.Span.ambient ~cat:"sim" "simulate" (fun () ->
                   Runner.traced compiled)
@@ -574,7 +622,9 @@ let breakdown_cmd =
               m n k (Config.peak_gflops config);
             List.iter
               (fun (name, options) ->
-                let compiled = Compile.compile ~options ~config spec in
+                let compiled =
+                  Compile.run (Session.one_shot ~options ~config ()) spec
+                in
                 let p = Runner.measure compiled in
                 Printf.printf "  %-16s %10.2f Gflops\n" name p.Runner.gflops)
               Options.breakdown;

@@ -9,85 +9,138 @@ type t = {
   pass_stats : Pass.stat list;
 }
 
+type session = {
+  config : Sw_arch.Config.t;
+  options : Options.t;
+  debug : bool;
+  cache : t Plan_cache.t option;
+  observer : (Pass.t -> Pass.state -> unit) option;
+  registry : Sw_obs.Metrics.registry option;
+}
+
 exception Compile_error of string
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+(* Internal control flow of one compilation; surfaces as a typed
+   Sw_arch.Error.t value from run_result (never crosses a domain
+   boundary as an exception). *)
+exception Fail of Sw_arch.Error.t
+
+let fail fmt =
+  Printf.ksprintf (fun s -> raise (Fail (Sw_arch.Error.Invalid s))) fmt
 
 let flops t = Spec.flops t.spec
 
+(* A session's registry backs runs in contexts that have no ambient
+   registry of their own (a worker domain gets a per-task one from the
+   pool; the owning domain falls back to the session's). *)
+let with_session_registry session f =
+  match (session.registry, Sw_obs.Metrics.current ()) with
+  | Some r, None ->
+      Sw_obs.Metrics.install r;
+      Fun.protect ~finally:Sw_obs.Metrics.uninstall f
+  | _ -> f ()
+
+let run_result (session : session) original =
+  let { config; options; debug; cache; observer; registry = _ } = session in
+  try
+    with_session_registry session @@ fun () ->
+    Sw_obs.Span.ambient ~cat:"compile"
+      ~args:
+        [
+          ("m", Sw_obs.Span.I original.Spec.m);
+          ("n", Sw_obs.Span.I original.Spec.n);
+          ("k", Sw_obs.Span.I original.Spec.k);
+        ]
+      "compile"
+    @@ fun () ->
+    (match Options.validate options with Ok () -> () | Error e -> fail "%s" e);
+    (match Sw_arch.Config.validate config with
+    | Ok () -> ()
+    | Error e -> fail "invalid machine model: %s" e);
+    let cold () =
+      let spec = Spec.pad_for original config in
+      let tiles = Tile_model.choose spec config in
+      let needed =
+        Tile_model.spm_bytes_needed tiles ~options ~fusion:spec.Spec.fusion
+      in
+      if needed > config.Sw_arch.Config.spm_bytes then
+        raise
+          (Fail
+             (Sw_arch.Error.Overflow
+                {
+                  buffer = "decomposition";
+                  needed;
+                  available = config.Sw_arch.Config.spm_bytes;
+                  capacity = config.Sw_arch.Config.spm_bytes;
+                }));
+      let state = Pass.init ~spec ~options ~config ~tiles in
+      let validate = if debug then Some Pass_common.check_invariants else None in
+      let state, pass_stats =
+        match
+          Pass.run_pipeline ?validate ?observer Pass_registry.pipeline state
+        with
+        | Ok r -> r
+        | Error e -> fail "%s" e
+      in
+      let tree =
+        match state.Pass.tree with
+        | Some t -> t
+        | None -> fail "internal: pipeline produced no schedule tree"
+      in
+      (match Sw_tree.Tree.validate tree with
+      | Ok () -> ()
+      | Error e -> fail "internal: invalid schedule tree: %s" e);
+      let body =
+        match state.Pass.body with
+        | Some b -> b
+        | None -> fail "internal: pipeline produced no AST"
+      in
+      let ident_of s =
+        String.map
+          (fun c ->
+            if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+            then c
+            else '_')
+          s
+      in
+      let program =
+        {
+          Sw_ast.Ast.prog_name =
+            Printf.sprintf "swgemm_%s" (ident_of (Options.name options));
+          params =
+            [ ("M", spec.Spec.m); ("N", spec.Spec.n); ("K", spec.Spec.k) ]
+            @ (match spec.Spec.batch with Some b -> [ ("B", b) ] | None -> []);
+          arrays = Pass_common.arrays spec;
+          spm_decls = Pass_common.spm_decls spec options tiles;
+          replies = Pass_common.replies options;
+          body;
+        }
+      in
+      { original; spec; options; config; tiles; tree; program; pass_stats }
+    in
+    Ok
+      (match cache with
+      | None -> cold ()
+      | Some cache ->
+          Plan_cache.find_or_add cache
+            ~key:(Plan_cache.key ~spec:original ~options ~config)
+            cold)
+  with Fail e -> Error e
+
+let run session spec =
+  match run_result session spec with
+  | Ok t -> t
+  | Error e -> raise (Sw_arch.Error.Sim_error e)
+
 let compile ?(options = Options.all_on) ?(debug = false) ?cache ?observer
     ~config original =
-  Sw_obs.Span.ambient ~cat:"compile"
-    ~args:
-      [
-        ("m", Sw_obs.Span.I original.Spec.m);
-        ("n", Sw_obs.Span.I original.Spec.n);
-        ("k", Sw_obs.Span.I original.Spec.k);
-      ]
-    "compile"
-  @@ fun () ->
-  (match Options.validate options with Ok () -> () | Error e -> fail "%s" e);
-  (match Sw_arch.Config.validate config with
-  | Ok () -> ()
-  | Error e -> fail "invalid machine model: %s" e);
-  let cold () =
-    let spec = Spec.pad_for original config in
-    let tiles = Tile_model.choose spec config in
-    let needed =
-      Tile_model.spm_bytes_needed tiles ~options ~fusion:spec.Spec.fusion
-    in
-    if needed > config.Sw_arch.Config.spm_bytes then
-      fail "decomposition needs %d bytes of SPM but a CPE has only %d" needed
-        config.Sw_arch.Config.spm_bytes;
-    let state = Pass.init ~spec ~options ~config ~tiles in
-    let validate = if debug then Some Pass_common.check_invariants else None in
-    let state, pass_stats =
-      match Pass.run_pipeline ?validate ?observer Pass_registry.pipeline state with
-      | Ok r -> r
-      | Error e -> fail "%s" e
-    in
-    let tree =
-      match state.Pass.tree with
-      | Some t -> t
-      | None -> fail "internal: pipeline produced no schedule tree"
-    in
-    (match Sw_tree.Tree.validate tree with
-    | Ok () -> ()
-    | Error e -> fail "internal: invalid schedule tree: %s" e);
-    let body =
-      match state.Pass.body with
-      | Some b -> b
-      | None -> fail "internal: pipeline produced no AST"
-    in
-    let ident_of s =
-      String.map
-        (fun c ->
-          if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
-          then c
-          else '_')
-        s
-    in
-    let program =
-      {
-        Sw_ast.Ast.prog_name =
-          Printf.sprintf "swgemm_%s" (ident_of (Options.name options));
-        params =
-          [ ("M", spec.Spec.m); ("N", spec.Spec.n); ("K", spec.Spec.k) ]
-          @ (match spec.Spec.batch with Some b -> [ ("B", b) ] | None -> []);
-        arrays = Pass_common.arrays spec;
-        spm_decls = Pass_common.spm_decls spec options tiles;
-        replies = Pass_common.replies options;
-        body;
-      }
-    in
-    { original; spec; options; config; tiles; tree; program; pass_stats }
-  in
-  match cache with
-  | None -> cold ()
-  | Some cache ->
-      Plan_cache.find_or_add cache
-        ~key:(Plan_cache.key ~spec:original ~options ~config)
-        cold
+  match
+    run_result
+      { config; options; debug; cache; observer; registry = None }
+      original
+  with
+  | Ok t -> t
+  | Error e -> raise (Compile_error (Sw_arch.Error.to_string e))
 
 let generation_seconds f =
   let t0 = Unix.gettimeofday () in

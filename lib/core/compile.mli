@@ -5,7 +5,14 @@
     model, then drives the pass pipeline ({!Pass_registry.pipeline}) that
     builds and validates the schedule tree and generates the AST with the
     micro-kernel marks expanded, and packages everything with the
-    array/SPM/reply inventories. *)
+    array/SPM/reply inventories.
+
+    The primary entry points are {!run} and {!run_result}, which compile
+    under a {!session} — the bundle of machine model, options, plan cache,
+    debug mode, pass observer and metrics registry that {!Session} (the
+    user-facing constructor lives there) shares across host domains.
+    {!compile} remains as a source-compatible thin wrapper over a one-shot
+    session. *)
 
 type t = {
   original : Spec.t;  (** the spec as requested *)
@@ -18,7 +25,33 @@ type t = {
   pass_stats : Pass.stat list;  (** per-pass instrumentation of this plan *)
 }
 
+type session = {
+  config : Sw_arch.Config.t;
+  options : Options.t;
+  debug : bool;  (** run the inter-pass invariant checker after every pass *)
+  cache : t Plan_cache.t option;
+  observer : (Pass.t -> Pass.state -> unit) option;
+      (** fires after every executed pass — the hook behind [--dump-after] *)
+  registry : Sw_obs.Metrics.registry option;
+      (** backs runs in domains that installed no ambient registry *)
+}
+(** See {!Session} for construction and the sharing contract. The record
+    is immutable; its mutable components (cache, registry) are themselves
+    domain-safe, so one session value can be captured by many domains. *)
+
 exception Compile_error of string
+
+val run_result : session -> Spec.t -> (t, Sw_arch.Error.t) result
+(** Compile under a session. Failures — invalid option combinations or
+    machine model ([Sw_arch.Error.Invalid]), SPM overflow
+    ([Sw_arch.Error.Overflow]), internal validation ([Invalid]) — come
+    back as values, never as exceptions, so parallel workers can ship
+    them across domain boundaries. A session cache hit skips the pipeline
+    entirely (the cached plan's [pass_stats] are those of the cold
+    compilation). *)
+
+val run : session -> Spec.t -> t
+(** {!run_result}, raising [Sw_arch.Error.Sim_error] on [Error]. *)
 
 val compile :
   ?options:Options.t ->
@@ -28,15 +61,10 @@ val compile :
   config:Sw_arch.Config.t ->
   Spec.t ->
   t
-(** Raises {!Compile_error} on invalid option combinations, SPM overflow or
-    internal validation failures. Default options: {!Options.all_on}.
-
-    [debug] runs the inter-pass invariant checker
-    ({!Sw_tree.Invariant.check}) after every pass. [cache] consults and
-    fills a {!Plan_cache} keyed on (spec, options, config); a hit skips the
-    pipeline entirely (the cached plan's [pass_stats] are those of the cold
-    compilation). [observer] fires after every executed pass — the hook
-    behind [--dump-after]. *)
+(** Source-compatible wrapper: {!run} over a one-shot session built from
+    the arguments. Raises {!Compile_error} (the typed error rendered with
+    [Sw_arch.Error.to_string]) on failure. Default options:
+    {!Options.all_on}. *)
 
 val flops : t -> int
 (** Floating-point operations of the padded problem (what the simulator

@@ -1,24 +1,53 @@
-type 'a t = {
-  capacity : int;
+(* Sharded, mutex-protected plan cache.
+
+   Keys hash to a shard; each shard owns its table, FIFO order and stats
+   under its own mutex, so concurrent domains only contend when their keys
+   collide. A produce in flight is tracked per key: a second requester of
+   the same key blocks on the shard's condition variable instead of
+   compiling the plan again, so (hit, miss) totals are the same whether
+   the requests raced or ran back-to-back. The producer runs OUTSIDE the
+   lock — compilations are the expensive part and must overlap.
+
+   With the default [shards = 1] the observable single-threaded behavior
+   (global FIFO eviction at [capacity]) is exactly the historical one. *)
+
+type 'a shard = {
+  mutex : Mutex.t;
+  settled : Condition.t;  (* an in-flight produce finished (or failed) *)
   table : (string, 'a) Hashtbl.t;
+  inflight : (string, unit) Hashtbl.t;
   mutable order : string list;  (* insertion order, oldest first *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
 }
 
+type 'a t = { shard_capacity : int; shards : 'a shard array }
+
 type stats = { hits : int; misses : int; evictions : int; entries : int }
 
-let create ?(capacity = 64) () =
-  if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be positive";
+let create ?(capacity = 64) ?(shards = 1) () =
+  if capacity <= 0 then
+    invalid_arg "Plan_cache.create: capacity must be positive";
+  if shards <= 0 then invalid_arg "Plan_cache.create: shards must be positive";
+  let per = max 1 ((capacity + shards - 1) / shards) in
   {
-    capacity;
-    table = Hashtbl.create capacity;
-    order = [];
-    hits = 0;
-    misses = 0;
-    evictions = 0;
+    shard_capacity = per;
+    shards =
+      Array.init shards (fun _ ->
+          {
+            mutex = Mutex.create ();
+            settled = Condition.create ();
+            table = Hashtbl.create 16;
+            inflight = Hashtbl.create 4;
+            order = [];
+            hits = 0;
+            misses = 0;
+            evictions = 0;
+          });
   }
+
+let shard_of t k = t.shards.(Hashtbl.hash k mod Array.length t.shards)
 
 (* The key must change whenever anything the pipeline reads changes: the
    requested problem, the enabled optimizations and the machine model are
@@ -27,42 +56,88 @@ let key ~spec ~options ~(config : Sw_arch.Config.t) =
   Digest.to_hex (Digest.string (Marshal.to_string (spec, options, config) []))
 
 let find_or_add t ~key:k produce =
-  match Hashtbl.find_opt t.table k with
-  | Some plan ->
-      t.hits <- t.hits + 1;
-      Sw_obs.Metrics.incr_a "plan_cache.hits_total";
-      plan
-  | None ->
-      t.misses <- t.misses + 1;
-      Sw_obs.Metrics.incr_a "plan_cache.misses_total";
-      let plan = produce () in
-      if not (Hashtbl.mem t.table k) then begin
-        if List.length t.order >= t.capacity then
-          (match t.order with
-          | oldest :: rest ->
-              Hashtbl.remove t.table oldest;
-              t.order <- rest;
-              t.evictions <- t.evictions + 1;
-              Sw_obs.Metrics.incr_a "plan_cache.evictions_total"
-          | [] -> ());
-        Hashtbl.add t.table k plan;
-        t.order <- t.order @ [ k ]
-      end;
-      plan
+  let s = shard_of t k in
+  Mutex.lock s.mutex;
+  let rec get () =
+    match Hashtbl.find_opt s.table k with
+    | Some plan ->
+        s.hits <- s.hits + 1;
+        Mutex.unlock s.mutex;
+        Sw_obs.Metrics.incr_a "plan_cache.hits_total";
+        plan
+    | None ->
+        if Hashtbl.mem s.inflight k then begin
+          (* someone else is compiling this plan right now: wait for it
+             rather than duplicating the work; on producer failure the
+             wait resumes and this caller becomes the producer *)
+          Condition.wait s.settled s.mutex;
+          get ()
+        end
+        else begin
+          Hashtbl.add s.inflight k ();
+          s.misses <- s.misses + 1;
+          Mutex.unlock s.mutex;
+          Sw_obs.Metrics.incr_a "plan_cache.misses_total";
+          match produce () with
+          | exception e ->
+              Mutex.lock s.mutex;
+              Hashtbl.remove s.inflight k;
+              Condition.broadcast s.settled;
+              Mutex.unlock s.mutex;
+              raise e
+          | plan ->
+              Mutex.lock s.mutex;
+              Hashtbl.remove s.inflight k;
+              let evicted = ref false in
+              if not (Hashtbl.mem s.table k) then begin
+                if List.length s.order >= t.shard_capacity then (
+                  match s.order with
+                  | oldest :: rest ->
+                      Hashtbl.remove s.table oldest;
+                      s.order <- rest;
+                      s.evictions <- s.evictions + 1;
+                      evicted := true
+                  | [] -> ());
+                Hashtbl.add s.table k plan;
+                s.order <- s.order @ [ k ]
+              end;
+              Condition.broadcast s.settled;
+              Mutex.unlock s.mutex;
+              if !evicted then
+                Sw_obs.Metrics.incr_a "plan_cache.evictions_total";
+              plan
+        end
+  in
+  get ()
 
-let mem t k = Hashtbl.mem t.table k
+let locked s f =
+  Mutex.lock s.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) f
+
+let mem t k =
+  let s = shard_of t k in
+  locked s (fun () -> Hashtbl.mem s.table k)
 
 let clear t =
-  Hashtbl.reset t.table;
-  t.order <- [];
-  t.hits <- 0;
-  t.misses <- 0;
-  t.evictions <- 0
+  Array.iter
+    (fun s ->
+      locked s (fun () ->
+          Hashtbl.reset s.table;
+          s.order <- [];
+          s.hits <- 0;
+          s.misses <- 0;
+          s.evictions <- 0))
+    t.shards
 
 let stats (t : 'a t) =
-  {
-    hits = t.hits;
-    misses = t.misses;
-    evictions = t.evictions;
-    entries = Hashtbl.length t.table;
-  }
+  Array.fold_left
+    (fun acc s ->
+      locked s (fun () ->
+          {
+            hits = acc.hits + s.hits;
+            misses = acc.misses + s.misses;
+            evictions = acc.evictions + s.evictions;
+            entries = acc.entries + Hashtbl.length s.table;
+          }))
+    { hits = 0; misses = 0; evictions = 0; entries = 0 }
+    t.shards

@@ -276,8 +276,10 @@ let one_block_perf (compiled : Compile.t) ~k =
       ~n:t.Tile_model.mesh_n ~k ()
   in
   let c =
-    Compile.compile ~options:compiled.Compile.options
-      ~config:compiled.Compile.config block_spec
+    Compile.run
+      (Session.create ~options:compiled.Compile.options
+         ~config:compiled.Compile.config ())
+      block_spec
   in
   run_timing c -. compiled.Compile.config.Config.mesh_startup_s
 

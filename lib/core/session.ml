@@ -1,0 +1,32 @@
+(* User-facing constructor and helpers for Compile.session. The record
+   itself lives in Compile so Compile.run/run_result can take it without a
+   module cycle; this module is the one callers name. *)
+
+type t = Compile.session = {
+  config : Sw_arch.Config.t;
+  options : Options.t;
+  debug : bool;
+  cache : Compile.t Plan_cache.t option;
+  observer : (Pass.t -> Pass.state -> unit) option;
+  registry : Sw_obs.Metrics.registry option;
+}
+
+let create ?(options = Options.all_on) ?(debug = false) ?cache ?observer
+    ?registry ~config () =
+  { config; options; debug; cache; observer; registry }
+
+let one_shot ?options ?debug ~config () = create ?options ?debug ~config ()
+
+let cached ?options ?debug ?(capacity = 64) ?(shards = 8) ?registry ~config () =
+  create ?options ?debug
+    ~cache:(Plan_cache.create ~capacity ~shards ())
+    ?registry ~config ()
+
+let with_options t options = { t with options }
+let with_config t config = { t with config }
+let with_debug t debug = { t with debug }
+
+let run = Compile.run
+let run_result = Compile.run_result
+
+let cache_stats t = Option.map Plan_cache.stats t.cache

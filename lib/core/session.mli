@@ -1,0 +1,68 @@
+(** Compilation sessions: the unit of state shared across host domains.
+
+    A session bundles everything one generator instance needs — the
+    machine model, the enabled optimizations, the plan cache, debug mode,
+    the pass observer and a metrics registry — so the CLI, the sweep and
+    bench harnesses, the runner and the multi-cluster simulator all
+    compile through one value instead of five optional arguments.
+
+    {b Sharing contract.} [t] is an immutable record whose mutable
+    components are individually domain-safe: the {!Plan_cache} is sharded
+    and mutex-protected, and the registry is only written by the domain
+    that installed it (worker domains get fresh per-task registries from
+    {!Sw_host.Pool} and never touch the session's). One session value is
+    therefore shared as-is by every worker — clone/shard semantics live
+    here and nowhere else. Derive variants ({!with_options},
+    {!with_config}) rather than mutating; derived sessions share the
+    parent's cache, which is correct because cache keys include the spec,
+    options and config. *)
+
+type t = Compile.session = {
+  config : Sw_arch.Config.t;
+  options : Options.t;
+  debug : bool;
+  cache : Compile.t Plan_cache.t option;
+  observer : (Pass.t -> Pass.state -> unit) option;
+  registry : Sw_obs.Metrics.registry option;
+}
+
+val create :
+  ?options:Options.t ->
+  ?debug:bool ->
+  ?cache:Compile.t Plan_cache.t ->
+  ?observer:(Pass.t -> Pass.state -> unit) ->
+  ?registry:Sw_obs.Metrics.registry ->
+  config:Sw_arch.Config.t ->
+  unit ->
+  t
+(** Defaults: {!Options.all_on}, no debug, no cache, no observer, no
+    registry. *)
+
+val one_shot :
+  ?options:Options.t -> ?debug:bool -> config:Sw_arch.Config.t -> unit -> t
+(** A cacheless session for a single compilation —
+    what {!Compile.compile} wraps. *)
+
+val cached :
+  ?options:Options.t ->
+  ?debug:bool ->
+  ?capacity:int ->
+  ?shards:int ->
+  ?registry:Sw_obs.Metrics.registry ->
+  config:Sw_arch.Config.t ->
+  unit ->
+  t
+(** A session with a fresh sharded plan cache (default 64 plans over 8
+    shards) — the configuration meant for parallel fan-outs. *)
+
+val with_options : t -> Options.t -> t
+val with_config : t -> Sw_arch.Config.t -> t
+val with_debug : t -> bool -> t
+
+val run : t -> Spec.t -> Compile.t
+(** {!Compile.run}. *)
+
+val run_result : t -> Spec.t -> (Compile.t, Sw_arch.Error.t) result
+(** {!Compile.run_result}. *)
+
+val cache_stats : t -> Plan_cache.stats option

@@ -50,10 +50,15 @@ let search ?(candidates = default_candidates) ~config spec =
         match Config.validate cfg with
         | Error e -> { mk = (m, n, k); feasible = false; note = e; gflops = None }
         | Ok () -> (
-            match Compile.compile ~config:cfg spec with
-            | exception Compile.Compile_error e ->
-                { mk = (m, n, k); feasible = false; note = e; gflops = None }
-            | compiled ->
+            match Compile.run_result (Session.one_shot ~config:cfg ()) spec with
+            | Error e ->
+                {
+                  mk = (m, n, k);
+                  feasible = false;
+                  note = Sw_arch.Error.to_string e;
+                  gflops = None;
+                }
+            | Ok compiled ->
                 let p = Runner.measure compiled in
                 {
                   mk = (m, n, k);

@@ -28,14 +28,29 @@ let job_bytes (j : Plan.job) =
   8
   * ((s.Spec.m * s.Spec.k) + (s.Spec.k * s.Spec.n) + (2 * s.Spec.m * s.Spec.n))
 
-let measure ?(noc = default_noc) ?(options = Options.all_on) ~config
-    (plan : Plan.t) =
-  let per_cluster_s =
-    List.map
+(* One pool per fan-out: cluster jobs are coarse enough that domain spawn
+   cost is noise, and a transient pool keeps the API stateless. *)
+let pool_map ?jobs f xs =
+  let jobs =
+    match jobs with Some j -> j | None -> Sw_host.Pool.default_jobs ()
+  in
+  Sw_host.Pool.with_pool ~jobs (fun p -> Sw_host.Pool.map p f xs)
+
+let grid_key (j : Plan.job) = (j.Plan.grid_row, j.Plan.grid_col)
+
+let measure ?(noc = default_noc) ?jobs (session : Session.t) (plan : Plan.t) =
+  let timed =
+    pool_map ?jobs
       (fun (j : Plan.job) ->
-        (Runner.measure (Compile.compile ~options ~config j.Plan.spec))
-          .Runner.seconds)
+        ( grid_key j,
+          (Runner.measure (Compile.run session j.Plan.spec)).Runner.seconds ))
       plan.Plan.jobs
+  in
+  (* Keyed by grid coordinates, not completion (or even job-list) order, so
+     the stats are stable however the plan or the scheduler permutes jobs. *)
+  let per_cluster_s =
+    List.map snd
+      (List.sort (fun (k1, _) (k2, _) -> compare k1 k2) timed)
   in
   let total_bytes =
     List.fold_left (fun acc j -> acc + job_bytes j) 0 plan.Plan.jobs
@@ -53,8 +68,7 @@ let measure ?(noc = default_noc) ?(options = Options.all_on) ~config
   let compute_s = List.fold_left Float.max 0.0 per_cluster_s in
   let seconds = distribution_s +. compute_s in
   let single =
-    (Runner.measure (Compile.compile ~options ~config plan.Plan.original))
-      .Runner.seconds
+    (Runner.measure (Compile.run session plan.Plan.original)).Runner.seconds
   in
   {
     seconds;
@@ -74,36 +88,47 @@ let install_matrix mem name (m : Matrix.t) =
     ~dims:[ m.Matrix.rows; m.Matrix.cols ]
     ~f:(fun idx -> Matrix.get m idx.(0) idx.(1))
 
-let run_job ~config (j : Plan.job) ~a ~b ~c =
+let run_job (session : Session.t) (j : Plan.job) ~a ~b ~c =
   (* [a], [b], [c] are this job's (unpadded) operand slices; returns the
-     computed C block or an error. *)
-  let compiled = Compile.compile ~config j.Plan.spec in
-  let padded = compiled.Compile.spec in
-  let mem = Mem.create () in
-  install_matrix mem "A" (Matrix.pad a ~rows:padded.Spec.m ~cols:padded.Spec.k);
-  install_matrix mem "B" (Matrix.pad b ~rows:padded.Spec.k ~cols:padded.Spec.n);
-  install_matrix mem "C" (Matrix.pad c ~rows:padded.Spec.m ~cols:padded.Spec.n);
-  match Interp.run ~config ~functional:true ~mem compiled.Compile.program with
-  | exception Error.Sim_error e -> Error (Error.to_string e)
-  | r when r.Interp.races <> [] ->
-      Error (Error.to_string (Error.Race r.Interp.races))
-  | _ ->
-      let data = Mem.data mem "C" in
-      let full =
-        Matrix.init ~rows:padded.Spec.m ~cols:padded.Spec.n ~f:(fun i jj ->
-            data.((i * padded.Spec.n) + jj))
-      in
-      Ok (Matrix.unpad full ~rows:j.Plan.spec.Spec.m ~cols:j.Plan.spec.Spec.n)
+     computed C block or a typed error. *)
+  match Compile.run_result session j.Plan.spec with
+  | Error e -> Error e
+  | Ok compiled -> (
+      let padded = compiled.Compile.spec in
+      let mem = Mem.create () in
+      install_matrix mem "A"
+        (Matrix.pad a ~rows:padded.Spec.m ~cols:padded.Spec.k);
+      install_matrix mem "B"
+        (Matrix.pad b ~rows:padded.Spec.k ~cols:padded.Spec.n);
+      install_matrix mem "C"
+        (Matrix.pad c ~rows:padded.Spec.m ~cols:padded.Spec.n);
+      match
+        Interp.run ~config:session.Session.config ~functional:true ~mem
+          compiled.Compile.program
+      with
+      | exception Error.Sim_error e -> Error e
+      | r when r.Interp.races <> [] -> Error (Error.Race r.Interp.races)
+      | _ ->
+          let data = Mem.data mem "C" in
+          let full =
+            Matrix.init ~rows:padded.Spec.m ~cols:padded.Spec.n ~f:(fun i jj ->
+                data.((i * padded.Spec.n) + jj))
+          in
+          Ok
+            (Matrix.unpad full ~rows:j.Plan.spec.Spec.m
+               ~cols:j.Plan.spec.Spec.n))
 
-let verify ?(seed = 7) ~config (plan : Plan.t) =
+let verify ?(seed = 7) ?jobs (session : Session.t) (plan : Plan.t) =
   let spec = plan.Plan.original in
   let a = Matrix.random ~rows:spec.Spec.m ~cols:spec.Spec.k ~seed in
   let b = Matrix.random ~rows:spec.Spec.k ~cols:spec.Spec.n ~seed:(seed + 1) in
   let c = Matrix.random ~rows:spec.Spec.m ~cols:spec.Spec.n ~seed:(seed + 2) in
   let result = Matrix.copy c in
-  let rec run_all = function
-    | [] -> Ok ()
-    | (j : Plan.job) :: rest -> (
+  (* Jobs only read the shared operands; every mutation (blitting blocks
+     into [result]) happens after the pool barrier, in job order. *)
+  let outcomes =
+    pool_map ?jobs
+      (fun (j : Plan.job) ->
         let s = j.Plan.spec in
         let a_slice =
           Matrix.sub_matrix a ~row:j.Plan.row_off ~col:0 ~rows:s.Spec.m
@@ -117,17 +142,22 @@ let verify ?(seed = 7) ~config (plan : Plan.t) =
           Matrix.sub_matrix c ~row:j.Plan.row_off ~col:j.Plan.col_off
             ~rows:s.Spec.m ~cols:s.Spec.n
         in
-        match run_job ~config j ~a:a_slice ~b:b_slice ~c:c_slice with
-        | Error e ->
-            Error
-              (Printf.sprintf "cluster (%d,%d): %s" j.Plan.grid_row
-                 j.Plan.grid_col e)
+        run_job session j ~a:a_slice ~b:b_slice ~c:c_slice)
+      plan.Plan.jobs
+  in
+  let rec reassemble js os =
+    match (js, os) with
+    | [], [] -> Ok ()
+    | (j : Plan.job) :: jt, o :: ot -> (
+        match o with
+        | Error e -> Error e
         | Ok block ->
             Matrix.blit_into ~src:block ~dst:result ~row:j.Plan.row_off
               ~col:j.Plan.col_off;
-            run_all rest)
+            reassemble jt ot)
+    | _ -> assert false
   in
-  match run_all plan.Plan.jobs with
+  match reassemble plan.Plan.jobs outcomes with
   | Error e -> Error e
   | Ok () ->
       (* reference on the whole problem *)
@@ -148,6 +178,7 @@ let verify ?(seed = 7) ~config (plan : Plan.t) =
       in
       if diff > 1e-9 *. scale then
         Error
-          (Printf.sprintf "reassembled C differs by %.3e (scale %.3e)" diff
-             scale)
+          (Error.Invalid
+             (Printf.sprintf "reassembled C differs by %.3e (scale %.3e)" diff
+                scale))
       else Ok ()

@@ -8,7 +8,15 @@
 
     Function: {!verify} runs every per-cluster job through the full
     generated-code interpreter at a reduced scale and reassembles the
-    output — the end-to-end correctness argument for the decomposition. *)
+    output — the end-to-end correctness argument for the decomposition.
+
+    Both entry points compile through a {!Sw_core.Session.t} (which
+    supplies the machine model, options and plan cache) and fan their
+    per-cluster jobs out over a {!Sw_host.Pool} of [jobs] host domains
+    (default {!Sw_host.Pool.default_jobs}; [jobs = 1] runs inline).
+    Results are independent of [jobs]: per-job work is deterministic and
+    collected in job order, so stdout, stats and errors never depend on
+    which domain finished first. *)
 
 type noc = {
   link_bw_bytes_per_s : float;  (** per-cluster NoC link *)
@@ -23,17 +31,25 @@ type stats = {
   gflops : float;
   distribution_s : float;  (** NoC time (in + out), not overlapped *)
   per_cluster_s : float list;
+      (** sorted by [(grid_row, grid_col)], so the list is stable under any
+          reordering of the plan's jobs or of their completion *)
   parallel_efficiency : float;
       (** single-cluster time / (clusters * multi-cluster compute time) *)
 }
 
-val measure :
-  ?noc:noc -> ?options:Sw_core.Options.t -> config:Sw_arch.Config.t ->
-  Plan.t -> stats
+val measure : ?noc:noc -> ?jobs:int -> Sw_core.Session.t -> Plan.t -> stats
 
 val verify :
-  ?seed:int -> config:Sw_arch.Config.t -> Plan.t -> (unit, string) result
+  ?seed:int ->
+  ?jobs:int ->
+  Sw_core.Session.t ->
+  Plan.t ->
+  (unit, Sw_arch.Error.t) result
 (** Functional: global random operands are sliced per the plan, every job
     executes through {!Sw_core.Runner.verify}-equivalent machinery on its
     own simulated cluster, the C blocks are reassembled and compared with
-    the reference on the whole problem. Use a tiny [config]. *)
+    the reference on the whole problem. Use a session with a tiny config.
+
+    Failures are typed values: a job's compile or simulator error passes
+    through unchanged (first failing job in plan order wins); a
+    reassembly mismatch against the reference is [Sw_arch.Error.Invalid]. *)

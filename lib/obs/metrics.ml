@@ -97,21 +97,30 @@ let observe h v =
 (* Ambient registry                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let ambient : registry option ref = ref None
+(* Domain-local: each domain installs (and instruments against) its own
+   registry, so parallel workers never share mutable instruments. The host
+   pool gives every task a fresh registry and absorbs the snapshots into
+   the parent's registry afterwards, in task order. *)
+let ambient : registry option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
-let install r = ambient := Some r
-let uninstall () = ambient := None
-let current () = !ambient
-let enabled () = !ambient <> None
+let install r = Domain.DLS.set ambient (Some r)
+let uninstall () = Domain.DLS.set ambient None
+let current () = Domain.DLS.get ambient
+let enabled () = current () <> None
 
 let incr_a ?(labels = []) ?by name =
-  match !ambient with None -> () | Some r -> incr ?by (counter r ~labels name)
+  match current () with
+  | None -> ()
+  | Some r -> incr ?by (counter r ~labels name)
 
 let set_a ?(labels = []) name v =
-  match !ambient with None -> () | Some r -> set (gauge r ~labels name) v
+  match current () with
+  | None -> ()
+  | Some r -> set (gauge r ~labels name) v
 
 let observe_a ?(labels = []) name v =
-  match !ambient with
+  match current () with
   | None -> ()
   | Some r -> observe (histogram r ~labels name) v
 
@@ -182,6 +191,32 @@ let combine ~sub a b =
 
 let diff ~before ~after = combine ~sub:true before after
 let merge a b = combine ~sub:false a b
+
+(* Add a snapshot's values into a live registry: counters and histogram
+   counts/sums accumulate, gauges take the snapshot's value (absorbing
+   snapshots in task order therefore reproduces the sequential last-writer
+   outcome). Histogram bucket parameters come from the snapshot when the
+   instrument does not exist yet; when it does, counts are added pointwise
+   up to the shorter bucket array. *)
+let absorb (r : registry) (s : snapshot) =
+  List.iter
+    (fun ((name, labels), v) ->
+      match v with
+      | Counter c -> incr ~by:c (counter r ~labels name)
+      | Gauge g -> set (gauge r ~labels name) g
+      | Histogram h ->
+          let dst =
+            histogram r ~labels ~lower:h.lower ~growth:h.growth
+              ~buckets:(Array.length h.counts - 2)
+              name
+          in
+          let len = min (Array.length dst.counts) (Array.length h.counts) in
+          for i = 0 to len - 1 do
+            dst.counts.(i) <- dst.counts.(i) + h.counts.(i)
+          done;
+          dst.n <- dst.n + h.n;
+          dst.sum <- dst.sum +. h.sum)
+    s
 
 let find (s : snapshot) ?(labels = []) name =
   List.assoc_opt (name, norm_labels labels) s

@@ -51,7 +51,14 @@ val set : gauge -> float -> unit
 val add : gauge -> float -> unit
 val observe : histogram -> float -> unit
 
-(** {2 Ambient registry} *)
+(** {2 Ambient registry}
+
+    The ambient registry is {e domain-local} (one slot per OCaml domain):
+    a worker domain never records into the registry another domain
+    installed, so instruments are only ever mutated from one domain.
+    {!Sw_host.Pool} gives each parallel task a fresh registry and
+    {!absorb}s the snapshots into the parent's registry in task order,
+    which makes parallel metric totals deterministic. *)
 
 val install : registry -> unit
 val uninstall : unit -> unit
@@ -93,6 +100,14 @@ val merge : snapshot -> snapshot -> snapshot
 (** Pointwise sum (gauges keep the second operand's value on conflict);
     [merge before (diff ~before ~after) = after] for counters and
     histograms. *)
+
+val absorb : registry -> snapshot -> unit
+(** Add a snapshot's values into a live registry: counters and histogram
+    counts/sums accumulate, gauges take the snapshot's value. Absorbing
+    per-task snapshots in task order reproduces the sequential outcome
+    (exactly for counters, gauges and histogram counts; histogram [sum]s
+    can differ in the last floating-point bits because the additions
+    associate differently). *)
 
 val find : snapshot -> ?labels:(string * string) list -> string -> value option
 

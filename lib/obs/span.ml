@@ -22,8 +22,11 @@ type sink = {
 let host_pid = 1
 let sim_pid = 0
 
-let create ?(clock = Unix.gettimeofday) () =
-  { clock; epoch = clock (); evs = []; nevs = 0; names = [] }
+let create ?(clock = Unix.gettimeofday) ?epoch () =
+  let epoch = match epoch with Some e -> e | None -> clock () in
+  { clock; epoch; evs = []; nevs = 0; names = [] }
+
+let epoch t = t.epoch
 
 let push t e =
   t.evs <- e :: t.evs;
@@ -54,18 +57,41 @@ let set_thread_name t ~pid ~tid name =
 
 let length t = t.nevs
 
+(* Stitch a child sink (e.g. a worker domain's lane) into a parent sink:
+   host-pid events are re-homed onto the given tid so each domain renders
+   as its own named track, simulated-time events (pid 0) keep their track.
+   The child should share the parent's epoch so timestamps line up. *)
+let absorb ~into ?tid child =
+  let retag e =
+    match tid with
+    | Some t when e.pid = host_pid -> { e with tid = t }
+    | _ -> e
+  in
+  into.evs <- List.map retag child.evs @ into.evs;
+  into.nevs <- into.nevs + child.nevs;
+  List.iter
+    (fun ((pt, tt), name) ->
+      (* host-pid thread names of a retagged child are lane-local and are
+         superseded by the parent's per-domain lane name *)
+      if not (tid <> None && pt = host_pid && tt <> None) then
+        into.names <- ((pt, tt), name) :: List.remove_assoc (pt, tt) into.names)
+    (List.rev child.names)
+
 (* ------------------------------------------------------------------ *)
 (* Ambient sink                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let installed : sink option ref = ref None
+(* Domain-local, like the metrics registry: each worker domain records
+   spans into its own sink; the pool stitches worker lanes into the
+   parent's sink with [absorb]. *)
+let installed : sink option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let install s = installed := Some s
-let uninstall () = installed := None
-let current () = !installed
+let install s = Domain.DLS.set installed (Some s)
+let uninstall () = Domain.DLS.set installed None
+let current () = Domain.DLS.get installed
 
 let ambient ?cat ?args name f =
-  match !installed with None -> f () | Some s -> span s ?cat ?args name f
+  match current () with None -> f () | Some s -> span s ?cat ?args name f
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event export                                            *)

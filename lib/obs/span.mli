@@ -14,9 +14,14 @@
 
 type sink
 
-val create : ?clock:(unit -> float) -> unit -> sink
+val create : ?clock:(unit -> float) -> ?epoch:float -> unit -> sink
 (** [clock] returns seconds (default [Unix.gettimeofday]); span timestamps
-    are taken relative to the clock's value at sink creation. *)
+    are taken relative to [epoch] (default: the clock's value at sink
+    creation). Pass another sink's {!epoch} to create a worker-lane sink
+    whose timestamps line up with the parent's for {!absorb}. *)
+
+val epoch : sink -> float
+(** The instant host timestamps are relative to, in the clock's seconds. *)
 
 type arg = S of string | I of int | F of float | B of bool
 
@@ -66,7 +71,18 @@ val set_thread_name : sink -> pid:int -> tid:int -> string -> unit
 val length : sink -> int
 (** Events recorded so far (metadata excluded). *)
 
-(** {2 Ambient sink} *)
+val absorb : into:sink -> ?tid:int -> sink -> unit
+(** Append a child sink's events (and naming metadata) to [into]. With
+    [tid], host-pid events are re-homed onto that thread id — the
+    per-domain lane stitching the host pool uses to render every worker
+    domain as its own track of one Chrome trace. The child should have
+    been created with the parent's {!epoch}. *)
+
+(** {2 Ambient sink}
+
+    Domain-local, like {!Metrics}: each domain sees only the sink it
+    installed, so parallel workers record into private lanes that the
+    pool stitches together afterwards. *)
 
 val install : sink -> unit
 val uninstall : unit -> unit

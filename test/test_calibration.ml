@@ -150,7 +150,9 @@ let test_multi_cluster_band () =
   match Sw_multi.Plan.make spec ~clusters:6 with
   | Error e -> Alcotest.fail e
   | Ok plan ->
-      let s = Sw_multi.Multi_sim.measure ~config plan in
+      let s =
+        Sw_multi.Multi_sim.measure ~jobs:1 (Session.one_shot ~config ()) plan
+      in
       in_band "6-cluster Tflops" 7.0 11.0 (s.Sw_multi.Multi_sim.gflops /. 1000.0);
       in_band "parallel efficiency" 0.6 1.0 s.Sw_multi.Multi_sim.parallel_efficiency
 

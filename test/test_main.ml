@@ -20,5 +20,6 @@ let () =
       ("obs", Test_obs.tests);
       ("fault", Test_fault.tests);
       ("multi", Test_multi.tests);
+      ("host", Test_host.tests);
       ("golden", Test_golden.tests);
     ]

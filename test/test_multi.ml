@@ -7,6 +7,11 @@ open Sw_multi
 let check = Alcotest.check
 let tiny = Config.tiny ()
 
+(* one tiny session shared by the verify tests; two host domains so the
+   pool path is exercised by the unit suite too *)
+let tiny_session = Session.one_shot ~config:tiny ()
+let verify2 = Multi_sim.verify ~jobs:2 tiny_session
+
 let plan_ok spec ~clusters =
   match Plan.make spec ~clusters with
   | Ok p -> p
@@ -70,38 +75,38 @@ let test_plan_preserves_scalars () =
 let test_verify_plain () =
   let spec = Spec.make ~m:24 ~n:16 ~k:12 () in
   let p = plan_ok spec ~clusters:6 in
-  match Multi_sim.verify ~config:tiny p with
+  match verify2 p with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Error.to_string e)
 
 let test_verify_uneven () =
   (* extents that do not divide evenly across the grid *)
   let spec = Spec.make ~m:26 ~n:19 ~k:9 () in
   let p = plan_ok spec ~clusters:4 in
-  match Multi_sim.verify ~config:tiny p with
+  match verify2 p with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Error.to_string e)
 
 let test_verify_fused () =
   let spec = Spec.make ~alpha:1.5 ~beta:0.5 ~fusion:(Spec.Epilogue "relu") ~m:16 ~n:24 ~k:8 () in
   let p = plan_ok spec ~clusters:6 in
-  match Multi_sim.verify ~config:tiny p with
+  match verify2 p with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Error.to_string e)
 
 let test_verify_prologue_fused () =
   let spec = Spec.make ~fusion:(Spec.Prologue "quant") ~m:16 ~n:16 ~k:8 () in
   let p = plan_ok spec ~clusters:2 in
-  match Multi_sim.verify ~config:tiny p with
+  match verify2 p with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Error.to_string e)
 
 let test_verify_single_cluster () =
   let spec = Spec.make ~m:16 ~n:8 ~k:8 () in
   let p = plan_ok spec ~clusters:1 in
-  match Multi_sim.verify ~config:tiny p with
+  match verify2 p with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Error.to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* Timing                                                               *)
@@ -113,13 +118,16 @@ let test_measure_scaling () =
   let config = Config.sw26010pro in
   let spec = Spec.make ~m:8192 ~n:8192 ~k:4096 () in
   let time clusters =
-    (Multi_sim.measure ~config (plan_ok spec ~clusters)).Multi_sim.seconds
+    (Multi_sim.measure ~jobs:2 (Session.one_shot ~config ()) (plan_ok spec ~clusters))
+      .Multi_sim.seconds
   in
   let t1 = time 1 and t2 = time 2 and t6 = time 6 in
   Alcotest.(check bool) "2 clusters faster" true (t2 < t1);
   Alcotest.(check bool) "6 clusters faster still" true (t6 < t2);
   Alcotest.(check bool) "but sublinear" true (t6 > t1 /. 6.5);
-  let s = Multi_sim.measure ~config (plan_ok spec ~clusters:6) in
+  let s =
+    Multi_sim.measure ~jobs:2 (Session.one_shot ~config ()) (plan_ok spec ~clusters:6)
+  in
   Alcotest.(check bool) "efficiency in (0.3, 1.0]" true
     (s.Multi_sim.parallel_efficiency > 0.3
     && s.Multi_sim.parallel_efficiency <= 1.001);
@@ -129,7 +137,9 @@ let test_measure_scaling () =
 let test_measure_reports_jobs () =
   let config = Config.sw26010pro in
   let spec = Spec.make ~m:4096 ~n:4096 ~k:2048 () in
-  let s = Multi_sim.measure ~config (plan_ok spec ~clusters:6) in
+  let s =
+    Multi_sim.measure ~jobs:2 (Session.one_shot ~config ()) (plan_ok spec ~clusters:6)
+  in
   check Alcotest.int "six per-cluster times" 6
     (List.length s.Multi_sim.per_cluster_s)
 
