@@ -669,6 +669,123 @@ let tune_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let cases_arg =
+    let doc = "Number of generated cases." in
+    Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Master seed of the case generator. The whole campaign — case \
+       stream, per-case log lines, summary — is a pure function of this \
+       seed (and the corpus contents), independent of $(b,--jobs)."
+    in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc)
+  in
+  let corpus_arg =
+    let doc =
+      "Load and persist the coverage corpus in this directory (one JSON \
+       file per novel coverage key). Omitted: the corpus is in-memory only."
+    in
+    Arg.(value & opt (some string) None & info [ "corpus-dir" ] ~docv:"DIR" ~doc)
+  in
+  let repro_arg =
+    let doc =
+      "Directory where failing cases are written as shrunk, replayable \
+       repro files."
+    in
+    Arg.(value & opt string "fuzz-repro" & info [ "repro-dir" ] ~docv:"DIR" ~doc)
+  in
+  let max_shrink_arg =
+    let doc = "Total oracle-run budget spent shrinking failures." in
+    Arg.(value & opt int 200 & info [ "max-shrink" ] ~docv:"N" ~doc)
+  in
+  let sabotage_arg =
+    let doc =
+      "Deliberately mis-compile the named pass (testing the testers: the \
+       fuzzer must catch the planted bug; currently supported by \
+       strip_mine)."
+    in
+    Arg.(value & opt (some string) None & info [ "sabotage" ] ~docv:"PASS" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Re-run the case of a repro (or corpus) JSON file instead of \
+       fuzzing; exits 0 iff the recorded failure reproduces."
+    in
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let run cases seed jobs inject corpus_dir repro_dir max_shrink sabotage
+      replay metrics =
+    with_metrics metrics @@ fun () ->
+    match replay with
+    | Some path -> (
+        match Sw_check.Fuzz.replay ~print:print_endline path with
+        | Ok true -> Ok ()
+        | Ok false -> Error (`Msg "replay did not reproduce the failure")
+        | Error e -> Error (`Msg ("replay: " ^ e)))
+    | None -> (
+        match
+          ( parse_inject inject,
+            match sabotage with
+            | Some p when not (List.mem p Pass_registry.names) ->
+                Error (`Msg (Printf.sprintf "--sabotage: unknown pass '%s'" p))
+            | _ -> Ok () )
+        with
+        | (Error _ as e), _ -> e
+        | _, (Error _ as e) -> e
+        | Ok inj, Ok () ->
+            if cases <= 0 then Error (`Msg "--cases must be positive")
+            else if jobs < 1 then Error (`Msg "--jobs must be at least 1")
+            else
+              let fault =
+                Option.map
+                  (fun (seeds, kinds) -> (Array.of_list seeds, kinds))
+                  inj
+              in
+              let summary =
+                Sw_check.Fuzz.run
+                  {
+                    Sw_check.Fuzz.cases;
+                    seed;
+                    jobs;
+                    fault;
+                    corpus_dir;
+                    repro_dir;
+                    max_shrink;
+                    sabotage;
+                    print = print_endline;
+                  }
+              in
+              if summary.Sw_check.Fuzz.disagreements = [] then Ok ()
+              else
+                Error
+                  (`Msg
+                    (Printf.sprintf
+                       "%d disagreement(s); shrunk repro files written under \
+                        %s"
+                       (List.length summary.Sw_check.Fuzz.disagreements)
+                       repro_dir)))
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ cases_arg $ seed_arg $ jobs_arg $ inject_faults_arg
+       $ corpus_arg $ repro_arg $ max_shrink_arg $ sabotage_arg $ replay_arg
+       $ metrics_arg))
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential conformance fuzzing: random specs computed by three \
+          independent routes (direct C interpretation, generated code on \
+          the simulated cluster, the BLAS reference) that must agree")
+    term
+
+(* ------------------------------------------------------------------ *)
 
 let default = Term.(ret (const (`Help (`Pager, None))))
 
@@ -689,4 +806,5 @@ let () =
             profile_cmd;
             breakdown_cmd;
             tune_cmd;
+            fuzz_cmd;
           ]))

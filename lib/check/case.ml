@@ -1,0 +1,177 @@
+open Sw_core
+module Json = Sw_obs.Json
+
+type config_id = Tiny2 | Tiny2_deep | Tiny4
+
+let all_config_ids = [ Tiny2; Tiny2_deep; Tiny4 ]
+
+let config_id_to_string = function
+  | Tiny2 -> "tiny2"
+  | Tiny2_deep -> "tiny2-deep"
+  | Tiny4 -> "tiny4"
+
+let config_id_of_string = function
+  | "tiny2" -> Some Tiny2
+  | "tiny2-deep" -> Some Tiny2_deep
+  | "tiny4" -> Some Tiny4
+  | _ -> None
+
+let config_of = function
+  | Tiny2 -> Sw_arch.Config.tiny ()
+  | Tiny2_deep -> Sw_arch.Config.tiny ~mk:(4, 4, 4) ()
+  | Tiny4 -> Sw_arch.Config.tiny ~mesh:4 ()
+
+type t = {
+  spec : Spec.t;
+  options : Options.t;
+  config : config_id;
+  data_seed : int;
+  fault : (int * Sw_arch.Fault.kind list option) option;
+}
+
+let fusion_to_string = function
+  | Spec.No_fusion -> "none"
+  | Spec.Prologue fn -> "prologue:" ^ fn
+  | Spec.Epilogue fn -> "epilogue:" ^ fn
+
+let fusion_of_string s =
+  match String.index_opt s ':' with
+  | None -> if String.equal s "none" then Some Spec.No_fusion else None
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let fn = String.sub s (i + 1) (String.length s - i - 1) in
+      if not (Sw_kernels.Elementwise.known fn) then None
+      else
+        match kind with
+        | "prologue" -> Some (Spec.Prologue fn)
+        | "epilogue" -> Some (Spec.Epilogue fn)
+        | _ -> None)
+
+let fault_to_string = function
+  | None -> ""
+  | Some (seed, None) -> Printf.sprintf " fault=%d:all" seed
+  | Some (seed, Some kinds) ->
+      Printf.sprintf " fault=%d:%s" seed
+        (String.concat "+" (List.map Sw_arch.Fault.kind_to_string kinds))
+
+let to_string t =
+  Printf.sprintf "%s | %s %s data=%d%s" (Spec.to_string t.spec)
+    (Options.name t.options)
+    (config_id_to_string t.config)
+    t.data_seed (fault_to_string t.fault)
+
+let to_json t =
+  let s = t.spec in
+  Json.Obj
+    [
+      ("m", Json.Int s.Spec.m);
+      ("n", Json.Int s.Spec.n);
+      ("k", Json.Int s.Spec.k);
+      ("batch", match s.Spec.batch with None -> Json.Null | Some b -> Json.Int b);
+      ("alpha", Json.Float s.Spec.alpha);
+      ("beta", Json.Float s.Spec.beta);
+      ("ta", Json.Bool s.Spec.ta);
+      ("tb", Json.Bool s.Spec.tb);
+      ("fusion", Json.String (fusion_to_string s.Spec.fusion));
+      ( "options",
+        Json.Obj
+          [
+            ("use_asm", Json.Bool t.options.Options.use_asm);
+            ("use_rma", Json.Bool t.options.Options.use_rma);
+            ("hiding", Json.Bool t.options.Options.hiding);
+          ] );
+      ("config", Json.String (config_id_to_string t.config));
+      ("data_seed", Json.Int t.data_seed);
+      ( "fault",
+        match t.fault with
+        | None -> Json.Null
+        | Some (seed, kinds) ->
+            Json.Obj
+              [
+                ("seed", Json.Int seed);
+                ( "kinds",
+                  match kinds with
+                  | None -> Json.Null
+                  | Some ks ->
+                      Json.List
+                        (List.map
+                           (fun k ->
+                             Json.String (Sw_arch.Fault.kind_to_string k))
+                           ks) );
+              ] );
+    ]
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "case: missing or ill-typed field %S" name)
+
+let opt_field name conv j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok (Some x)
+      | None -> Error (Printf.sprintf "case: ill-typed field %S" name))
+
+let of_json j =
+  let* m = field "m" Json.to_int_opt j in
+  let* n = field "n" Json.to_int_opt j in
+  let* k = field "k" Json.to_int_opt j in
+  let* batch = opt_field "batch" Json.to_int_opt j in
+  let* alpha = field "alpha" Json.to_float_opt j in
+  let* beta = field "beta" Json.to_float_opt j in
+  let* ta = field "ta" Json.to_bool_opt j in
+  let* tb = field "tb" Json.to_bool_opt j in
+  let* fusion =
+    let* s = field "fusion" Json.to_string_opt j in
+    match fusion_of_string s with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "case: unknown fusion %S" s)
+  in
+  let* options =
+    match Json.member "options" j with
+    | None -> Error "case: missing field \"options\""
+    | Some o ->
+        let* use_asm = field "use_asm" Json.to_bool_opt o in
+        let* use_rma = field "use_rma" Json.to_bool_opt o in
+        let* hiding = field "hiding" Json.to_bool_opt o in
+        let options = { Options.use_asm; use_rma; hiding } in
+        let* () = Options.validate options in
+        Ok options
+  in
+  let* config =
+    let* s = field "config" Json.to_string_opt j in
+    match config_id_of_string s with
+    | Some c -> Ok c
+    | None -> Error (Printf.sprintf "case: unknown config %S" s)
+  in
+  let* data_seed = field "data_seed" Json.to_int_opt j in
+  let* fault =
+    match Json.member "fault" j with
+    | None | Some Json.Null -> Ok None
+    | Some f ->
+        let* seed = field "seed" Json.to_int_opt f in
+        let* kinds =
+          match Json.member "kinds" f with
+          | None | Some Json.Null -> Ok None
+          | Some (Json.List ks) ->
+              let rec conv acc = function
+                | [] -> Ok (Some (List.rev acc))
+                | Json.String s :: rest -> (
+                    match Sw_arch.Fault.kind_of_string s with
+                    | Some kd -> conv (kd :: acc) rest
+                    | None ->
+                        Error (Printf.sprintf "case: unknown fault kind %S" s))
+                | _ -> Error "case: fault kinds must be strings"
+              in
+              conv [] ks
+          | Some _ -> Error "case: fault kinds must be a list"
+        in
+        Ok (Some (seed, kinds))
+  in
+  match Spec.make ?batch ~alpha ~beta ~ta ~tb ~fusion ~m ~n ~k () with
+  | exception Invalid_argument e -> Error e
+  | spec -> Ok { spec; options; config; data_seed; fault }

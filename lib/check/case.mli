@@ -1,0 +1,37 @@
+(** One conformance test case: everything needed to re-run the three-way
+    oracle deterministically.
+
+    A case is a {!Sw_core.Spec.t} (the problem), a {!Sw_core.Options.t}
+    (which optimizations the generator enables), a machine configuration,
+    the seed of the input data, and an optional fault-injection plan. The
+    JSON round-trip is the on-disk format of corpus and repro files. *)
+
+type config_id = Tiny2 | Tiny2_deep | Tiny4
+    (** Machine models the fuzzer draws from — all functional-test scale:
+        2x2 mesh with a 4x4x2 micro kernel, the same mesh with a deeper
+        4x4x4 kernel, and a 4x4 mesh. *)
+
+val all_config_ids : config_id list
+val config_id_to_string : config_id -> string
+val config_id_of_string : string -> config_id option
+
+val config_of : config_id -> Sw_arch.Config.t
+
+type t = {
+  spec : Sw_core.Spec.t;
+  options : Sw_core.Options.t;
+  config : config_id;
+  data_seed : int;  (** seeds the random input matrices *)
+  fault : (int * Sw_arch.Fault.kind list option) option;
+      (** plan seed and enabled kinds ([None] = all kinds) for runs under
+          injection; [None] for clean runs *)
+}
+
+val to_string : t -> string
+(** One-line human rendering, stable across runs (the fuzzer's per-case
+    log line, which must be byte-identical for any [--jobs]). *)
+
+val to_json : t -> Sw_obs.Json.t
+val of_json : Sw_obs.Json.t -> (t, string) result
+(** Inverse of {!to_json}; validates sizes, kernels and option
+    combinations on the way in. *)

@@ -1,0 +1,101 @@
+module Json = Sw_obs.Json
+module SSet = Set.Make (String)
+
+type t = {
+  dir : string option;
+  mutable keys : SSet.t;
+  mutable cases : Case.t list;  (* mutation pool, newest first *)
+  mutable novel : int;
+}
+
+let create ?dir () = { dir; keys = SSet.empty; cases = []; novel = 0 }
+
+let case_member j =
+  match Json.member "case" j with
+  | Some c -> Ok c
+  | None -> Error "missing \"case\" field"
+
+let load t =
+  match t.dir with
+  | None -> (0, [])
+  | Some dir when not (Sys.file_exists dir) -> (0, [])
+  | Some dir ->
+      let files =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".json")
+        |> List.sort String.compare
+      in
+      let bad = ref [] in
+      let loaded = ref 0 in
+      List.iter
+        (fun f ->
+          let path = Filename.concat dir f in
+          match Json.parse_file path with
+          | Error _ -> bad := f :: !bad
+          | Ok j -> (
+              match Result.bind (case_member j) Case.of_json with
+              | Error _ -> bad := f :: !bad
+              | Ok case ->
+                  incr loaded;
+                  t.cases <- case :: t.cases;
+                  (match
+                     Option.bind (Json.member "key" j) Json.to_string_opt
+                   with
+                  | Some key -> t.keys <- SSet.add key t.keys
+                  | None -> ())))
+        files;
+      (!loaded, List.rev !bad)
+
+let file_of_key key = Printf.sprintf "case-%08x.json" (Hashtbl.hash key)
+
+let note t ~key case =
+  if SSet.mem key t.keys then false
+  else begin
+    t.keys <- SSet.add key t.keys;
+    t.cases <- case :: t.cases;
+    t.novel <- t.novel + 1;
+    (match t.dir with
+    | None -> ()
+    | Some dir ->
+        let j =
+          Json.Obj [ ("key", Json.String key); ("case", Case.to_json case) ]
+        in
+        Json.write_file ~pretty:true
+          ~path:(Filename.concat dir (file_of_key key))
+          j);
+    true
+  end
+
+let pool t = t.cases
+let size t = SSet.cardinal t.keys
+let novel t = t.novel
+
+let write_repro ~dir ~sabotage ~original ~shrunk ~stage ~detail =
+  let j =
+    Json.Obj
+      [
+        ( "sabotage",
+          match sabotage with None -> Json.Null | Some p -> Json.String p );
+        ("case", Case.to_json shrunk);
+        ("original", Case.to_json original);
+        ( "failure",
+          Json.Obj
+            [ ("stage", Json.String stage); ("detail", Json.String detail) ] );
+      ]
+  in
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "repro-%08x.json" (Hashtbl.hash (Case.to_string shrunk)))
+  in
+  Json.write_file ~pretty:true ~path j;
+  path
+
+let read_repro path =
+  let ( let* ) = Result.bind in
+  let* j = Json.parse_file path in
+  let* cj = case_member j in
+  let* case = Case.of_json cj in
+  let sabotage =
+    Option.bind (Json.member "sabotage" j) Json.to_string_opt
+  in
+  Ok (sabotage, case)

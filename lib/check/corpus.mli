@@ -1,0 +1,53 @@
+(** The coverage-keyed corpus and replayable repro files.
+
+    A case earns a corpus slot when its oracle report's coverage key
+    ({!Sw_core.Feature.to_key} plus fault tags) has not been seen in this
+    run. With a backing directory, novel cases are persisted one JSON file
+    each (named by the hash of their key, so re-runs dedupe naturally) and
+    existing files are loaded as the mutation pool. Without a directory
+    the corpus is purely in-memory — the mode the deterministic
+    acceptance runs use.
+
+    All mutation happens on the driver thread between rounds; the type is
+    not domain-safe by design. *)
+
+type t
+
+val create : ?dir:string -> unit -> t
+
+val load : t -> int * string list
+(** Read every [*.json] under the directory (sorted by name) into the
+    mutation pool; returns the number loaded and the names of files that
+    failed to parse. No-op without a directory. *)
+
+val note : t -> key:string -> Case.t -> bool
+(** Record the case under its coverage key. Returns [true] (and persists
+    the case, when a directory is set) iff the key is novel. *)
+
+val pool : t -> Case.t list
+(** Current mutation pool: loaded cases plus this run's novel ones. *)
+
+val size : t -> int
+(** Distinct coverage keys seen. *)
+
+val novel : t -> int
+(** Novel keys discovered this run (excludes keys of loaded cases, which
+    are only counted once re-observed). *)
+
+(** {2 Repro files} *)
+
+val write_repro :
+  dir:string ->
+  sabotage:string option ->
+  original:Case.t ->
+  shrunk:Case.t ->
+  stage:string ->
+  detail:string ->
+  string
+(** Write a self-contained repro file (shrunk case, the original it came
+    from, the failure, and the sabotage switch if armed) and return its
+    path. *)
+
+val read_repro : string -> (string option * Case.t, string) result
+(** Load a repro (or corpus) file back: the sabotage switch and the case
+    to re-check. *)

@@ -1,0 +1,72 @@
+open Sw_core
+
+let render (spec : Spec.t) =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let a_rows, a_cols =
+    if spec.Spec.ta then (spec.Spec.k, spec.Spec.m)
+    else (spec.Spec.m, spec.Spec.k)
+  in
+  let b_rows, b_cols =
+    if spec.Spec.tb then (spec.Spec.n, spec.Spec.k)
+    else (spec.Spec.k, spec.Spec.n)
+  in
+  let dims r c =
+    match spec.Spec.batch with
+    | None -> Printf.sprintf "[%d][%d]" r c
+    | Some nb -> Printf.sprintf "[%d][%d][%d]" nb r c
+  in
+  add "void fuzz_gemm(double alpha, double beta, double A%s, double B%s, double C%s) {\n"
+    (dims a_rows a_cols) (dims b_rows b_cols) (dims spec.Spec.m spec.Spec.n);
+  let pad d = String.make (2 * d) ' ' in
+  let batch_loops =
+    match spec.Spec.batch with None -> [] | Some nb -> [ ("b", nb) ]
+  in
+  let bix = match spec.Spec.batch with None -> "" | Some _ -> "[b]" in
+  let nest loops body =
+    List.iteri
+      (fun i (v, hi) ->
+        add "%sfor (int %s = 0; %s < %d; %s++)\n" (pad (1 + i)) v v hi v)
+      loops;
+    add "%s%s\n" (pad (1 + List.length loops)) body
+  in
+  (* beta-scaling of C, spelled out (the recognizer has no beta form, so
+     it is only emitted when it matters) *)
+  if spec.Spec.beta <> 1.0 then
+    nest
+      (batch_loops @ [ ("i", spec.Spec.m); ("j", spec.Spec.n) ])
+      (Printf.sprintf "C%s[i][j] = beta * C%s[i][j];" bix bix);
+  (match spec.Spec.fusion with
+  | Spec.Prologue fn ->
+      nest
+        (batch_loops @ [ ("p", a_rows); ("q", a_cols) ])
+        (Printf.sprintf "A%s[p][q] = %s(A%s[p][q]);" bix fn bix)
+  | _ -> ());
+  let aix = if spec.Spec.ta then "[k][i]" else "[i][k]" in
+  let bop = if spec.Spec.tb then "[j][k]" else "[k][j]" in
+  nest
+    (batch_loops @ [ ("i", spec.Spec.m); ("j", spec.Spec.n); ("k", spec.Spec.k) ])
+    (Printf.sprintf "C%s[i][j] = C%s[i][j] + alpha * A%s%s * B%s%s;" bix bix
+       bix aix bix bop);
+  (match spec.Spec.fusion with
+  | Spec.Epilogue fn ->
+      nest
+        (batch_loops @ [ ("i", spec.Spec.m); ("j", spec.Spec.n) ])
+        (Printf.sprintf "C%s[i][j] = %s(C%s[i][j]);" bix fn bix)
+  | _ -> ());
+  add "}\n";
+  Buffer.contents buf
+
+let render_gemv ~m ~n =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add
+    "void fuzz_gemv(double alpha, double beta, double A[%d][%d], double x[%d][1], double y[%d][1]) {\n"
+    m n n m;
+  add "  for (int i = 0; i < %d; i++)\n" m;
+  add "    y[i][0] = beta * y[i][0];\n";
+  add "  for (int i = 0; i < %d; i++)\n" m;
+  add "    for (int j = 0; j < %d; j++)\n" n;
+  add "      y[i][0] = y[i][0] + alpha * A[i][j] * x[j][0];\n";
+  add "}\n";
+  Buffer.contents buf

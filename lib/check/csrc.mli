@@ -1,0 +1,20 @@
+(** Rendering a spec back to naive C source.
+
+    The conformance oracle's first route re-enters the tool from the top:
+    the generated source is lexed, parsed and (for recognizable forms)
+    pattern-matched by {!Sw_frontend}, and executed directly by
+    {!Sw_frontend.Exec} as the loop nest it literally is. The emitted
+    forms are exactly the paper's figures — the plain nest of Fig. 2a,
+    the batched nest of Fig. 3, the fusion forms of Fig. 12 — plus an
+    explicit beta-scaling loop when [beta <> 1] (which the recognizer
+    does not model, so recognition cross-checks are limited to
+    [beta = 1] sources). *)
+
+val render : Sw_core.Spec.t -> string
+(** The naive C function [fuzz_gemm] computing the spec at its {e
+    original} (unpadded) sizes. [alpha]/[beta] are [double] parameters
+    resolved through [fbindings] at execution/recognition time. *)
+
+val render_gemv : m:int -> n:int -> string
+(** The naive [y := alpha * A x + beta * y] nest as [fuzz_gemv], with the
+    vectors spelled as [n x 1] matrices. *)

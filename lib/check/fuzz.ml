@@ -1,0 +1,189 @@
+open Sw_core
+
+type settings = {
+  cases : int;
+  seed : int;
+  jobs : int;
+  fault : (int array * Sw_arch.Fault.kind list option) option;
+  corpus_dir : string option;
+  repro_dir : string;
+  max_shrink : int;
+  sabotage : string option;
+  print : string -> unit;
+}
+
+type failure_record = {
+  original : Case.t;
+  shrunk : Case.t;
+  stage : string;
+  detail : string;
+  shrink_steps : int;
+  repro : string;
+}
+
+type summary = {
+  total : int;
+  disagreements : failure_record list;
+  novel : int;
+  corpus_size : int;
+  recoveries : (string * int) list;
+  fault_hits : (string * int) list;
+}
+
+(* Fixed round size: generation happens for a full round before any result
+   is consumed, so the case stream is independent of how many workers
+   drain the round. *)
+let round_size = 16
+
+(* Greedy shrink to a fixpoint: take the first strictly-simpler candidate
+   that still fails, bounded by a total oracle-run budget. *)
+let shrink ~budget case failure0 =
+  let rec loop current (failure : Oracle.failure) steps =
+    let rec first = function
+      | [] -> None
+      | cand :: rest ->
+          if !budget <= 0 then None
+          else begin
+            decr budget;
+            match Oracle.check cand with
+            | Error f -> Some (cand, f)
+            | Ok _ -> first rest
+          end
+    in
+    match first (Gen.shrink_candidates current) with
+    | Some (cand, f) -> loop cand f (steps + 1)
+    | None -> (current, failure, steps)
+  in
+  loop case failure0 0
+
+let bump tbl key n =
+  Hashtbl.replace tbl key (n + try Hashtbl.find tbl key with Not_found -> 0)
+
+let sorted_counts tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let run (s : settings) =
+  Pass.set_sabotage s.sabotage;
+  (match s.sabotage with
+  | Some p -> s.print (Printf.sprintf "sabotage armed: pass %s mis-compiles" p)
+  | None -> ());
+  let corpus = Corpus.create ?dir:s.corpus_dir () in
+  let loaded, bad = Corpus.load corpus in
+  if loaded > 0 then
+    s.print (Printf.sprintf "corpus: loaded %d case(s)" loaded);
+  List.iter
+    (fun f -> s.print (Printf.sprintf "corpus: skipping unreadable %s" f))
+    bad;
+  let master = Random.State.make [| s.seed; 0x53774747 |] in
+  let shrink_budget = ref s.max_shrink in
+  let failures = ref [] in
+  let recoveries = Hashtbl.create 8 in
+  let fault_hits = Hashtbl.create 8 in
+  Sw_host.Pool.with_pool ~jobs:s.jobs (fun pool ->
+      let finished = ref 0 in
+      while !finished < s.cases do
+        let n = min round_size (s.cases - !finished) in
+        let batch =
+          List.init n (fun i ->
+              let st = Random.State.split master in
+              let id = !finished + i in
+              (id, Gen.generate st ~id ~corpus:(Corpus.pool corpus) ~fault:s.fault))
+        in
+        let outs = Sw_host.Pool.map pool (fun (_, c) -> Oracle.check c) batch in
+        List.iter2
+          (fun (id, case) out ->
+            match out with
+            | Ok (r : Oracle.report) ->
+                let is_novel = Corpus.note corpus ~key:r.Oracle.key case in
+                (match r.Oracle.recovery with
+                | Some rc -> bump recoveries rc 1
+                | None -> ());
+                List.iter
+                  (fun (k, c) ->
+                    bump fault_hits (Sw_arch.Fault.kind_to_string k) c)
+                  r.Oracle.fault_stats;
+                s.print
+                  (Printf.sprintf "[%04d] ok%s%s  %s" id
+                     (if is_novel then " +cov" else "")
+                     (match r.Oracle.recovery with
+                     | Some rc -> " (" ^ rc ^ ")"
+                     | None -> "")
+                     (Case.to_string case))
+            | Error (f : Oracle.failure) ->
+                s.print
+                  (Printf.sprintf "[%04d] FAIL %s: %s  %s" id f.Oracle.stage
+                     f.Oracle.detail (Case.to_string case));
+                let shrunk, f', steps = shrink ~budget:shrink_budget case f in
+                s.print
+                  (Printf.sprintf "       shrunk (%d step(s)) to %s" steps
+                     (Case.to_string shrunk));
+                let repro =
+                  Corpus.write_repro ~dir:s.repro_dir ~sabotage:s.sabotage
+                    ~original:case ~shrunk ~stage:f'.Oracle.stage
+                    ~detail:f'.Oracle.detail
+                in
+                s.print (Printf.sprintf "       repro written: %s" repro);
+                failures :=
+                  {
+                    original = case;
+                    shrunk;
+                    stage = f'.Oracle.stage;
+                    detail = f'.Oracle.detail;
+                    shrink_steps = steps;
+                    repro;
+                  }
+                  :: !failures)
+          batch outs;
+        finished := !finished + n
+      done);
+  if s.max_shrink > 0 && !shrink_budget = 0 then
+    s.print "note: shrink budget exhausted; repros may not be minimal";
+  let summary =
+    {
+      total = s.cases;
+      disagreements = List.rev !failures;
+      novel = Corpus.novel corpus;
+      corpus_size = Corpus.size corpus;
+      recoveries = sorted_counts recoveries;
+      fault_hits = sorted_counts fault_hits;
+    }
+  in
+  s.print
+    (Printf.sprintf
+       "fuzz: %d case(s), %d disagreement(s), %d novel coverage key(s), %d total"
+       summary.total
+       (List.length summary.disagreements)
+       summary.novel summary.corpus_size);
+  if summary.recoveries <> [] then
+    s.print
+      ("fault conclusions: "
+      ^ String.concat ", "
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+             summary.recoveries));
+  if summary.fault_hits <> [] then
+    s.print
+      ("fault injections: "
+      ^ String.concat ", "
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+             summary.fault_hits));
+  summary
+
+let replay ~print path =
+  let ( let* ) = Result.bind in
+  let* sabotage, case = Corpus.read_repro path in
+  Pass.set_sabotage sabotage;
+  print
+    (Printf.sprintf "replaying %s%s" (Case.to_string case)
+       (match sabotage with
+       | Some p -> Printf.sprintf " [sabotage %s]" p
+       | None -> ""));
+  match Oracle.check case with
+  | Error (f : Oracle.failure) ->
+      print (Printf.sprintf "reproduced: %s: %s" f.Oracle.stage f.Oracle.detail);
+      Ok true
+  | Ok _ ->
+      print "did not reproduce: all routes agree";
+      Ok false

@@ -1,0 +1,82 @@
+(* Coverage features of a compiled plan. The conformance fuzzer keys its
+   corpus on the canonical string [to_key]: a case earns a slot in the
+   corpus only when its compiled shape (not its raw spec) is novel. *)
+
+type t = {
+  mesh : int * int;
+  mk : int * int * int;
+  options : string;
+  fusion : string;
+  ta : bool;
+  tb : bool;
+  batched : bool;
+  padded : bool;
+  trips : int * int * int;  (** bucketed nbi, nbj, nko *)
+  passes : string list;  (** passes that actually ran, pipeline order *)
+  spm_buffers : int;  (** SPM buffer count including double-buffer copies *)
+  tree_marks : int;
+  tree_sequences : int;
+  tree_nodes : int;  (** bucketed *)
+}
+
+(* Loop trip counts collapse into 1 / 2 / 3 / 4+ so size jitter alone
+   does not flood the corpus. *)
+let bucket_trip n = if n >= 4 then 4 else max n 1
+
+(* Tree node totals bucket on a coarse log scale for the same reason. *)
+let bucket_nodes n =
+  if n < 16 then 16 else if n < 32 then 32 else if n < 64 then 64 else 128
+
+let fusion_tag = function
+  | Spec.No_fusion -> "none"
+  | Spec.Prologue fn -> "pro:" ^ fn
+  | Spec.Epilogue fn -> "epi:" ^ fn
+
+let of_compiled (c : Compile.t) =
+  let config = c.Compile.config in
+  let tiles = c.Compile.tiles in
+  let stats = Sw_tree.Tree.stats c.Compile.tree in
+  let spm_buffers =
+    List.fold_left
+      (fun acc (d : Sw_ast.Ast.spm_decl) -> acc + d.Sw_ast.Ast.copies)
+      0 c.Compile.program.Sw_ast.Ast.spm_decls
+  in
+  {
+    mesh = (config.Sw_arch.Config.mesh_rows, config.Sw_arch.Config.mesh_cols);
+    mk =
+      ( config.Sw_arch.Config.mk_m,
+        config.Sw_arch.Config.mk_n,
+        config.Sw_arch.Config.mk_k );
+    options = Options.name c.Compile.options;
+    fusion = fusion_tag c.Compile.spec.Spec.fusion;
+    ta = c.Compile.spec.Spec.ta;
+    tb = c.Compile.spec.Spec.tb;
+    batched = c.Compile.spec.Spec.batch <> None;
+    padded = c.Compile.spec <> c.Compile.original;
+    trips =
+      ( bucket_trip tiles.Tile_model.nbi,
+        bucket_trip tiles.Tile_model.nbj,
+        bucket_trip tiles.Tile_model.nko );
+    passes =
+      List.filter_map
+        (fun (s : Pass.stat) -> if s.Pass.ran then Some s.Pass.pass else None)
+        c.Compile.pass_stats;
+    spm_buffers;
+    tree_marks = stats.Sw_tree.Tree.marks;
+    tree_sequences = stats.Sw_tree.Tree.sequences;
+    tree_nodes = bucket_nodes stats.Sw_tree.Tree.nodes;
+  }
+
+let to_key f =
+  let mr, mc = f.mesh in
+  let m, n, k = f.mk in
+  let ti, tj, tk = f.trips in
+  Printf.sprintf
+    "mesh%dx%d/mk%dx%dx%d/%s/fus=%s/t%c%c/%s%s/trip%d.%d.%d/spm%d/mk%d.sq%d.nd%d/%s"
+    mr mc m n k f.options f.fusion
+    (if f.ta then 'T' else 'n')
+    (if f.tb then 'T' else 'n')
+    (if f.batched then "bat" else "one")
+    (if f.padded then "+pad" else "")
+    ti tj tk f.spm_buffers f.tree_marks f.tree_sequences f.tree_nodes
+    (String.concat "," f.passes)

@@ -1,0 +1,30 @@
+(** Coverage features of a compiled plan.
+
+    The conformance fuzzer ({!module:Sw_check} when built) treats a test
+    case as interesting when the {e compiled} shape it exercises — tile
+    trip counts, SPM buffer inventory, passes that actually ran, schedule
+    tree silhouette — is one it has not seen before, rather than keying on
+    the raw spec. This module reduces a {!Compile.t} to that shape and
+    renders it as a canonical string key. *)
+
+type t = {
+  mesh : int * int;  (** mesh rows x cols *)
+  mk : int * int * int;  (** micro-kernel m x n x k *)
+  options : string;  (** {!Options.name} *)
+  fusion : string;  (** ["none"], ["pro:<fn>"] or ["epi:<fn>"] *)
+  ta : bool;
+  tb : bool;
+  batched : bool;
+  padded : bool;  (** padding changed the spec *)
+  trips : int * int * int;  (** nbi, nbj, nko bucketed to 1/2/3/4+ *)
+  passes : string list;  (** passes that ran, pipeline order *)
+  spm_buffers : int;  (** SPM buffers incl. double-buffer copies *)
+  tree_marks : int;
+  tree_sequences : int;
+  tree_nodes : int;  (** bucketed to a coarse log scale *)
+}
+
+val of_compiled : Compile.t -> t
+
+val to_key : t -> string
+(** Canonical single-line key; equal keys iff equal features. *)

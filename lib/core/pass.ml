@@ -60,6 +60,18 @@ let component st field what =
   | None -> fail "missing pipeline component: %s" what
 
 (* ------------------------------------------------------------------ *)
+(* Sabotage (testing the testers)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A deliberately mis-compiled pass, used to demonstrate that the
+   differential conformance engine actually catches generator bugs
+   (`swgemmgen fuzz --sabotage strip_mine`). Set once at process start,
+   before any compilation; individual passes consult [sabotaged]. *)
+let sabotage_target : string option ref = ref None
+let set_sabotage t = sabotage_target := t
+let sabotaged name = !sabotage_target = Some name
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                             *)
 (* ------------------------------------------------------------------ *)
 

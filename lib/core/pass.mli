@@ -62,6 +62,19 @@ val component : state -> (state -> 'a option) -> string -> 'a
 (** Fetch a state component a pass depends on, failing with a
     missing-component {!Pass_error} naming [what] when absent. *)
 
+(* Sabotage (testing the testers) *)
+
+val set_sabotage : string option -> unit
+(** Arm (or disarm) a deliberate mis-compilation of the named pass — the
+    hook behind [swgemmgen fuzz --sabotage PASS], used to demonstrate that
+    the differential conformance engine catches real generator bugs.
+    Process-global; set once at startup before any compilation. Never arm
+    it in production paths. *)
+
+val sabotaged : string -> bool
+(** Whether the named pass should mis-compile itself (consulted by the
+    pass bodies that support sabotage; currently [strip_mine]). *)
+
 (* Registry *)
 
 val register : t -> unit

@@ -8,9 +8,14 @@ open Sw_tree
 let run (st : Pass.state) =
   let tiles = st.Pass.tiles in
   let red_band = Pass.component st (fun s -> s.Pass.red_band) "reduced band" in
+  (* the factor MUST be the mesh width; the off-by-one under sabotage is
+     the planted bug the conformance fuzzer is expected to catch *)
+  let factor =
+    if Pass.sabotaged "strip_mine" then tiles.Tile_model.mesh + 1
+    else tiles.Tile_model.mesh
+  in
   let ko_band, l_band =
-    Transform.strip_mine red_band ~var:"tkt" ~factor:tiles.Tile_model.mesh
-      ~outer:"ko"
+    Transform.strip_mine red_band ~var:"tkt" ~factor ~outer:"ko"
   in
   Pass_common.finalize
     {

@@ -1,10 +1,39 @@
 (* Shared helpers for the test suites. *)
 
-(* Wrap a QCheck property as an alcotest case with a fixed seed so runs are
-   reproducible. *)
+(* Every QCheck property in the repo goes through [qtest], so seed policy
+   lives in exactly one place: the random state comes from $QCHECK_SEED
+   when set (CI seed matrices, local reproduction of a CI failure) and
+   from a fixed default otherwise, and any failure prints the seed it ran
+   under together with the command to replay it. *)
+let default_qcheck_seed = 0x5377
+
+let qcheck_seed =
+  lazy
+    (match Sys.getenv_opt "QCHECK_SEED" with
+    | None | Some "" -> default_qcheck_seed
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n -> n
+        | None ->
+            Printf.eprintf
+              "[qcheck] ignoring unparsable QCHECK_SEED=%S; using %d\n%!" s
+              default_qcheck_seed;
+            default_qcheck_seed))
+
+(* Wrap a QCheck property as an alcotest case, seeded per the policy
+   above so runs are reproducible. *)
 let qtest ?(count = 200) name gen prop =
-  QCheck_alcotest.to_alcotest ~long:false
-    (QCheck.Test.make ~count ~name gen prop)
+  let test = QCheck.Test.make ~count ~name gen prop in
+  Alcotest.test_case name `Quick (fun () ->
+      let seed = Lazy.force qcheck_seed in
+      try QCheck.Test.check_exn ~rand:(Random.State.make [| seed |]) test
+      with e ->
+        Printf.eprintf
+          "[qcheck] %S failed under seed %d; replay with QCHECK_SEED=%d dune \
+           runtest (or test_main.exe)\n\
+           %!"
+          name seed seed;
+        raise e)
 
 (* Approximate float comparison with relative tolerance. *)
 let check_close ?(tol = 1e-9) msg expected actual =

@@ -1,0 +1,277 @@
+(* Conformance-engine suite: the three-way differential oracle of
+   lib/check exercised as a test-time library — fixed fusion/GEMV cases
+   beyond the unit-level checks, randomized agreement properties, the
+   fault contract, corpus/repro round-trips, and a planted-bug
+   (sabotage) catch with shrinking and replay. *)
+
+open Sw_core
+module Check = Sw_check
+module Oracle = Sw_check.Oracle
+
+let qtest = Helpers.qtest
+
+let mk ?batch ?(alpha = 1.0) ?(beta = 1.0) ?(ta = false) ?(tb = false)
+    ?(fusion = Spec.No_fusion) ?(options = Options.all_on)
+    ?(config = Check.Case.Tiny2) ?(data_seed = 7) ?fault m n k =
+  {
+    Check.Case.spec =
+      Spec.make ?batch ~alpha ~beta ~ta ~tb ~fusion ~m ~n ~k ();
+    options;
+    config;
+    data_seed;
+    fault;
+  }
+
+let expect_ok what case =
+  match Oracle.check case with
+  | Ok _ -> ()
+  | Error (f : Oracle.failure) ->
+      Alcotest.failf "%s: %s: %s" what f.Oracle.stage f.Oracle.detail
+
+(* ------------------------------------------------------------------ *)
+(* Satellite coverage: fusion epilogues and GEMV through the oracle     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every element-wise epilogue, on a ragged shape with non-trivial
+   scalars, plus a batched + transposed combination: each case runs the
+   direct C interpretation, the generated code on the simulated cluster,
+   the BLAS reference, AND the epilogue metamorphic relation
+   (fused = fn(unfused)). *)
+let test_epilogue_paths () =
+  List.iter
+    (fun fn ->
+      expect_ok ("epilogue " ^ fn)
+        (mk ~alpha:1.5 ~beta:0.5 ~fusion:(Spec.Epilogue fn) 10 9 8))
+    [ "relu"; "tanh"; "sigmoid"; "id" ];
+  expect_ok "batched transposed epilogue"
+    (mk ~batch:2 ~ta:true ~beta:0.0 ~fusion:(Spec.Epilogue "relu")
+       ~config:Check.Case.Tiny4 12 8 8)
+
+let test_prologue_path () =
+  expect_ok "prologue quant"
+    (mk ~alpha:2.0 ~fusion:(Spec.Prologue "quant") 8 8 8);
+  expect_ok "batched prologue id"
+    (mk ~batch:3 ~tb:true ~fusion:(Spec.Prologue "id") 7 11 4)
+
+let gemv_agrees =
+  qtest ~count:10 "GEMV: all three routes agree"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 0x47454D56 |] in
+      let m = 1 + Random.State.int st 40 in
+      let n = 1 + Random.State.int st 40 in
+      let alpha = [| 1.0; 2.0; 0.5; -1.0 |].(Random.State.int st 4) in
+      let beta = [| 1.0; 0.0; 2.0; -0.5 |].(Random.State.int st 4) in
+      match Oracle.check_gemv ~m ~n ~alpha ~beta ~seed with
+      | Ok () -> true
+      | Error (f : Oracle.failure) ->
+          QCheck.Test.fail_reportf "gemv %dx%d a=%g b=%g: %s: %s" m n alpha
+            beta f.Oracle.stage f.Oracle.detail)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized agreement and the fault contract                          *)
+(* ------------------------------------------------------------------ *)
+
+let random_cases_agree =
+  qtest ~count:6 "random generated cases: three routes agree"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 0x53774343 |] in
+      let case = Check.Gen.generate st ~id:0 ~corpus:[] ~fault:None in
+      match Oracle.check case with
+      | Ok _ -> true
+      | Error (f : Oracle.failure) ->
+          QCheck.Test.fail_reportf "%s: %s: %s"
+            (Check.Case.to_string case)
+            f.Oracle.stage f.Oracle.detail)
+
+(* Under injection (flips excluded) the oracle must conclude match or
+   typed error — watchdog expiry and silent corruption are failures. *)
+let fault_contract_holds =
+  qtest ~count:4 "faulted cases: match or typed error, never hang"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 0x53774646 |] in
+      let kinds =
+        [
+          Sw_arch.Fault.Jitter;
+          Sw_arch.Fault.Stall;
+          Sw_arch.Fault.Delay_reply;
+          Sw_arch.Fault.Drop_reply;
+          Sw_arch.Fault.Straggler;
+        ]
+      in
+      let base = Check.Gen.generate st ~id:0 ~corpus:[] ~fault:None in
+      let case = { base with Check.Case.fault = Some (seed, Some kinds) } in
+      match Oracle.check case with
+      | Ok (r : Oracle.report) -> r.Oracle.recovery <> None
+      | Error (f : Oracle.failure) ->
+          QCheck.Test.fail_reportf "%s: %s: %s"
+            (Check.Case.to_string case)
+            f.Oracle.stage f.Oracle.detail)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus, repro files, shrinking                                       *)
+(* ------------------------------------------------------------------ *)
+
+let case_json_roundtrip =
+  qtest ~count:50 "Case JSON round-trips through the strict parser"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 0x534A534E |] in
+      let base = Check.Gen.generate st ~id:0 ~corpus:[] ~fault:None in
+      let case =
+        if Random.State.bool st then
+          { base with Check.Case.fault = Some (seed, None) }
+        else base
+      in
+      let text = Sw_obs.Json.to_string (Check.Case.to_json case) in
+      match Sw_obs.Json.parse text with
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e
+      | Ok j -> (
+          match Check.Case.of_json j with
+          | Error e -> QCheck.Test.fail_reportf "of_json failed: %s" e
+          | Ok case' ->
+              case' = case
+              || QCheck.Test.fail_reportf "round-trip changed the case: %s -> %s"
+                   (Check.Case.to_string case)
+                   (Check.Case.to_string case')))
+
+let test_repro_roundtrip () =
+  let dir = Filename.temp_dir "swcheck" "repro" in
+  let original = mk ~batch:2 ~ta:true ~fusion:(Spec.Epilogue "tanh") 9 7 5 in
+  let shrunk = mk 1 1 1 in
+  let path =
+    Check.Corpus.write_repro ~dir ~sabotage:(Some "strip_mine") ~original
+      ~shrunk ~stage:"sim-vs-ref" ~detail:"planted"
+  in
+  (match Check.Corpus.read_repro path with
+  | Error e -> Alcotest.failf "read_repro: %s" e
+  | Ok (sabotage, case) ->
+      Alcotest.(check (option string))
+        "sabotage preserved" (Some "strip_mine") sabotage;
+      if case <> shrunk then Alcotest.fail "repro case differs from shrunk");
+  Sys.remove path;
+  Sys.rmdir dir
+
+(* Shrink candidates strictly reduce a well-founded weight, so greedy
+   shrinking always terminates. *)
+let shrink_terminates =
+  qtest ~count:60 "shrink candidates strictly decrease a weight"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 0x53485253 |] in
+      let weight (c : Check.Case.t) =
+        let s = c.Check.Case.spec in
+        s.Spec.m + s.Spec.n + s.Spec.k
+        + (match s.Spec.batch with Some b -> b | None -> 0)
+        + (if s.Spec.ta then 1 else 0)
+        + (if s.Spec.tb then 1 else 0)
+        + (if s.Spec.fusion <> Spec.No_fusion then 1 else 0)
+        + (if s.Spec.alpha <> 1.0 then 1 else 0)
+        + if s.Spec.beta <> 1.0 then 1 else 0
+      in
+      let case = Check.Gen.generate st ~id:0 ~corpus:[] ~fault:None in
+      let w = weight case in
+      List.for_all
+        (fun c -> weight c < w)
+        (Check.Gen.shrink_candidates case))
+
+(* ------------------------------------------------------------------ *)
+(* Sabotage: the fuzzer catches a planted compiler bug                  *)
+(* ------------------------------------------------------------------ *)
+
+(* An aligned shape whose reduction loop actually strip-mines: the
+   deliberate off-by-one factor must produce a disagreement. *)
+let test_sabotage_caught () =
+  Pass.set_sabotage (Some "strip_mine");
+  Fun.protect
+    ~finally:(fun () -> Pass.set_sabotage None)
+    (fun () ->
+      match Oracle.check (mk 8 8 8) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "sabotaged strip-mine escaped the oracle")
+
+(* End-to-end: a small sabotaged campaign records the disagreement,
+   shrinks it, writes a repro file, and the repro replays. *)
+let test_sabotage_shrunk_and_replayed () =
+  let dir = Filename.temp_dir "swcheck" "campaign" in
+  let summary =
+    Check.Fuzz.run
+      {
+        Check.Fuzz.cases = 3;
+        seed = 5;
+        jobs = 1;
+        fault = None;
+        corpus_dir = None;
+        repro_dir = dir;
+        max_shrink = 12;
+        sabotage = Some "strip_mine";
+        print = ignore;
+      }
+  in
+  (match summary.Check.Fuzz.disagreements with
+  | [] -> Alcotest.fail "sabotaged campaign reported no disagreement"
+  | (d : Check.Fuzz.failure_record) :: _ -> (
+      match Check.Fuzz.replay ~print:ignore d.Check.Fuzz.repro with
+      | Ok true -> ()
+      | Ok false -> Alcotest.fail "repro file did not reproduce"
+      | Error e -> Alcotest.failf "replay: %s" e));
+  Pass.set_sabotage None;
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Sys.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of the driver itself                                     *)
+(* ------------------------------------------------------------------ *)
+
+let campaign settings_print =
+  Check.Fuzz.run
+    {
+      Check.Fuzz.cases = 3;
+      seed = 11;
+      jobs = 1;
+      fault = None;
+      corpus_dir = None;
+      repro_dir = Filename.get_temp_dir_name ();
+      max_shrink = 0;
+      sabotage = None;
+      print = settings_print;
+    }
+
+let test_campaign_deterministic () =
+  let capture () =
+    let buf = Buffer.create 256 in
+    let summary =
+      campaign (fun line ->
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n')
+    in
+    (Buffer.contents buf, summary.Check.Fuzz.novel)
+  in
+  let out1, novel1 = capture () in
+  let out2, novel2 = capture () in
+  Alcotest.(check string) "identical per-case log" out1 out2;
+  Alcotest.(check int) "identical novel-coverage count" novel1 novel2
+
+let tests =
+  [
+    Alcotest.test_case "epilogue fusion paths (3-way + metamorphic)" `Quick
+      test_epilogue_paths;
+    Alcotest.test_case "prologue fusion paths (3-way)" `Quick
+      test_prologue_path;
+    gemv_agrees;
+    random_cases_agree;
+    fault_contract_holds;
+    case_json_roundtrip;
+    Alcotest.test_case "repro file round-trip" `Quick test_repro_roundtrip;
+    shrink_terminates;
+    Alcotest.test_case "planted strip-mine bug is caught" `Quick
+      test_sabotage_caught;
+    Alcotest.test_case "sabotaged campaign shrinks and replays" `Quick
+      test_sabotage_shrunk_and_replayed;
+    Alcotest.test_case "campaign output is deterministic" `Quick
+      test_campaign_deterministic;
+  ]

@@ -22,4 +22,5 @@ let () =
       ("multi", Test_multi.tests);
       ("host", Test_host.tests);
       ("golden", Test_golden.tests);
+      ("check", Test_check.tests);
     ]
