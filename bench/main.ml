@@ -533,6 +533,52 @@ let resilience () =
      timings are bit-identical)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Architecture presets: the same GEMMs across mesh geometries          *)
+(* ------------------------------------------------------------------ *)
+
+let arch_presets =
+  [ "sw26010pro"; "sw26010pro-4x4"; "sw26010pro-8x4"; "sw26010pro-16x16" ]
+
+let arch_shapes =
+  [ (4096, 4096, 4096); (8192, 8192, 8192); (4096, 16384, 8192) ]
+
+let arch () =
+  header "architecture presets: fixed shapes across mesh geometries";
+  Printf.printf "%-18s %-18s %12s %12s %10s\n" "preset" "shape" "Gflops"
+    "time (ms)" "of peak";
+  let rows = ref [] in
+  let work =
+    List.concat_map
+      (fun name -> List.map (fun s -> (name, s)) arch_shapes)
+      arch_presets
+  in
+  let measured =
+    pmap
+      (fun (name, (m, n, k)) ->
+        let cfg =
+          match Arch_desc.config_of_name name with
+          | Some c -> c
+          | None -> failwith ("unknown preset " ^ name)
+        in
+        let spec = Spec.make ~m ~n ~k () in
+        let p = Runner.measure (Compile.run (Session.one_shot ~config:cfg ()) spec) in
+        (p.Runner.gflops, p.Runner.seconds, Config.peak_gflops cfg))
+      work
+  in
+  List.iter2
+    (fun (name, (m, n, k)) (g, secs, pk) ->
+      log_gflops g;
+      rows :=
+        [ name; string_of_int m; string_of_int n; string_of_int k;
+          Printf.sprintf "%.2f" g; Printf.sprintf "%.6f" secs ]
+        :: !rows;
+      Printf.printf "%-18s %-18s %12.2f %12.3f %9.1f%%\n%!" name
+        (Printf.sprintf "%dx%dx%d" m n k)
+        g (1000.0 *. secs) (100.0 *. g /. pk))
+    work measured;
+  csv "arch" [ "preset"; "m"; "n"; "k"; "gflops"; "seconds" ] (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
 (* Multi-cluster scaling (the MPI level of §2.1/§10)                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -663,7 +709,7 @@ let () =
     [
       ("fig13", fig13); ("fig14", fig14); ("fig15", fig15); ("fig16", fig16);
       ("cost", cost); ("ablation", ablation); ("resilience", resilience);
-      ("scaling", scaling); ("micro", micro);
+      ("arch", arch); ("scaling", scaling); ("micro", micro);
     ]
   in
   let args = List.tl (Array.to_list Sys.argv) in

@@ -1,9 +1,12 @@
 (* Randomized end-to-end sweep: 250 trials (override with --trials N) over
-   meshes (1x1..3x3), kernel shapes, problem sizes, batch sizes, transposes,
-   alpha/beta, fusion patterns and optimization levels; each generated
-   program is executed functionally on the simulated cluster and checked
-   against the reference. Heavier than the unit suite; run with
-   `dune exec bin/sweep.exe`.
+   meshes (rows and columns drawn independently from 1..3, so rectangular
+   geometries are covered), kernel shapes, problem sizes, batch sizes,
+   transposes, alpha/beta, fusion patterns and optimization levels; each
+   generated program is executed functionally on the simulated cluster and
+   checked against the reference. --arch NAME pins every trial to one
+   Arch_desc preset instead of the drawn tiny meshes (the parameter stream
+   is drawn regardless, so trial specs are identical either way). Heavier
+   than the unit suite; run with `dune exec bin/sweep.exe`.
 
    Trials are distributed over --jobs N host domains (default: the
    machine's recommended domain count). Trial parameters are drawn from the
@@ -23,7 +26,6 @@ open Sw_arch
 type trial = {
   idx : int;
   config : Config.t;
-  mesh : int;
   spec : Spec.t;
   options : Options.t;
 }
@@ -52,6 +54,17 @@ let () =
   let jobs = int_arg "--jobs" (Sw_host.Pool.default_jobs ()) in
   let trials = int_arg "--trials" 250 in
   let json_path = str_arg "--json" in
+  let arch_override =
+    match str_arg "--arch" with
+    | None -> None
+    | Some name -> (
+        match Arch_desc.config_of_name name with
+        | Some c -> Some c
+        | None ->
+            Printf.eprintf "sweep: unknown --arch '%s' (known: %s)\n" name
+              (String.concat ", " (Arch_desc.names ()));
+            exit 2)
+  in
   let registry =
     if metrics then begin
       let r = Sw_obs.Metrics.create () in
@@ -100,11 +113,16 @@ let () =
   let plan =
     List.init trials (fun i ->
         let idx = i + 1 in
-        let mesh = 1 + Random.State.int rng 3 in
+        let rows = 1 + Random.State.int rng 3 in
+        let cols = 1 + Random.State.int rng 3 in
         let mk =
           (2 * (1 + Random.State.int rng 2), 2 * (1 + Random.State.int rng 2), 2)
         in
-        let config = Config.tiny ~mesh ~mk () in
+        let config =
+          match arch_override with
+          | Some c -> c
+          | None -> Config.tiny ~mesh:rows ~cols ~mk ()
+        in
         let m = 1 + Random.State.int rng 40 in
         let n = 1 + Random.State.int rng 40 in
         let k = 1 + Random.State.int rng 40 in
@@ -126,7 +144,7 @@ let () =
           List.nth (List.map snd Options.breakdown) (Random.State.int rng 4)
         in
         let spec = Spec.make ?batch ~alpha ~beta ~ta ~tb ~fusion ~m ~n ~k () in
-        { idx; config; mesh; spec; options })
+        { idx; config; spec; options })
   in
   let run_trial (t : trial) =
     let buf = Buffer.create 128 in
@@ -151,8 +169,9 @@ let () =
           | Error e ->
               trial_report buf before;
               Buffer.add_string buf
-                (Printf.sprintf "FAIL trial %d mesh=%d mk=? %s [%s]: %s\n"
-                   t.idx t.mesh (Spec.to_string t.spec)
+                (Printf.sprintf "FAIL trial %d mesh=%dx%d %s [%s]: %s\n"
+                   t.idx t.config.Config.mesh_rows t.config.Config.mesh_cols
+                   (Spec.to_string t.spec)
                    (Options.name t.options)
                    (Runner.error_to_string e));
               true
@@ -201,7 +220,11 @@ let () =
                          ("spec", Sw_obs.Json.String (Spec.to_string t.spec));
                          ( "options",
                            Sw_obs.Json.String (Options.name t.options) );
-                         ("mesh", Sw_obs.Json.Int t.mesh);
+                         ( "mesh",
+                           Sw_obs.Json.String
+                             (Printf.sprintf "%dx%d"
+                                t.config.Config.mesh_rows
+                                t.config.Config.mesh_cols) );
                          ("ok", Sw_obs.Json.Bool (not failed));
                        ])
                    plan outcomes) );

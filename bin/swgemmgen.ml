@@ -64,6 +64,22 @@ let tiny_arg =
   let doc = "Use the scaled-down test configuration (2x2 mesh) instead of SW26010Pro." in
   Arg.(value & flag & info [ "tiny" ] ~doc)
 
+let arch_arg =
+  let doc =
+    "Architecture preset to generate for (see $(b,swgemmgen arch list)). \
+     Overrides $(b,--tiny)."
+  in
+  Arg.(value & opt (some string) None & info [ "arch" ] ~docv:"NAME" ~doc)
+
+let arch_file_arg =
+  let doc =
+    "Load the architecture description from a JSON file (the schema \
+     $(b,swgemmgen arch show NAME --json) prints). Overrides $(b,--arch) \
+     and $(b,--tiny)."
+  in
+  Arg.(
+    value & opt (some file) None & info [ "arch-file" ] ~docv:"FILE" ~doc)
+
 let emit_arg =
   let doc = "Directory to write the generated MPE/CPE C files into." in
   Arg.(value & opt (some string) None & info [ "emit" ] ~doc)
@@ -170,7 +186,26 @@ let build_options ~no_asm ~no_rma ~no_hiding =
     hiding = (not no_hiding) && not no_rma;
   }
 
-let config_of ~tiny = if tiny then Config.tiny () else Config.sw26010pro
+(* Machine-model resolution, most explicit source first: --arch-file, then
+   --arch (registry preset), then --tiny, then the calibrated default. *)
+let resolve_config ~tiny ~arch ~arch_file =
+  match arch_file with
+  | Some path -> (
+      match Arch_desc.load_file path with
+      | Ok d -> Ok (Arch_desc.to_config d)
+      | Error e -> Error (`Msg ("--arch-file: " ^ e)))
+  | None -> (
+      match arch with
+      | Some name -> (
+          match Arch_desc.config_of_name name with
+          | Some c -> Ok c
+          | None ->
+              Error
+                (`Msg
+                  (Printf.sprintf "--arch: unknown preset '%s' (known: %s)"
+                     name
+                     (String.concat ", " (Arch_desc.names ())))))
+      | None -> Ok (if tiny then Config.tiny () else Config.sw26010pro))
 
 (* --passes LIST: translate an explicit enabled-pass subset into the option
    record the pipeline's relevance predicates read. Contradictory subsets
@@ -203,11 +238,15 @@ let options_of_passes ~no_asm names =
 
 let compile_cmd =
   let run input shape batch fusion binds fbinds ta tb no_asm no_rma no_hiding
-      tiny emit dump_tree dump_ast passes dump_after no_cache pass_stats =
-    match build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb with
-    | Error e -> Error e
-    | Ok spec -> (
-        let config = config_of ~tiny in
+      tiny arch arch_file emit dump_tree dump_ast passes dump_after no_cache
+      pass_stats =
+    match
+      ( build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb,
+        resolve_config ~tiny ~arch ~arch_file )
+    with
+    | Error e, _ -> Error e
+    | _, Error e -> Error e
+    | Ok spec, Ok config -> (
         let options_and_spec =
           match passes with
           | None -> Ok (build_options ~no_asm ~no_rma ~no_hiding, spec)
@@ -279,8 +318,9 @@ let compile_cmd =
       term_result
         (const run $ input_arg $ shape_arg $ batch_arg $ fusion_arg $ bind_arg
        $ fbind_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg $ no_hiding_arg
-       $ tiny_arg $ emit_arg $ dump_tree_arg $ dump_ast_arg $ passes_arg
-       $ dump_after_arg $ no_cache_arg $ pass_stats_arg))
+       $ tiny_arg $ arch_arg $ arch_file_arg $ emit_arg $ dump_tree_arg
+       $ dump_ast_arg $ passes_arg $ dump_after_arg $ no_cache_arg
+       $ pass_stats_arg))
   in
   Cmd.v (Cmd.info "compile" ~doc:"Generate athread code for a GEMM problem") term
 
@@ -349,12 +389,15 @@ let fault_plan_for ~kinds seed =
 
 let verify_cmd =
   let run input shape batch fusion binds fbinds ta tb no_asm no_rma no_hiding
-      tiny inject jobs metrics =
+      tiny arch arch_file inject jobs metrics =
     with_metrics metrics @@ fun () ->
-    match build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb with
-    | Error e -> Error e
-    | Ok spec -> (
-        let config = config_of ~tiny in
+    match
+      ( build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb,
+        resolve_config ~tiny ~arch ~arch_file )
+    with
+    | Error e, _ -> Error e
+    | _, Error e -> Error e
+    | Ok spec, Ok config -> (
         let options = build_options ~no_asm ~no_rma ~no_hiding in
         let session = Session.one_shot ~options ~config () in
         match (Compile.run_result session spec, parse_inject inject) with
@@ -421,7 +464,8 @@ let verify_cmd =
       term_result
         (const run $ input_arg $ shape_arg $ batch_arg $ fusion_arg $ bind_arg
        $ fbind_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg $ no_hiding_arg
-       $ tiny_arg $ inject_faults_arg $ jobs_arg $ metrics_arg))
+       $ tiny_arg $ arch_arg $ arch_file_arg $ inject_faults_arg $ jobs_arg
+       $ metrics_arg))
   in
   Cmd.v
     (Cmd.info "verify"
@@ -437,11 +481,14 @@ let verify_cmd =
 
 let perf_cmd =
   let run input shape batch fusion binds fbinds ta tb no_asm no_rma no_hiding
-      tiny =
-    match build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb with
-    | Error e -> Error e
-    | Ok spec -> (
-        let config = config_of ~tiny in
+      tiny arch arch_file =
+    match
+      ( build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb,
+        resolve_config ~tiny ~arch ~arch_file )
+    with
+    | Error e, _ -> Error e
+    | _, Error e -> Error e
+    | Ok spec, Ok config -> (
         let options = build_options ~no_asm ~no_rma ~no_hiding in
         match Compile.run_result (Session.one_shot ~options ~config ()) spec with
         | Error e -> Error (`Msg (Error.to_string e))
@@ -467,7 +514,7 @@ let perf_cmd =
       term_result
         (const run $ input_arg $ shape_arg $ batch_arg $ fusion_arg $ bind_arg
        $ fbind_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg $ no_hiding_arg
-       $ tiny_arg))
+       $ tiny_arg $ arch_arg $ arch_file_arg))
   in
   Cmd.v
     (Cmd.info "perf" ~doc:"Estimate performance and compare against xMath")
@@ -497,11 +544,14 @@ let file_slug s =
 
 let profile_cmd =
   let run input shape batch fusion binds fbinds ta tb no_asm no_rma no_hiding
-      tiny out_dir =
-    match build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb with
-    | Error e -> Error e
-    | Ok spec -> (
-        let config = config_of ~tiny in
+      tiny arch arch_file out_dir =
+    match
+      ( build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb,
+        resolve_config ~tiny ~arch ~arch_file )
+    with
+    | Error e, _ -> Error e
+    | _, Error e -> Error e
+    | Ok spec, Ok config -> (
         let options = build_options ~no_asm ~no_rma ~no_hiding in
         (* Everything below runs under a live registry and span sink: the
            host side (passes, compile) lands on pid 1, the simulated
@@ -593,7 +643,7 @@ let profile_cmd =
       term_result
         (const run $ input_arg $ shape_arg $ batch_arg $ fusion_arg $ bind_arg
        $ fbind_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg $ no_hiding_arg
-       $ tiny_arg $ out_dir_arg))
+       $ tiny_arg $ arch_arg $ arch_file_arg $ out_dir_arg))
   in
   Cmd.v
     (Cmd.info "profile"
@@ -610,11 +660,11 @@ let profile_cmd =
 (* ------------------------------------------------------------------ *)
 
 let breakdown_cmd =
-  let run shape tiny =
-    match shape with
-    | None -> Error (`Msg "give --shape M,N,K")
-    | Some (m, n, k) -> (
-        let config = config_of ~tiny in
+  let run shape tiny arch arch_file =
+    match (shape, resolve_config ~tiny ~arch ~arch_file) with
+    | None, _ -> Error (`Msg "give --shape M,N,K")
+    | _, Error e -> Error e
+    | Some (m, n, k), Ok config -> (
         match Spec.make ~m ~n ~k () with
         | exception Invalid_argument e -> Error (`Msg e)
         | spec ->
@@ -632,7 +682,11 @@ let breakdown_cmd =
             Printf.printf "  %-16s %10.2f Gflops\n" "xMath" x.Sw_xmath.Xmath.gflops;
             Ok ())
   in
-  let term = Term.(term_result (const run $ shape_arg $ tiny_arg)) in
+  let term =
+    Term.(
+      term_result
+        (const run $ shape_arg $ tiny_arg $ arch_arg $ arch_file_arg))
+  in
   Cmd.v
     (Cmd.info "breakdown"
        ~doc:"Per-optimization performance attribution (Fig. 13 of the paper)")
@@ -643,11 +697,11 @@ let breakdown_cmd =
 (* ------------------------------------------------------------------ *)
 
 let tune_cmd =
-  let run shape tiny =
-    match shape with
-    | None -> Error (`Msg "give --shape M,N,K")
-    | Some (m, n, k) -> (
-        let config = config_of ~tiny in
+  let run shape tiny arch arch_file =
+    match (shape, resolve_config ~tiny ~arch ~arch_file) with
+    | None, _ -> Error (`Msg "give --shape M,N,K")
+    | _, Error e -> Error e
+    | Some (m, n, k), Ok config -> (
         match Spec.make ~m ~n ~k () with
         | exception Invalid_argument e -> Error (`Msg e)
         | spec ->
@@ -660,7 +714,11 @@ let tune_cmd =
             Printf.printf "best: %dx%dx%d (%.2f Gflops)\n" bm bn bk bg;
             Ok ())
   in
-  let term = Term.(term_result (const run $ shape_arg $ tiny_arg)) in
+  let term =
+    Term.(
+      term_result
+        (const run $ shape_arg $ tiny_arg $ arch_arg $ arch_file_arg))
+  in
   Cmd.v
     (Cmd.info "tune"
        ~doc:
@@ -718,8 +776,24 @@ let fuzz_cmd =
     in
     Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
   in
-  let run cases seed jobs inject corpus_dir repro_dir max_shrink sabotage
-      replay metrics =
+  let arch_pool_arg =
+    let doc =
+      "Restrict fresh cases to this architecture preset (repeatable; see \
+       $(b,swgemmgen arch list)). Mutated corpus entries keep their own \
+       preset."
+    in
+    Arg.(value & opt_all string [] & info [ "arch" ] ~docv:"NAME" ~doc)
+  in
+  let arch_matrix_arg =
+    let doc =
+      "Fuzz over the standard conformance matrix of mesh geometries — \
+       tiny-8x8, tiny4 (4x4), tiny-8x4, tiny-16x16 — instead of the \
+       default tiny mix; unioned with any $(b,--arch)."
+    in
+    Arg.(value & flag & info [ "arch-matrix" ] ~doc)
+  in
+  let run cases seed jobs inject arch_pool arch_matrix corpus_dir repro_dir
+      max_shrink sabotage replay metrics =
     with_metrics metrics @@ fun () ->
     match replay with
     | Some path -> (
@@ -728,16 +802,41 @@ let fuzz_cmd =
         | Ok false -> Error (`Msg "replay did not reproduce the failure")
         | Error e -> Error (`Msg ("replay: " ^ e)))
     | None -> (
+        let archs_result =
+          let pool =
+            (if arch_matrix then
+               [ "tiny-8x8"; "tiny4"; "tiny-8x4"; "tiny-16x16" ]
+             else [])
+            @ arch_pool
+          in
+          match pool with
+          | [] -> Ok None
+          | names -> (
+              match
+                List.find_opt
+                  (fun n -> Sw_check.Case.config_id_of_string n = None)
+                  names
+              with
+              | Some n ->
+                  Error
+                    (`Msg
+                      (Printf.sprintf "--arch: unknown preset '%s' (known: %s)"
+                         n
+                         (String.concat ", " (Arch_desc.names ()))))
+              | None -> Ok (Some (Array.of_list names)))
+        in
         match
           ( parse_inject inject,
-            match sabotage with
+            (match sabotage with
             | Some p when not (List.mem p Pass_registry.names) ->
                 Error (`Msg (Printf.sprintf "--sabotage: unknown pass '%s'" p))
-            | _ -> Ok () )
+            | _ -> Ok ()),
+            archs_result )
         with
-        | (Error _ as e), _ -> e
-        | _, (Error _ as e) -> e
-        | Ok inj, Ok () ->
+        | (Error _ as e), _, _ -> e
+        | _, (Error _ as e), _ -> e
+        | _, _, (Error _ as e) -> e
+        | Ok inj, Ok (), Ok archs ->
             if cases <= 0 then Error (`Msg "--cases must be positive")
             else if jobs < 1 then Error (`Msg "--jobs must be at least 1")
             else
@@ -752,6 +851,7 @@ let fuzz_cmd =
                     Sw_check.Fuzz.cases;
                     seed;
                     jobs;
+                    archs;
                     fault;
                     corpus_dir;
                     repro_dir;
@@ -774,8 +874,8 @@ let fuzz_cmd =
     Term.(
       term_result
         (const run $ cases_arg $ seed_arg $ jobs_arg $ inject_faults_arg
-       $ corpus_arg $ repro_arg $ max_shrink_arg $ sabotage_arg $ replay_arg
-       $ metrics_arg))
+       $ arch_pool_arg $ arch_matrix_arg $ corpus_arg $ repro_arg
+       $ max_shrink_arg $ sabotage_arg $ replay_arg $ metrics_arg))
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -784,6 +884,131 @@ let fuzz_cmd =
           independent routes (direct C interpretation, generated code on \
           the simulated cluster, the BLAS reference) that must agree")
     term
+
+(* ------------------------------------------------------------------ *)
+(* arch                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let spm_budget_line d =
+  let needed = Arch_desc.spm_needed_bytes d in
+  Printf.sprintf "%d/%d bytes %s" needed d.Arch_desc.spm_bytes
+    (if needed <= d.Arch_desc.spm_bytes then "ok" else "OVERFLOW")
+
+let arch_cmd =
+  let list_run () =
+    Printf.printf "%-16s %-7s %-11s %10s %12s  %s\n" "NAME" "MESH"
+      "MICROKERNEL" "SPM" "PEAK" "SPM BUDGET";
+    List.iter
+      (fun (d : Arch_desc.t) ->
+        Printf.printf "%-16s %-7s %-11s %10d %9.2f GF  %s\n" d.Arch_desc.name
+          (Printf.sprintf "%dx%d" d.Arch_desc.mesh.Arch_desc.rows
+             d.Arch_desc.mesh.Arch_desc.cols)
+          (Printf.sprintf "%dx%dx%d" d.Arch_desc.mk.Arch_desc.m
+             d.Arch_desc.mk.Arch_desc.n d.Arch_desc.mk.Arch_desc.k)
+          d.Arch_desc.spm_bytes (Arch_desc.peak_gflops d)
+          (spm_budget_line d))
+      Arch_desc.all;
+    print_endline "aliases: tiny-2x2 = tiny2, tiny-4x4 = tiny4";
+    Ok ()
+  in
+  let show_run name arch_file json =
+    let desc =
+      match arch_file with
+      | Some path ->
+          Result.map_error
+            (fun e -> `Msg ("--arch-file: " ^ e))
+            (Arch_desc.load_file path)
+      | None -> (
+          match name with
+          | None -> Error (`Msg "give a preset NAME or --arch-file FILE")
+          | Some n -> (
+              match Arch_desc.find n with
+              | Some d -> Ok d
+              | None ->
+                  Error
+                    (`Msg
+                      (Printf.sprintf "unknown preset '%s' (known: %s)" n
+                         (String.concat ", " (Arch_desc.names ()))))))
+    in
+    match desc with
+    | Error e -> Error e
+    | Ok d ->
+        if json then (
+          print_endline
+            (Sw_obs.Json.to_string ~pretty:true (Arch_desc.to_json d));
+          Ok ())
+        else begin
+          let m = d.Arch_desc.mesh in
+          let mk = d.Arch_desc.mk in
+          Printf.printf "%s\n" d.Arch_desc.name;
+          Printf.printf "  mesh:         %dx%d (%d CPEs)\n" m.Arch_desc.rows
+            m.Arch_desc.cols (m.Arch_desc.rows * m.Arch_desc.cols);
+          Printf.printf "  micro-kernel: %dx%dx%d (efficiency %.3f, call \
+                         overhead %.3g s)\n"
+            mk.Arch_desc.m mk.Arch_desc.n mk.Arch_desc.k
+            mk.Arch_desc.efficiency mk.Arch_desc.call_overhead_s;
+          Printf.printf "  peak:         %.2f Gflops\n"
+            (Arch_desc.peak_gflops d);
+          Printf.printf "  SPM:          %s\n" (spm_budget_line d);
+          Printf.printf "  CPE:          %.3g Hz, %g SIMD flops/cycle, %g \
+                         naive flops/cycle, %g ew cycles/elem\n"
+            d.Arch_desc.cpe.Arch_desc.freq_hz
+            d.Arch_desc.cpe.Arch_desc.simd_flops_per_cycle
+            d.Arch_desc.cpe.Arch_desc.naive_flops_per_cycle
+            d.Arch_desc.cpe.Arch_desc.ew_cycles_per_elem;
+          Printf.printf "  DMA:          %.3g B/s, latency %.3g s\n"
+            d.Arch_desc.dma.Arch_desc.bw_bytes_per_s
+            d.Arch_desc.dma.Arch_desc.latency_s;
+          Printf.printf "  RMA:          %.3g B/s, latency %.3g s\n"
+            d.Arch_desc.rma.Arch_desc.bw_bytes_per_s
+            d.Arch_desc.rma.Arch_desc.latency_s;
+          Printf.printf "  sync:         %.3g s; mesh startup %.3g s\n"
+            d.Arch_desc.sync_latency_s d.Arch_desc.mesh_startup_s;
+          Printf.printf "  MPE:          %.3g Hz, stream %.3g B/s\n"
+            d.Arch_desc.mpe.Arch_desc.mpe_freq_hz
+            d.Arch_desc.mpe.Arch_desc.stream_bw_bytes_per_s;
+          Printf.printf "  NoC:          link %.3g B/s, src %.3g B/s, \
+                         latency %.3g s\n"
+            d.Arch_desc.noc.Arch_desc.link_bw_bytes_per_s
+            d.Arch_desc.noc.Arch_desc.src_bw_bytes_per_s
+            d.Arch_desc.noc.Arch_desc.noc_latency_s;
+          (match Arch_desc.validate d with
+          | Ok () -> Printf.printf "  validation:   ok\n"
+          | Error e ->
+              Printf.printf "  validation:   FAILED: %s\n"
+                (Arch_desc.error_to_string e));
+          Ok ()
+        end
+  in
+  let name_arg =
+    let doc = "Preset name (see $(b,swgemmgen arch list))." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Emit the description as JSON — the exact schema $(b,--arch-file) \
+       loads."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let list_cmd =
+    Cmd.v
+      (Cmd.info "list"
+         ~doc:"List the architecture presets with geometry and SPM budget")
+      Term.(term_result (const list_run $ const ()))
+  in
+  let show_cmd =
+    Cmd.v
+      (Cmd.info "show"
+         ~doc:
+           "Show one architecture description: geometry, derived peak, SPM \
+            budget check, and (with --json) the loadable JSON form")
+      Term.(term_result (const show_run $ name_arg $ arch_file_arg $ json_arg))
+  in
+  Cmd.group
+    (Cmd.info "arch"
+       ~doc:"Inspect the parametric architecture descriptions")
+    [ list_cmd; show_cmd ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -807,4 +1032,5 @@ let () =
             breakdown_cmd;
             tune_cmd;
             fuzz_cmd;
+            arch_cmd;
           ]))

@@ -1,0 +1,488 @@
+type mesh = { rows : int; cols : int }
+
+type micro_kernel = {
+  m : int;
+  n : int;
+  k : int;
+  efficiency : float;
+  call_overhead_s : float;
+}
+
+type link = { bw_bytes_per_s : float; latency_s : float }
+
+type cpe = {
+  freq_hz : float;
+  simd_flops_per_cycle : float;
+  naive_flops_per_cycle : float;
+  ew_cycles_per_elem : float;
+}
+
+type mpe = {
+  mpe_freq_hz : float;
+  stream_bw_bytes_per_s : float;
+  mpe_ew_cycles_per_elem : (string * float) list;
+}
+
+type noc = {
+  link_bw_bytes_per_s : float;
+  src_bw_bytes_per_s : float;
+  noc_latency_s : float;
+}
+
+type t = {
+  name : string;
+  mesh : mesh;
+  spm_bytes : int;
+  cpe : cpe;
+  mk : micro_kernel;
+  dma : link;
+  rma : link;
+  sync_latency_s : float;
+  mesh_startup_s : float;
+  mpe : mpe;
+  noc : noc;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type error =
+  | Empty_mesh of mesh
+  | Empty_micro_kernel of micro_kernel
+  | Non_positive_rate of string * float
+  | Efficiency_out_of_range of float
+  | Spm_overflow of { needed_bytes : int; spm_bytes : int }
+
+let error_to_string = function
+  | Empty_mesh m -> Printf.sprintf "empty mesh (%dx%d)" m.rows m.cols
+  | Empty_micro_kernel mk ->
+      Printf.sprintf "empty micro kernel (%dx%dx%d)" mk.m mk.n mk.k
+  | Non_positive_rate (field, v) ->
+      Printf.sprintf "non-positive %s (%g)" field v
+  | Efficiency_out_of_range e ->
+      Printf.sprintf "micro-kernel efficiency %g out of (0, 1]" e
+  | Spm_overflow { needed_bytes; spm_bytes } ->
+      Printf.sprintf
+        "micro kernel tiles (%d bytes double-buffered) overflow the %d-byte \
+         SPM"
+        needed_bytes spm_bytes
+
+(* the nine local buffers of §6.3: C + 2x(A dma, B dma, A bcast, B bcast) *)
+let spm_needed_bytes d =
+  8 * ((d.mk.m * d.mk.n) + (4 * d.mk.m * d.mk.k) + (4 * d.mk.k * d.mk.n))
+
+let validate d =
+  let ( let* ) = Result.bind in
+  let rate field v =
+    if v <= 0.0 then Error (Non_positive_rate (field, v)) else Ok ()
+  in
+  let* () =
+    if d.mesh.rows <= 0 || d.mesh.cols <= 0 then Error (Empty_mesh d.mesh)
+    else Ok ()
+  in
+  let* () =
+    if d.mk.m <= 0 || d.mk.n <= 0 || d.mk.k <= 0 then
+      Error (Empty_micro_kernel d.mk)
+    else Ok ()
+  in
+  let* () = rate "cpe.freq_hz" d.cpe.freq_hz in
+  let* () = rate "cpe.simd_flops_per_cycle" d.cpe.simd_flops_per_cycle in
+  let* () = rate "cpe.naive_flops_per_cycle" d.cpe.naive_flops_per_cycle in
+  let* () = rate "cpe.ew_cycles_per_elem" d.cpe.ew_cycles_per_elem in
+  let* () = rate "dma.bw_bytes_per_s" d.dma.bw_bytes_per_s in
+  let* () = rate "rma.bw_bytes_per_s" d.rma.bw_bytes_per_s in
+  let* () = rate "mpe.freq_hz" d.mpe.mpe_freq_hz in
+  let* () = rate "mpe.stream_bw_bytes_per_s" d.mpe.stream_bw_bytes_per_s in
+  let* () = rate "noc.link_bw_bytes_per_s" d.noc.link_bw_bytes_per_s in
+  let* () = rate "noc.src_bw_bytes_per_s" d.noc.src_bw_bytes_per_s in
+  let* () =
+    List.fold_left
+      (fun acc (fn, cyc) ->
+        let* () = acc in
+        rate (Printf.sprintf "mpe.ew_cycles_per_elem[%s]" fn) cyc)
+      (Ok ()) d.mpe.mpe_ew_cycles_per_elem
+  in
+  let* () =
+    if d.mk.efficiency <= 0.0 || d.mk.efficiency > 1.0 then
+      Error (Efficiency_out_of_range d.mk.efficiency)
+    else Ok ()
+  in
+  let needed = spm_needed_bytes d in
+  if needed > d.spm_bytes then
+    Error (Spm_overflow { needed_bytes = needed; spm_bytes = d.spm_bytes })
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Conversion to/from the flat simulator record                         *)
+(* ------------------------------------------------------------------ *)
+
+let to_config d =
+  {
+    Config.name = d.name;
+    mesh_rows = d.mesh.rows;
+    mesh_cols = d.mesh.cols;
+    spm_bytes = d.spm_bytes;
+    cpe_freq_hz = d.cpe.freq_hz;
+    cpe_simd_flops_per_cycle = d.cpe.simd_flops_per_cycle;
+    cpe_naive_flops_per_cycle = d.cpe.naive_flops_per_cycle;
+    micro_kernel_efficiency = d.mk.efficiency;
+    kernel_call_overhead_s = d.mk.call_overhead_s;
+    mem_bw_bytes_per_s = d.dma.bw_bytes_per_s;
+    dma_latency_s = d.dma.latency_s;
+    rma_bw_bytes_per_s = d.rma.bw_bytes_per_s;
+    rma_latency_s = d.rma.latency_s;
+    sync_latency_s = d.sync_latency_s;
+    mesh_startup_s = d.mesh_startup_s;
+    ew_cpe_cycles_per_elem = d.cpe.ew_cycles_per_elem;
+    mpe_stream_bw_bytes_per_s = d.mpe.stream_bw_bytes_per_s;
+    mpe_freq_hz = d.mpe.mpe_freq_hz;
+    mpe_ew_cycles_per_elem = d.mpe.mpe_ew_cycles_per_elem;
+    mk_m = d.mk.m;
+    mk_n = d.mk.n;
+    mk_k = d.mk.k;
+  }
+
+(* Calibrated against the measured inter-cluster numbers Multi_sim uses. *)
+let default_noc =
+  {
+    link_bw_bytes_per_s = 24.0e9;
+    src_bw_bytes_per_s = 80.0e9;
+    noc_latency_s = 4.0e-6;
+  }
+
+let of_config ?(noc = default_noc) (c : Config.t) =
+  {
+    name = c.Config.name;
+    mesh = { rows = c.Config.mesh_rows; cols = c.Config.mesh_cols };
+    spm_bytes = c.Config.spm_bytes;
+    cpe =
+      {
+        freq_hz = c.Config.cpe_freq_hz;
+        simd_flops_per_cycle = c.Config.cpe_simd_flops_per_cycle;
+        naive_flops_per_cycle = c.Config.cpe_naive_flops_per_cycle;
+        ew_cycles_per_elem = c.Config.ew_cpe_cycles_per_elem;
+      };
+    mk =
+      {
+        m = c.Config.mk_m;
+        n = c.Config.mk_n;
+        k = c.Config.mk_k;
+        efficiency = c.Config.micro_kernel_efficiency;
+        call_overhead_s = c.Config.kernel_call_overhead_s;
+      };
+    dma =
+      {
+        bw_bytes_per_s = c.Config.mem_bw_bytes_per_s;
+        latency_s = c.Config.dma_latency_s;
+      };
+    rma =
+      {
+        bw_bytes_per_s = c.Config.rma_bw_bytes_per_s;
+        latency_s = c.Config.rma_latency_s;
+      };
+    sync_latency_s = c.Config.sync_latency_s;
+    mesh_startup_s = c.Config.mesh_startup_s;
+    mpe =
+      {
+        mpe_freq_hz = c.Config.mpe_freq_hz;
+        stream_bw_bytes_per_s = c.Config.mpe_stream_bw_bytes_per_s;
+        mpe_ew_cycles_per_elem = c.Config.mpe_ew_cycles_per_elem;
+      };
+    noc;
+  }
+
+let peak_gflops d = Config.peak_gflops (to_config d)
+
+(* ------------------------------------------------------------------ *)
+(* Presets                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Full-scale variants share the calibrated SW26010Pro per-CPE and link
+   parameters; only the mesh geometry differs. The tiny family (16 KiB
+   SPM, 4x4x2 micro kernel) is what the conformance fuzzer and the fast
+   functional tests simulate. *)
+let scaled name ~rows ~cols =
+  {
+    (of_config Config.sw26010pro) with
+    name;
+    mesh = { rows; cols };
+  }
+
+let tiny_desc name ~rows ~cols ?(mk = (4, 4, 2)) () =
+  { (of_config (Config.tiny ~mesh:rows ~cols ~mk ())) with name }
+
+let all =
+  [
+    scaled "sw26010pro" ~rows:8 ~cols:8;
+    scaled "sw26010pro-4x4" ~rows:4 ~cols:4;
+    scaled "sw26010pro-8x4" ~rows:8 ~cols:4;
+    scaled "sw26010pro-16x16" ~rows:16 ~cols:16;
+    tiny_desc "tiny2" ~rows:2 ~cols:2 ();
+    tiny_desc "tiny2-deep" ~rows:2 ~cols:2 ~mk:(4, 4, 4) ();
+    tiny_desc "tiny4" ~rows:4 ~cols:4 ();
+    tiny_desc "tiny-8x8" ~rows:8 ~cols:8 ();
+    tiny_desc "tiny-8x4" ~rows:8 ~cols:4 ();
+    tiny_desc "tiny-16x16" ~rows:16 ~cols:16 ();
+  ]
+
+let aliases = [ ("tiny-2x2", "tiny2"); ("tiny-4x4", "tiny4") ]
+
+let find name =
+  let canonical =
+    match List.assoc_opt name aliases with Some c -> c | None -> name
+  in
+  List.find_opt (fun d -> d.name = canonical) all
+
+let names () = List.map (fun d -> d.name) all
+let config_of_name name = Option.map to_config (find name)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Sw_obs.Json
+
+let to_json d =
+  let f x = Json.Float x in
+  Json.Obj
+    [
+      ("name", Json.String d.name);
+      ( "mesh",
+        Json.Obj [ ("rows", Json.Int d.mesh.rows); ("cols", Json.Int d.mesh.cols) ]
+      );
+      ("spm_bytes", Json.Int d.spm_bytes);
+      ( "cpe",
+        Json.Obj
+          [
+            ("freq_hz", f d.cpe.freq_hz);
+            ("simd_flops_per_cycle", f d.cpe.simd_flops_per_cycle);
+            ("naive_flops_per_cycle", f d.cpe.naive_flops_per_cycle);
+            ("ew_cycles_per_elem", f d.cpe.ew_cycles_per_elem);
+          ] );
+      ( "micro_kernel",
+        Json.Obj
+          [
+            ("m", Json.Int d.mk.m);
+            ("n", Json.Int d.mk.n);
+            ("k", Json.Int d.mk.k);
+            ("efficiency", f d.mk.efficiency);
+            ("call_overhead_s", f d.mk.call_overhead_s);
+          ] );
+      ( "dma",
+        Json.Obj
+          [
+            ("bw_bytes_per_s", f d.dma.bw_bytes_per_s);
+            ("latency_s", f d.dma.latency_s);
+          ] );
+      ( "rma",
+        Json.Obj
+          [
+            ("bw_bytes_per_s", f d.rma.bw_bytes_per_s);
+            ("latency_s", f d.rma.latency_s);
+          ] );
+      ("sync_latency_s", f d.sync_latency_s);
+      ("mesh_startup_s", f d.mesh_startup_s);
+      ( "mpe",
+        Json.Obj
+          [
+            ("freq_hz", f d.mpe.mpe_freq_hz);
+            ("stream_bw_bytes_per_s", f d.mpe.stream_bw_bytes_per_s);
+            ( "ew_cycles_per_elem",
+              Json.Obj
+                (List.map
+                   (fun (fn, cyc) -> (fn, f cyc))
+                   d.mpe.mpe_ew_cycles_per_elem) );
+          ] );
+      ( "noc",
+        Json.Obj
+          [
+            ("link_bw_bytes_per_s", f d.noc.link_bw_bytes_per_s);
+            ("src_bw_bytes_per_s", f d.noc.src_bw_bytes_per_s);
+            ("latency_s", f d.noc.noc_latency_s);
+          ] );
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  (* strict object decoder: every listed field must be present and no
+     other field may appear *)
+  let obj path fields k j =
+    match j with
+    | Json.Obj members ->
+        let* () =
+          List.fold_left
+            (fun acc (name, _) ->
+              let* () = acc in
+              if List.mem name fields then Ok ()
+              else Error (Printf.sprintf "%s: unknown field %S" path name))
+            (Ok ()) members
+        in
+        let* () =
+          List.fold_left
+            (fun acc field ->
+              let* () = acc in
+              if List.mem_assoc field members then Ok ()
+              else Error (Printf.sprintf "%s: missing field %S" path field))
+            (Ok ()) fields
+        in
+        k (fun field -> List.assoc field members)
+    | _ -> Error (Printf.sprintf "%s: expected an object" path)
+  in
+  let int path j =
+    match Json.to_int_opt j with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "%s: expected an integer" path)
+  in
+  let flt path j =
+    match Json.to_float_opt j with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "%s: expected a number" path)
+  in
+  let str path j =
+    match Json.to_string_opt j with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "%s: expected a string" path)
+  in
+  obj "description"
+    [
+      "name";
+      "mesh";
+      "spm_bytes";
+      "cpe";
+      "micro_kernel";
+      "dma";
+      "rma";
+      "sync_latency_s";
+      "mesh_startup_s";
+      "mpe";
+      "noc";
+    ]
+    (fun get ->
+      let* name = str "name" (get "name") in
+      let* mesh =
+        obj "mesh" [ "rows"; "cols" ] (fun g ->
+            let* rows = int "mesh.rows" (g "rows") in
+            let* cols = int "mesh.cols" (g "cols") in
+            Ok { rows; cols })
+          (get "mesh")
+      in
+      let* spm_bytes = int "spm_bytes" (get "spm_bytes") in
+      let* cpe =
+        obj "cpe"
+          [
+            "freq_hz";
+            "simd_flops_per_cycle";
+            "naive_flops_per_cycle";
+            "ew_cycles_per_elem";
+          ]
+          (fun g ->
+            let* freq_hz = flt "cpe.freq_hz" (g "freq_hz") in
+            let* simd_flops_per_cycle =
+              flt "cpe.simd_flops_per_cycle" (g "simd_flops_per_cycle")
+            in
+            let* naive_flops_per_cycle =
+              flt "cpe.naive_flops_per_cycle" (g "naive_flops_per_cycle")
+            in
+            let* ew_cycles_per_elem =
+              flt "cpe.ew_cycles_per_elem" (g "ew_cycles_per_elem")
+            in
+            Ok
+              {
+                freq_hz;
+                simd_flops_per_cycle;
+                naive_flops_per_cycle;
+                ew_cycles_per_elem;
+              })
+          (get "cpe")
+      in
+      let* mk =
+        obj "micro_kernel" [ "m"; "n"; "k"; "efficiency"; "call_overhead_s" ]
+          (fun g ->
+            let* m = int "micro_kernel.m" (g "m") in
+            let* n = int "micro_kernel.n" (g "n") in
+            let* k = int "micro_kernel.k" (g "k") in
+            let* efficiency = flt "micro_kernel.efficiency" (g "efficiency") in
+            let* call_overhead_s =
+              flt "micro_kernel.call_overhead_s" (g "call_overhead_s")
+            in
+            Ok { m; n; k; efficiency; call_overhead_s })
+          (get "micro_kernel")
+      in
+      let link path j =
+        obj path [ "bw_bytes_per_s"; "latency_s" ]
+          (fun g ->
+            let* bw_bytes_per_s =
+              flt (path ^ ".bw_bytes_per_s") (g "bw_bytes_per_s")
+            in
+            let* latency_s = flt (path ^ ".latency_s") (g "latency_s") in
+            Ok { bw_bytes_per_s; latency_s })
+          j
+      in
+      let* dma = link "dma" (get "dma") in
+      let* rma = link "rma" (get "rma") in
+      let* sync_latency_s = flt "sync_latency_s" (get "sync_latency_s") in
+      let* mesh_startup_s = flt "mesh_startup_s" (get "mesh_startup_s") in
+      let* mpe =
+        obj "mpe" [ "freq_hz"; "stream_bw_bytes_per_s"; "ew_cycles_per_elem" ]
+          (fun g ->
+            let* mpe_freq_hz = flt "mpe.freq_hz" (g "freq_hz") in
+            let* stream_bw_bytes_per_s =
+              flt "mpe.stream_bw_bytes_per_s" (g "stream_bw_bytes_per_s")
+            in
+            let* mpe_ew_cycles_per_elem =
+              match g "ew_cycles_per_elem" with
+              | Json.Obj members ->
+                  List.fold_left
+                    (fun acc (fn, v) ->
+                      let* table = acc in
+                      let* cyc =
+                        flt
+                          (Printf.sprintf "mpe.ew_cycles_per_elem[%s]" fn)
+                          v
+                      in
+                      Ok ((fn, cyc) :: table))
+                    (Ok []) members
+                  |> Result.map List.rev
+              | _ -> Error "mpe.ew_cycles_per_elem: expected an object"
+            in
+            Ok { mpe_freq_hz; stream_bw_bytes_per_s; mpe_ew_cycles_per_elem })
+          (get "mpe")
+      in
+      let* noc =
+        obj "noc" [ "link_bw_bytes_per_s"; "src_bw_bytes_per_s"; "latency_s" ]
+          (fun g ->
+            let* link_bw_bytes_per_s =
+              flt "noc.link_bw_bytes_per_s" (g "link_bw_bytes_per_s")
+            in
+            let* src_bw_bytes_per_s =
+              flt "noc.src_bw_bytes_per_s" (g "src_bw_bytes_per_s")
+            in
+            let* noc_latency_s = flt "noc.latency_s" (g "latency_s") in
+            Ok { link_bw_bytes_per_s; src_bw_bytes_per_s; noc_latency_s })
+          (get "noc")
+      in
+      Ok
+        {
+          name;
+          mesh;
+          spm_bytes;
+          cpe;
+          mk;
+          dma;
+          rma;
+          sync_latency_s;
+          mesh_startup_s;
+          mpe;
+          noc;
+        })
+    j
+
+let load_file path =
+  let ( let* ) = Result.bind in
+  let* j = Json.parse_file path in
+  let* d = of_json j in
+  match validate d with
+  | Ok () -> Ok d
+  | Error e ->
+      Error (Printf.sprintf "%s: invalid description: %s" path (error_to_string e))

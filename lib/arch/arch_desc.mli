@@ -1,0 +1,116 @@
+(** Declarative, validated architecture descriptions.
+
+    {!Config.t} is the flat record the simulator and cost model consume;
+    this module is the layer above it: structured machine descriptions
+    with named presets, typed validation errors, and a strict JSON
+    round-trip so a machine can be described in a file and loaded with
+    [--arch-file]. The registry covers the calibrated SW26010Pro, scaled
+    mesh variants (including rectangular meshes), and the tiny family the
+    conformance fuzzer runs on. *)
+
+type mesh = { rows : int; cols : int }
+
+type micro_kernel = {
+  m : int;
+  n : int;
+  k : int;
+  efficiency : float;  (** fraction of SIMD peak the kernel sustains *)
+  call_overhead_s : float;
+}
+
+type link = { bw_bytes_per_s : float; latency_s : float }
+
+type cpe = {
+  freq_hz : float;
+  simd_flops_per_cycle : float;
+  naive_flops_per_cycle : float;
+  ew_cycles_per_elem : float;
+}
+
+type mpe = {
+  mpe_freq_hz : float;
+  stream_bw_bytes_per_s : float;
+  mpe_ew_cycles_per_elem : (string * float) list;
+}
+
+type noc = {
+  link_bw_bytes_per_s : float;  (** per inter-cluster link *)
+  src_bw_bytes_per_s : float;  (** source-side injection bound *)
+  noc_latency_s : float;
+}
+
+type t = {
+  name : string;
+  mesh : mesh;
+  spm_bytes : int;
+  cpe : cpe;
+  mk : micro_kernel;
+  dma : link;  (** shared memory controller: bandwidth + per-message latency *)
+  rma : link;  (** per row/column mesh link *)
+  sync_latency_s : float;
+  mesh_startup_s : float;
+  mpe : mpe;
+  noc : noc;
+}
+
+(** {2 Validation} *)
+
+type error =
+  | Empty_mesh of mesh
+  | Empty_micro_kernel of micro_kernel
+  | Non_positive_rate of string * float
+      (** field path (e.g. ["rma.bw_bytes_per_s"]) and offending value *)
+  | Efficiency_out_of_range of float
+  | Spm_overflow of { needed_bytes : int; spm_bytes : int }
+      (** the nine §6.3 buffers do not fit *)
+
+val error_to_string : error -> string
+val validate : t -> (unit, error) result
+
+val spm_needed_bytes : t -> int
+(** Bytes of the nine double-buffered §6.3 SPM buffers for the
+    description's micro kernel. *)
+
+val peak_gflops : t -> float
+
+(** {2 Conversion} *)
+
+val to_config : t -> Config.t
+(** Flatten for the simulator and cost model. The resulting config carries
+    the description's [name]. *)
+
+val of_config : ?noc:noc -> Config.t -> t
+(** Lift a flat config; [noc] defaults to the calibrated inter-cluster
+    parameters ({!default_noc}). *)
+
+val default_noc : noc
+
+(** {2 Presets} *)
+
+val all : t list
+(** Canonical presets: [sw26010pro] and its 4x4 / 8x4 / 16x16 mesh
+    variants, plus the tiny family ([tiny2], [tiny2-deep], [tiny4],
+    [tiny-8x8], [tiny-8x4], [tiny-16x16]) used by tests and the
+    conformance fuzzer. Every preset validates. *)
+
+val find : string -> t option
+(** Look up a preset by name. Accepts the [tiny-RxC] spellings of the
+    legacy names ([tiny-2x2] = [tiny2], [tiny-4x4] = [tiny4]). *)
+
+val names : unit -> string list
+(** Canonical preset names, registry order. *)
+
+val config_of_name : string -> Config.t option
+(** [find] composed with {!to_config}. *)
+
+(** {2 JSON} *)
+
+val to_json : t -> Sw_obs.Json.t
+
+val of_json : Sw_obs.Json.t -> (t, string) result
+(** Strict inverse of {!to_json}: missing or unknown fields are errors,
+    and [of_json (to_json d) = Ok d] for every description without
+    nan/inf rates. *)
+
+val load_file : string -> (t, string) result
+(** Parse a description from a JSON file and validate it. *)

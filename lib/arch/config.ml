@@ -51,13 +51,14 @@ let sw26010pro =
     mk_k = 32;
   }
 
-let tiny ?(mesh = 2) ?(mk = (4, 4, 2)) () =
+let tiny ?(mesh = 2) ?cols ?(mk = (4, 4, 2)) () =
   let mk_m, mk_n, mk_k = mk in
+  let cols = match cols with Some c -> c | None -> mesh in
   {
     sw26010pro with
-    name = Printf.sprintf "tiny-%dx%d" mesh mesh;
+    name = Printf.sprintf "tiny-%dx%d" mesh cols;
     mesh_rows = mesh;
-    mesh_cols = mesh;
+    mesh_cols = cols;
     spm_bytes = 16 * 1024;
     mk_m;
     mk_n;
@@ -89,15 +90,33 @@ let mpe_gemm_seconds c ~m ~n ~k =
   let stream = float_of_int bytes /. c.mpe_stream_bw_bytes_per_s in
   Float.max compute stream
 
+(* Elementwise functions with no entry in the model table cost a
+   conservative 8 cycles/elem. That fallback is logged (once per
+   function name) so a missing calibration entry is visible rather than
+   silently absorbed into the MPE estimate. *)
+let unknown_ew_cycles = 8.0
+let warned_ew_fns : (string, unit) Hashtbl.t = Hashtbl.create 7
+
+let warn_unknown_ew_fn ~config_name fn =
+  if not (Hashtbl.mem warned_ew_fns fn) then begin
+    Hashtbl.replace warned_ew_fns fn ();
+    Printf.eprintf
+      "swgemm: warning: elementwise fn %S has no cycles/elem entry in the \
+       %s model; assuming %g cycles/elem\n%!"
+      fn config_name unknown_ew_cycles
+  end
+
 let mpe_ew_seconds c ~fn ~elems =
   let base_fn =
     (* parameterized kernels (scale:<c>) cost like "id" *)
-    if String.length fn > 6 && String.sub fn 0 6 = "scale:" then "id" else fn
+    if String.starts_with ~prefix:"scale:" fn then "id" else fn
   in
   let cycles =
     match List.assoc_opt base_fn c.mpe_ew_cycles_per_elem with
     | Some x -> x
-    | None -> 8.0
+    | None ->
+        warn_unknown_ew_fn ~config_name:c.name base_fn;
+        unknown_ew_cycles
   in
   let stream = float_of_int (16 * elems) /. c.mpe_stream_bw_bytes_per_s in
   let compute = float_of_int elems *. cycles /. c.mpe_freq_hz in
@@ -105,9 +124,7 @@ let mpe_ew_seconds c ~fn ~elems =
 
 let validate c =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
-  if c.mesh_rows <> c.mesh_cols then
-    err "mesh must be square for the row/column RMA broadcast scheme"
-  else if c.mesh_rows <= 0 then err "empty mesh"
+  if c.mesh_rows <= 0 || c.mesh_cols <= 0 then err "empty mesh"
   else if c.mk_m <= 0 || c.mk_n <= 0 || c.mk_k <= 0 then err "empty micro kernel"
   else if
     c.cpe_freq_hz <= 0.0 || c.mem_bw_bytes_per_s <= 0.0
@@ -115,6 +132,8 @@ let validate c =
     || c.micro_kernel_efficiency <= 0.0
     || c.micro_kernel_efficiency > 1.0
   then err "non-positive rate or efficiency out of (0, 1]"
+  else if List.exists (fun (_, cyc) -> cyc <= 0.0) c.mpe_ew_cycles_per_elem
+  then err "non-positive cycles/elem in the MPE elementwise table"
   else begin
     (* the nine local buffers of §6.3: C + 2x(A dma, B dma, A bcast, B bcast) *)
     let bytes =

@@ -10,7 +10,10 @@
 type t = {
   name : string;
   mesh_rows : int;  (** 8 on SW26010Pro *)
-  mesh_cols : int;  (** 8; the mesh must be square for the RMA scheme *)
+  mesh_cols : int;
+      (** 8 on SW26010Pro; rectangular meshes are accepted — the K panel is
+          split into [min rows cols] chunks and the row/column RMA
+          broadcasts root at mesh coordinates below that bound *)
   spm_bytes : int;  (** 256 KiB per CPE on SW26010Pro (§2.1) *)
   cpe_freq_hz : float;
   cpe_simd_flops_per_cycle : float;
@@ -43,10 +46,10 @@ type t = {
 val sw26010pro : t
 (** The calibrated SW26010Pro model. *)
 
-val tiny : ?mesh:int -> ?mk:int * int * int -> unit -> t
-(** A scaled-down configuration for fast functional tests: [mesh x mesh]
-    CPEs (default 2) and a small micro kernel (default 4x4x2). Timing
-    constants are inherited from {!sw26010pro}. *)
+val tiny : ?mesh:int -> ?cols:int -> ?mk:int * int * int -> unit -> t
+(** A scaled-down configuration for fast functional tests: [mesh x cols]
+    CPEs (default 2x2; [cols] defaults to [mesh]) and a small micro kernel
+    (default 4x4x2). Timing constants are inherited from {!sw26010pro}. *)
 
 val peak_flops_per_s : t -> float
 (** Cluster SIMD peak: [rows * cols * freq * simd_flops_per_cycle]. *)
@@ -67,5 +70,6 @@ val mpe_ew_seconds : t -> fn:string -> elems:int -> float
     time. *)
 
 val validate : t -> (unit, string) result
-(** Reject meaningless models (non-square mesh, non-positive rates, micro
-    kernel tiles that overflow the SPM with double buffering). *)
+(** Reject meaningless models (empty mesh, non-positive rates, micro
+    kernel tiles that overflow the SPM with double buffering). Rectangular
+    meshes are valid. *)

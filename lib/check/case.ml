@@ -1,25 +1,18 @@
 open Sw_core
 module Json = Sw_obs.Json
 
-type config_id = Tiny2 | Tiny2_deep | Tiny4
+type config_id = string
 
-let all_config_ids = [ Tiny2; Tiny2_deep; Tiny4 ]
+let all_config_ids = [ "tiny2"; "tiny2-deep"; "tiny4" ]
+let config_id_to_string id = id
 
-let config_id_to_string = function
-  | Tiny2 -> "tiny2"
-  | Tiny2_deep -> "tiny2-deep"
-  | Tiny4 -> "tiny4"
+let config_id_of_string s =
+  match Sw_arch.Arch_desc.find s with Some _ -> Some s | None -> None
 
-let config_id_of_string = function
-  | "tiny2" -> Some Tiny2
-  | "tiny2-deep" -> Some Tiny2_deep
-  | "tiny4" -> Some Tiny4
-  | _ -> None
-
-let config_of = function
-  | Tiny2 -> Sw_arch.Config.tiny ()
-  | Tiny2_deep -> Sw_arch.Config.tiny ~mk:(4, 4, 4) ()
-  | Tiny4 -> Sw_arch.Config.tiny ~mesh:4 ()
+let config_of id =
+  match Sw_arch.Arch_desc.config_of_name id with
+  | Some c -> c
+  | None -> invalid_arg ("Case.config_of: unknown arch preset " ^ id)
 
 type t = {
   spec : Spec.t;

@@ -6,16 +6,22 @@
     the seed of the input data, and an optional fault-injection plan. The
     JSON round-trip is the on-disk format of corpus and repro files. *)
 
-type config_id = Tiny2 | Tiny2_deep | Tiny4
-    (** Machine models the fuzzer draws from — all functional-test scale:
-        2x2 mesh with a 4x4x2 micro kernel, the same mesh with a deeper
-        4x4x4 kernel, and a 4x4 mesh. *)
+type config_id = string
+(** The name of an {!Sw_arch.Arch_desc} preset. Only names the registry
+    resolves are valid — {!config_id_of_string} is the checked
+    constructor. *)
 
 val all_config_ids : config_id list
+(** The default machine pool the fuzzer draws from — all functional-test
+    scale: ["tiny2"] (2x2 mesh, 4x4x2 micro kernel), ["tiny2-deep"] (same
+    mesh, deeper 4x4x4 kernel) and ["tiny4"] (4x4 mesh). *)
+
 val config_id_to_string : config_id -> string
 val config_id_of_string : string -> config_id option
+(** [Some id] iff the registry knows the name. *)
 
 val config_of : config_id -> Sw_arch.Config.t
+(** Raises [Invalid_argument] on a name the registry cannot resolve. *)
 
 type t = {
   spec : Sw_core.Spec.t;

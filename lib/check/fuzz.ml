@@ -4,6 +4,7 @@ type settings = {
   cases : int;
   seed : int;
   jobs : int;
+  archs : Case.config_id array option;
   fault : (int array * Sw_arch.Fault.kind list option) option;
   corpus_dir : string option;
   repro_dir : string;
@@ -68,6 +69,12 @@ let run (s : settings) =
   (match s.sabotage with
   | Some p -> s.print (Printf.sprintf "sabotage armed: pass %s mis-compiles" p)
   | None -> ());
+  (match s.archs with
+  | Some pool ->
+      s.print
+        (Printf.sprintf "arch pool: %s"
+           (String.concat " " (Array.to_list pool)))
+  | None -> ());
   let corpus = Corpus.create ?dir:s.corpus_dir () in
   let loaded, bad = Corpus.load corpus in
   if loaded > 0 then
@@ -88,7 +95,9 @@ let run (s : settings) =
           List.init n (fun i ->
               let st = Random.State.split master in
               let id = !finished + i in
-              (id, Gen.generate st ~id ~corpus:(Corpus.pool corpus) ~fault:s.fault))
+              ( id,
+                Gen.generate ?archs:s.archs st ~id
+                  ~corpus:(Corpus.pool corpus) ~fault:s.fault ))
         in
         let outs = Sw_host.Pool.map pool (fun (_, c) -> Oracle.check c) batch in
         List.iter2

@@ -12,6 +12,9 @@ type settings = {
   cases : int;
   seed : int;
   jobs : int;
+  archs : Case.config_id array option;
+      (** machine pool for fresh cases ({!Sw_arch.Arch_desc} preset names);
+          [None] uses the default tiny mix *)
   fault : (int array * Sw_arch.Fault.kind list option) option;
       (** fault plan seeds and kinds; [None] disables injection *)
   corpus_dir : string option;  (** persist/load the corpus here *)

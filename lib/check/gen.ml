@@ -16,7 +16,9 @@ let options_pool =
   [| Options.all_on; Options.all_on; Options.with_rma; Options.with_asm;
      Options.baseline |]
 
-let configs = [| Case.Tiny2; Case.Tiny2; Case.Tiny2_deep; Case.Tiny4 |]
+(* default machine pool, weighted toward the smallest model; a fuzz
+   campaign can substitute any registry presets via [?archs] *)
+let default_archs = [| "tiny2"; "tiny2"; "tiny2-deep"; "tiny4" |]
 let batches = [| None; None; None; Some 2; Some 3 |]
 
 (* m*n*k*batch budget keeping one functional simulation in the tens of
@@ -48,10 +50,11 @@ let tiles_of config =
   let cfg = Case.config_of config in
   ( cfg.Sw_arch.Config.mesh_rows * cfg.Sw_arch.Config.mk_m,
     cfg.Sw_arch.Config.mesh_cols * cfg.Sw_arch.Config.mk_n,
-    cfg.Sw_arch.Config.mesh_cols * cfg.Sw_arch.Config.mk_k )
+    min cfg.Sw_arch.Config.mesh_rows cfg.Sw_arch.Config.mesh_cols
+    * cfg.Sw_arch.Config.mk_k )
 
-let fresh st =
-  let config = pick st configs in
+let fresh ?(archs = default_archs) st =
+  let config = pick st archs in
   let tm, tn, tk = tiles_of config in
   let spec =
     Spec.make
@@ -91,14 +94,14 @@ let mutate st (base : Case.t) =
     fault = None;
   }
 
-let generate st ~id ~corpus ~fault =
+let generate ?archs st ~id ~corpus ~fault =
   let case =
     match corpus with
-    | [] -> fresh st
+    | [] -> fresh ?archs st
     | pool ->
         if Random.State.bool st then
           mutate st (List.nth pool (Random.State.int st (List.length pool)))
-        else fresh st
+        else fresh ?archs st
   in
   let fault =
     match fault with

@@ -10,14 +10,17 @@
     cases mutate an existing entry instead of starting fresh. *)
 
 val generate :
+  ?archs:Case.config_id array ->
   Random.State.t ->
   id:int ->
   corpus:Case.t list ->
   fault:(int array * Sw_arch.Fault.kind list option) option ->
   Case.t
-(** Draw one case. [corpus] is the mutation pool (may be empty); [fault]
-    enables injection — roughly half the cases then carry a fault plan
-    seeded from one of the given seeds offset by [id]. *)
+(** Draw one case. [archs] is the machine pool fresh cases draw their
+    preset from (default: the tiny2/tiny2-deep/tiny4 mix; mutated corpus
+    entries keep their own preset); [corpus] is the mutation pool (may be
+    empty); [fault] enables injection — roughly half the cases then carry
+    a fault plan seeded from one of the given seeds offset by [id]. *)
 
 val shrink_candidates : Case.t -> Case.t list
 (** Strictly-simpler variants of a failing case, most aggressive first

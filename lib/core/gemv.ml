@@ -26,10 +26,11 @@ let ( *: ) = Aff.mul
 
 (* The x panel matches the GEMM k-panel depth. *)
 let panel (config : Sw_arch.Config.t) =
-  config.Sw_arch.Config.mesh_cols * config.Sw_arch.Config.mk_k
+  min config.Sw_arch.Config.mesh_rows config.Sw_arch.Config.mesh_cols
+  * config.Sw_arch.Config.mk_k
 
-(* Rows handled per full mesh sweep: tile height x mesh^2 (cyclic over the
-   linearized CPE index). *)
+(* Rows handled per full mesh sweep: tile height x rows x cols (cyclic over
+   the linearized CPE index). *)
 let row_sweep (config : Sw_arch.Config.t) =
   config.Sw_arch.Config.mk_m
   * config.Sw_arch.Config.mesh_rows
@@ -50,7 +51,8 @@ let gemv_stmt spec =
 
 let compile ~config original =
   let tm = config.Sw_arch.Config.mk_m in
-  let p = config.Sw_arch.Config.mesh_rows in
+  let rows = config.Sw_arch.Config.mesh_rows in
+  let cols = config.Sw_arch.Config.mesh_cols in
   let np = panel config in
   let spec =
     {
@@ -66,21 +68,23 @@ let compile ~config original =
     | Tree.Domain (_, Tree.Band (b, Tree.Leaf)) -> b
     | _ -> assert false
   in
-  (* rows: tile by tm, then twice by the mesh width; bind to Rid/Cid *)
+  (* rows: tile by tm, then by mesh cols and mesh rows; bind to Rid/Cid *)
   let iband, kband = Transform.split_off band0 ~var:"i" in
   let ti_band, point_i = Transform.tile iband ~sizes:[ tm ] ~names:[ "ti" ] in
   let t1_band, ci_band =
-    Transform.strip_mine ti_band ~var:"ti" ~factor:p ~outer:"t1"
+    Transform.strip_mine ti_band ~var:"ti" ~factor:cols ~outer:"t1"
   in
   let bi_band, ri_band =
-    Transform.strip_mine t1_band ~var:"t1" ~factor:p ~outer:"bi"
+    Transform.strip_mine t1_band ~var:"t1" ~factor:rows ~outer:"bi"
   in
   let ri_band = Transform.bind ri_band ~var:"t1" Tree.Bind_rid in
   let ci_band = Transform.bind ci_band ~var:"ti" Tree.Bind_cid in
   (* x: panels of np *)
   let ko_band, point_k = Transform.tile kband ~sizes:[ np ] ~names:[ "ko" ] in
-  (* row offset of this CPE's tile: tm * (p*p*bi + p*t1 + ti) *)
-  let row_lo = tm *: (((p * p) *: v "bi") +: (p *: v "t1") +: v "ti") in
+  (* row offset of this CPE's tile: tm * (rows*cols*bi + cols*t1 + ti) *)
+  let row_lo =
+    tm *: (((rows * cols) *: v "bi") +: (cols *: v "t1") +: v "ti")
+  in
   ignore point_i;
   ignore point_k;
   let dma ~array ~spm ~row_lo ~col_lo ~rows ~cols ~reply ~put =

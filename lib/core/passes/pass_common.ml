@@ -124,6 +124,25 @@ let make_geom spec opts (tiles : Tile_model.t) =
 let geom_of (st : Pass.state) =
   make_geom st.Pass.spec st.Pass.options st.Pass.tiles
 
+(* DMA chunk ownership along the k panel: mesh column [tj] owns A chunk
+   [tj mod L] and mesh row [ti] owns B chunk [ti mod L], where
+   L = panel_chunks = min rows cols. On a square mesh the mod is the
+   identity and is omitted, so emitted code is unchanged there; on a
+   rectangular mesh the CPEs beyond L along the longer dimension fetch a
+   duplicate of an owned chunk into their private SPM (they are never
+   broadcast roots, which always lie below L). *)
+let a_chunk g =
+  let t = g.tiles in
+  if t.Tile_model.mesh_cols > t.Tile_model.panel_chunks then
+    fm (v "tj") t.Tile_model.panel_chunks
+  else v "tj"
+
+let b_chunk g =
+  let t = g.tiles in
+  if t.Tile_model.mesh_rows > t.Tile_model.panel_chunks then
+    fm (v "ti") t.Tile_model.panel_chunks
+  else v "ti"
+
 let dma_c g ~put =
   let d =
     {
@@ -215,7 +234,7 @@ let fleaf name = (f [ name ], Tree.leaf)
 let ko_of_k g = fd (v "k") g.tiles.Tile_model.panel_k
 let l_of_k g =
   Aff.sub (fd (v "k") g.tiles.Tile_model.tk)
-    (g.tiles.Tile_model.mesh *: fd (v "k") g.tiles.Tile_model.panel_k)
+    (g.tiles.Tile_model.panel_chunks *: fd (v "k") g.tiles.Tile_model.panel_k)
 
 (* The point band wrapped in the micro-kernel mark (§7.2). *)
 let point_subtree (point_band : Tree.band) ~mark_name =
@@ -227,7 +246,7 @@ let point_subtree (point_band : Tree.band) ~mark_name =
    (DMA-SUBTREE / RMA-SUBTREE replication in Fig. 11); [prefetch] appends
    the waits for the next DMA panel at the last inner step. *)
 let inner_pipeline g ~(l_band : Tree.band) ~point_band ~suffix ~prefetch =
-  let p = g.tiles.Tile_model.mesh in
+  let p = g.tiles.Tile_model.panel_chunks in
   let dma_par e = if g.opts.Options.hiding then Some (fm e 2) else None in
   let src_par = dma_par (v "ko") in
   let mark_name = "micro_kernel:pipe" in
@@ -379,8 +398,8 @@ let chain_dma_panel g ~(ko_band : Tree.band) ~(l_band : Tree.band) ~point_band =
     ( ko_band,
       Tree.extension
         [
-          ext "getA" (dma_a g ~ko_expr:(v "ko") ~chunk:(v "tj") ~par:None);
-          ext "getB" (dma_b g ~ko_expr:(v "ko") ~chunk:(v "ti") ~par:None);
+          ext "getA" (dma_a g ~ko_expr:(v "ko") ~chunk:(a_chunk g) ~par:None);
+          ext "getB" (dma_b g ~ko_expr:(v "ko") ~chunk:(b_chunk g) ~par:None);
           ext "wA" (wait "rA" None);
           ext "wB" (wait "rB" None);
         ]
@@ -406,8 +425,8 @@ let chain_rma_sequential g ~(ko_band : Tree.band) ~(l_band : Tree.band)
     ( ko_band,
       Tree.extension
         [
-          ext "getA" (dma_a g ~ko_expr:(v "ko") ~chunk:(v "tj") ~par:None);
-          ext "getB" (dma_b g ~ko_expr:(v "ko") ~chunk:(v "ti") ~par:None);
+          ext "getA" (dma_a g ~ko_expr:(v "ko") ~chunk:(a_chunk g) ~par:None);
+          ext "getB" (dma_b g ~ko_expr:(v "ko") ~chunk:(b_chunk g) ~par:None);
           ext "wA" (wait "rA" None);
           ext "wB" (wait "rB" None);
         ]
@@ -431,8 +450,8 @@ let chain_pipelined g ~(ko_band : Tree.band) ~(l_band : Tree.band) ~point_band =
         ( ko_band,
           Tree.extension
             [
-              ext "getA0" (dma_a g ~ko_expr:(v "ko") ~chunk:(v "tj") ~par:(par (v "ko")));
-              ext "getB0" (dma_b g ~ko_expr:(v "ko") ~chunk:(v "ti") ~par:(par (v "ko")));
+              ext "getA0" (dma_a g ~ko_expr:(v "ko") ~chunk:(a_chunk g) ~par:(par (v "ko")));
+              ext "getB0" (dma_b g ~ko_expr:(v "ko") ~chunk:(b_chunk g) ~par:(par (v "ko")));
               ext "wA0" (wait "rA" (par (v "ko")));
               ext "wB0" (wait "rB" (par (v "ko")));
             ]
@@ -448,10 +467,10 @@ let chain_pipelined g ~(ko_band : Tree.band) ~(l_band : Tree.band) ~point_band =
           Tree.extension
             [
               ext "getAN"
-                (dma_a g ~ko_expr:(v "ko" +: c 1) ~chunk:(v "tj")
+                (dma_a g ~ko_expr:(v "ko" +: c 1) ~chunk:(a_chunk g)
                    ~par:(par (v "ko" +: c 1)));
               ext "getBN"
-                (dma_b g ~ko_expr:(v "ko" +: c 1) ~chunk:(v "ti")
+                (dma_b g ~ko_expr:(v "ko" +: c 1) ~chunk:(b_chunk g)
                    ~par:(par (v "ko" +: c 1)));
             ]
             (Tree.sequence

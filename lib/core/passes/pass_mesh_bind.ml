@@ -9,7 +9,7 @@ let run (st : Pass.state) =
   let par_band = Pass.component st (fun s -> s.Pass.par_band) "parallel band" in
   let block_band, coord_band =
     Transform.tile par_band
-      ~sizes:[ tiles.Tile_model.mesh; tiles.Tile_model.mesh ]
+      ~sizes:[ tiles.Tile_model.mesh_rows; tiles.Tile_model.mesh_cols ]
       ~names:[ "bi"; "bj" ]
   in
   let coord_band = Transform.bind coord_band ~var:"ti" Tree.Bind_rid in

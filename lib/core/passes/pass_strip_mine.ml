@@ -1,18 +1,20 @@
-(* Fig. 6: strip-mine the reduced tile loop by the mesh width, producing
-   the panel loop [ko] and keeping [tkt] as the within-panel chunk index
-   owned by one mesh column. Only meaningful when the RMA decomposition is
-   on — without it the reduced band feeds the per-CPE DMA chain directly. *)
+(* Fig. 6: strip-mine the reduced tile loop by the panel chunk count
+   (min of mesh rows and cols), producing the panel loop [ko] and keeping
+   [tkt] as the within-panel chunk index owned by one mesh column. Only
+   meaningful when the RMA decomposition is on — without it the reduced
+   band feeds the per-CPE DMA chain directly. *)
 
 open Sw_tree
 
 let run (st : Pass.state) =
   let tiles = st.Pass.tiles in
   let red_band = Pass.component st (fun s -> s.Pass.red_band) "reduced band" in
-  (* the factor MUST be the mesh width; the off-by-one under sabotage is
-     the planted bug the conformance fuzzer is expected to catch *)
+  (* the factor MUST be the panel chunk count; the off-by-one under
+     sabotage is the planted bug the conformance fuzzer is expected to
+     catch *)
   let factor =
-    if Pass.sabotaged "strip_mine" then tiles.Tile_model.mesh + 1
-    else tiles.Tile_model.mesh
+    if Pass.sabotaged "strip_mine" then tiles.Tile_model.panel_chunks + 1
+    else tiles.Tile_model.panel_chunks
   in
   let ko_band, l_band =
     Transform.strip_mine red_band ~var:"tkt" ~factor ~outer:"ko"
@@ -29,7 +31,7 @@ let pass =
   {
     Pass.name = "strip_mine";
     section = "3.2";
-    descr = "strip-mine the reduced loop by the mesh width";
+    descr = "strip-mine the reduced loop by the panel chunk count";
     required = false;
     relevant = (fun st -> st.Pass.options.Options.use_rma);
     run;

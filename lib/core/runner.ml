@@ -260,7 +260,9 @@ let traced (compiled : Compile.t) =
 let op_estimate (compiled : Compile.t) =
   let t = compiled.Compile.tiles in
   let blocks = t.Tile_model.nbi * t.Tile_model.nbj * batch_count compiled.Compile.spec in
-  let per_block = 8 + (t.Tile_model.nko * (4 + (t.Tile_model.mesh * 10))) in
+  let per_block =
+    8 + (t.Tile_model.nko * (4 + (t.Tile_model.panel_chunks * 10)))
+  in
   let cpes =
     compiled.Compile.config.Config.mesh_rows
     * compiled.Compile.config.Config.mesh_cols

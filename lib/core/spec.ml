@@ -27,7 +27,9 @@ let make ?batch ?(alpha = 1.0) ?(beta = 1.0) ?(ta = false) ?(tb = false)
 
 let mesh_m c = c.Sw_arch.Config.mesh_rows * c.Sw_arch.Config.mk_m
 let mesh_n c = c.Sw_arch.Config.mesh_cols * c.Sw_arch.Config.mk_n
-let panel_k c = c.Sw_arch.Config.mesh_cols * c.Sw_arch.Config.mk_k
+let panel_k c =
+  min c.Sw_arch.Config.mesh_rows c.Sw_arch.Config.mesh_cols
+  * c.Sw_arch.Config.mk_k
 
 let pad_for t config =
   {

@@ -2,7 +2,9 @@ type t = {
   tm : int;
   tn : int;
   tk : int;
-  mesh : int;
+  mesh_rows : int;
+  mesh_cols : int;
+  panel_chunks : int;
   mesh_m : int;
   mesh_n : int;
   panel_k : int;
@@ -22,13 +24,19 @@ let choose (spec : Spec.t) (config : Sw_arch.Config.t) =
   let tm = config.Sw_arch.Config.mk_m
   and tn = config.Sw_arch.Config.mk_n
   and tk = config.Sw_arch.Config.mk_k
-  and mesh = config.Sw_arch.Config.mesh_rows in
-  let mesh_m = mesh * tm and mesh_n = mesh * tn and panel_k = mesh * tk in
+  and mesh_rows = config.Sw_arch.Config.mesh_rows
+  and mesh_cols = config.Sw_arch.Config.mesh_cols in
+  let panel_chunks = min mesh_rows mesh_cols in
+  let mesh_m = mesh_rows * tm
+  and mesh_n = mesh_cols * tn
+  and panel_k = panel_chunks * tk in
   {
     tm;
     tn;
     tk;
-    mesh;
+    mesh_rows;
+    mesh_cols;
+    panel_chunks;
     mesh_m;
     mesh_n;
     panel_k;
@@ -51,5 +59,5 @@ let to_string t =
   Printf.sprintf
     "tile %dx%dx%d, mesh %dx%d (block %dx%d, panel %d), trips bi=%d bj=%d \
      ko=%d kt=%d"
-    t.tm t.tn t.tk t.mesh t.mesh t.mesh_m t.mesh_n t.panel_k t.nbi t.nbj
-    t.nko t.nkt
+    t.tm t.tn t.tk t.mesh_rows t.mesh_cols t.mesh_m t.mesh_n t.panel_k t.nbi
+    t.nbj t.nko t.nkt

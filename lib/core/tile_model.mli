@@ -2,20 +2,24 @@
 
     The paper replaces auto-tuning by an analytical choice: the point tile
     is exactly the micro kernel's shape configuration (64x64x32), the mesh
-    tile is that times the 8x8 mesh (512x512), and the reduced tile loop is
-    strip-mined by the mesh width (8) so that each CPE's DMA share is one
-    k-chunk of the panel its row/column will exchange over RMA (§3.2).
-    This module captures that geometry and the derived loop trip counts and
-    SPM budget. *)
+    tile is that times the R x C mesh (512x512 on the 8x8 SW26010Pro), and
+    the reduced tile loop is strip-mined by [min R C] so that each CPE's
+    DMA share is one k-chunk of the panel its row/column will exchange over
+    RMA (§3.2). On rectangular meshes the CPEs beyond [min R C] along the
+    longer dimension fetch duplicate chunks into their private SPMs; the
+    broadcast roots always lie below [min R C]. This module captures that
+    geometry and the derived loop trip counts and SPM budget. *)
 
 type t = {
   tm : int;  (** point tile rows = micro kernel m *)
   tn : int;
   tk : int;
-  mesh : int;  (** mesh width P (square) *)
-  mesh_m : int;  (** P * tm: C-block rows handled per mesh step *)
-  mesh_n : int;
-  panel_k : int;  (** P * tk: k-panel depth per DMA round *)
+  mesh_rows : int;  (** mesh height R *)
+  mesh_cols : int;  (** mesh width C *)
+  panel_chunks : int;  (** min R C: k-chunks per panel, one DMA owner each *)
+  mesh_m : int;  (** R * tm: C-block rows handled per mesh step *)
+  mesh_n : int;  (** C * tn *)
+  panel_k : int;  (** panel_chunks * tk: k-panel depth per DMA round *)
   nbi : int;  (** mesh-block trip counts for the padded problem *)
   nbj : int;
   nko : int;  (** outer reduced trips (k / panel_k) *)

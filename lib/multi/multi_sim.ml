@@ -8,12 +8,16 @@ type noc = {
   latency_s : float;
 }
 
-let default_noc =
+(* Calibration lives in {!Arch_desc.default_noc}; this is the same record
+   shape minus the field-name prefix. *)
+let noc_of_desc (n : Arch_desc.noc) =
   {
-    link_bw_bytes_per_s = 24.0e9;
-    src_bw_bytes_per_s = 80.0e9;
-    latency_s = 4.0e-6;
+    link_bw_bytes_per_s = n.Arch_desc.link_bw_bytes_per_s;
+    src_bw_bytes_per_s = n.Arch_desc.src_bw_bytes_per_s;
+    latency_s = n.Arch_desc.noc_latency_s;
   }
+
+let default_noc = noc_of_desc Arch_desc.default_noc
 
 type stats = {
   seconds : float;

@@ -25,6 +25,10 @@ type noc = {
 }
 
 val default_noc : noc
+(** {!Sw_arch.Arch_desc.default_noc}, flattened. *)
+
+val noc_of_desc : Sw_arch.Arch_desc.noc -> noc
+(** Consume the NoC section of an architecture description. *)
 
 type stats = {
   seconds : float;

@@ -216,9 +216,13 @@ let test_config_validation () =
   (match Config.validate Config.sw26010pro with
   | Ok () -> ()
   | Error e -> Alcotest.fail e);
+  (* rectangular meshes are a valid machine model *)
   (match Config.validate { Config.sw26010pro with Config.mesh_cols = 4 } with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rectangular mesh rejected: %s" e);
+  (match Config.validate { Config.sw26010pro with Config.mesh_rows = 0 } with
   | Error _ -> ()
-  | Ok () -> Alcotest.fail "non-square mesh accepted");
+  | Ok () -> Alcotest.fail "zero-row mesh accepted");
   match
     Config.validate { Config.sw26010pro with Config.spm_bytes = 1024 }
   with
@@ -745,3 +749,158 @@ let user_tests =
   ]
 
 let tests = tests @ user_tests
+
+(* ------------------------------------------------------------------ *)
+(* Arch_desc: presets, typed validation, strict JSON round-trip         *)
+(* ------------------------------------------------------------------ *)
+
+let test_arch_desc_presets () =
+  List.iter
+    (fun (d : Arch_desc.t) ->
+      (match Arch_desc.validate d with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "preset %s invalid: %s" d.Arch_desc.name
+            (Arch_desc.error_to_string e));
+      (match Config.validate (Arch_desc.to_config d) with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "preset %s flattens to an invalid config: %s"
+            d.Arch_desc.name e);
+      match Arch_desc.find d.Arch_desc.name with
+      | Some d' when d' = d -> ()
+      | _ ->
+          Alcotest.failf "find %s does not return the preset" d.Arch_desc.name)
+    Arch_desc.all;
+  (* legacy spellings resolve to the canonical presets *)
+  List.iter
+    (fun (alias, canonical) ->
+      match Arch_desc.find alias with
+      | Some d -> check Alcotest.string alias canonical d.Arch_desc.name
+      | None -> Alcotest.failf "alias %s unresolved" alias)
+    [ ("tiny-2x2", "tiny2"); ("tiny-4x4", "tiny4") ];
+  (* the asymmetric preset really is rectangular after flattening *)
+  let c =
+    match Arch_desc.config_of_name "sw26010pro-8x4" with
+    | Some c -> c
+    | None -> Alcotest.fail "sw26010pro-8x4 missing"
+  in
+  check Alcotest.int "8 rows" 8 c.Config.mesh_rows;
+  check Alcotest.int "4 cols" 4 c.Config.mesh_cols
+
+let test_arch_desc_of_config () =
+  (* of_config inverts to_config on every preset (the NoC block is not
+     part of the flat record, so it is pinned to the preset's own) *)
+  List.iter
+    (fun (d : Arch_desc.t) ->
+      let d' = Arch_desc.of_config ~noc:d.Arch_desc.noc (Arch_desc.to_config d) in
+      if d' <> d then
+        Alcotest.failf "of_config (to_config %s) differs" d.Arch_desc.name)
+    Arch_desc.all
+
+let arch_presets_array = Array.of_list Arch_desc.all
+
+let pick_preset st =
+  arch_presets_array.(Random.State.int st (Array.length arch_presets_array))
+
+let arch_json_roundtrip =
+  qtest ~count:30 "Arch_desc JSON round-trips through the strict parser"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 0x41524348 |] in
+      let d = pick_preset st in
+      match
+        Sw_obs.Json.parse (Sw_obs.Json.to_string (Arch_desc.to_json d))
+      with
+      | Error e -> QCheck.Test.fail_reportf "reparse: %s" e
+      | Ok j -> (
+          match Arch_desc.of_json j with
+          | Error e -> QCheck.Test.fail_reportf "of_json: %s" e
+          | Ok d' ->
+              d' = d
+              || QCheck.Test.fail_reportf "round-trip changed %s"
+                   d.Arch_desc.name))
+
+let arch_json_strict =
+  qtest ~count:40 "Arch_desc parser rejects missing and unknown fields"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 0x4152534A |] in
+      let d = pick_preset st in
+      match Arch_desc.to_json d with
+      | Sw_obs.Json.Obj fields -> (
+          let mutated =
+            if Random.State.bool st then
+              let i = Random.State.int st (List.length fields) in
+              Sw_obs.Json.Obj (List.filteri (fun j _ -> j <> i) fields)
+            else Sw_obs.Json.Obj (("bogus_field", Sw_obs.Json.Int 1) :: fields)
+          in
+          match Arch_desc.of_json mutated with
+          | Error _ -> true
+          | Ok _ ->
+              QCheck.Test.fail_reportf "mutated %s accepted" d.Arch_desc.name)
+      | _ -> QCheck.Test.fail_report "to_json is not an object")
+
+let arch_typed_errors =
+  qtest ~count:50 "malformed descriptions are rejected with typed errors"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 0x41524345 |] in
+      let d = pick_preset st in
+      let fail_with got =
+        QCheck.Test.fail_reportf "wrong verdict for mutated %s: %s"
+          d.Arch_desc.name
+          (match got with
+          | Ok () -> "accepted"
+          | Error e -> Arch_desc.error_to_string e)
+      in
+      match Random.State.int st 5 with
+      | 0 -> (
+          (* zero or negative mesh dimension *)
+          let rows = -Random.State.int st 3 in
+          let mesh = { d.Arch_desc.mesh with Arch_desc.rows } in
+          match Arch_desc.validate { d with Arch_desc.mesh } with
+          | Error (Arch_desc.Empty_mesh m) -> m.Arch_desc.rows = rows
+          | r -> fail_with r)
+      | 1 -> (
+          (* non-positive transfer rate *)
+          let bw = -.Random.State.float st 10.0 in
+          let dma = { d.Arch_desc.dma with Arch_desc.bw_bytes_per_s = bw } in
+          match Arch_desc.validate { d with Arch_desc.dma } with
+          | Error (Arch_desc.Non_positive_rate (field, v)) ->
+              v = bw && Helpers.contains field "dma"
+          | r -> fail_with r)
+      | 2 -> (
+          (* SPM too small for the nine double-buffered working-set
+             buffers of the micro kernel *)
+          let needed = Arch_desc.spm_needed_bytes d in
+          let spm_bytes = Random.State.int st needed in
+          match Arch_desc.validate { d with Arch_desc.spm_bytes } with
+          | Error (Arch_desc.Spm_overflow { needed_bytes; spm_bytes = sb }) ->
+              needed_bytes = needed && sb = spm_bytes
+          | r -> fail_with r)
+      | 3 -> (
+          let efficiency =
+            if Random.State.bool st then 1.0 +. Random.State.float st 4.0
+            else -.Random.State.float st 1.0
+          in
+          let mk = { d.Arch_desc.mk with Arch_desc.efficiency } in
+          match Arch_desc.validate { d with Arch_desc.mk } with
+          | Error (Arch_desc.Efficiency_out_of_range v) -> v = efficiency
+          | r -> fail_with r)
+      | _ -> (
+          let mk = { d.Arch_desc.mk with Arch_desc.m = 0 } in
+          match Arch_desc.validate { d with Arch_desc.mk } with
+          | Error (Arch_desc.Empty_micro_kernel _) -> true
+          | r -> fail_with r))
+
+let arch_desc_tests =
+  [
+    ("Arch_desc presets validate and resolve", `Quick, test_arch_desc_presets);
+    ("Arch_desc of_config inverts to_config", `Quick, test_arch_desc_of_config);
+    arch_json_roundtrip;
+    arch_json_strict;
+    arch_typed_errors;
+  ]
+
+let tests = tests @ arch_desc_tests

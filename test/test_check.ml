@@ -12,7 +12,7 @@ let qtest = Helpers.qtest
 
 let mk ?batch ?(alpha = 1.0) ?(beta = 1.0) ?(ta = false) ?(tb = false)
     ?(fusion = Spec.No_fusion) ?(options = Options.all_on)
-    ?(config = Check.Case.Tiny2) ?(data_seed = 7) ?fault m n k =
+    ?(config = "tiny2") ?(data_seed = 7) ?fault m n k =
   {
     Check.Case.spec =
       Spec.make ?batch ~alpha ~beta ~ta ~tb ~fusion ~m ~n ~k ();
@@ -45,7 +45,18 @@ let test_epilogue_paths () =
     [ "relu"; "tanh"; "sigmoid"; "id" ];
   expect_ok "batched transposed epilogue"
     (mk ~batch:2 ~ta:true ~beta:0.0 ~fusion:(Spec.Epilogue "relu")
-       ~config:Check.Case.Tiny4 12 8 8)
+       ~config:"tiny4" 12 8 8)
+
+(* The same fixed GEMM agrees through all three routes on every mesh
+   geometry of the conformance matrix, including the asymmetric 8x4. *)
+let test_arch_matrix_oracle () =
+  List.iter
+    (fun preset ->
+      expect_ok ("arch " ^ preset)
+        (mk ~alpha:1.5 ~beta:0.5 ~config:preset 24 20 16);
+      expect_ok ("arch ragged " ^ preset)
+        (mk ~ta:true ~fusion:(Spec.Epilogue "relu") ~config:preset 19 13 9))
+    [ "tiny2"; "tiny4"; "tiny-8x4"; "tiny-8x8"; "tiny-16x16" ]
 
 let test_prologue_path () =
   expect_ok "prologue quant"
@@ -202,6 +213,7 @@ let test_sabotage_shrunk_and_replayed () =
         Check.Fuzz.cases = 3;
         seed = 5;
         jobs = 1;
+        archs = None;
         fault = None;
         corpus_dir = None;
         repro_dir = dir;
@@ -233,6 +245,7 @@ let campaign settings_print =
       Check.Fuzz.cases = 3;
       seed = 11;
       jobs = 1;
+      archs = None;
       fault = None;
       corpus_dir = None;
       repro_dir = Filename.get_temp_dir_name ();
@@ -262,6 +275,8 @@ let tests =
       test_epilogue_paths;
     Alcotest.test_case "prologue fusion paths (3-way)" `Quick
       test_prologue_path;
+    Alcotest.test_case "arch matrix: oracle agrees on every mesh geometry"
+      `Quick test_arch_matrix_oracle;
     gemv_agrees;
     random_cases_agree;
     fault_contract_holds;
