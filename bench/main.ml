@@ -533,6 +533,97 @@ let resilience () =
      timings are bit-identical)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Durability: the persistent plan store (DESIGN.md §13)                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let percentile p xs =
+  let a = Array.of_list (List.sort compare xs) in
+  let n = Array.length a in
+  a.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+let durability () =
+  header "durability: persistent plan store — cold, warm start, concurrent";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "swgemm-bench-store.%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  let shapes = List.init 16 (fun i -> 192 + (32 * i)) in
+  let spec_of s = Spec.make ~m:s ~n:s ~k:s () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  (* cold: every compile misses memory and disk, pays the pipeline and
+     the store write-back *)
+  let store = Sw_host.Store.open_ ~schema:Compile.store_schema ~dir () in
+  let cold_session = Session.cached ~store ~config () in
+  let cold =
+    List.map (fun s -> time (fun () -> Compile.run cold_session (spec_of s)))
+      shapes
+  in
+  (* warm start: a restarted process reloads the plans from disk into the
+     in-memory cache, then every compile is a memory hit *)
+  let store2 = Sw_host.Store.open_ ~schema:Compile.store_schema ~dir () in
+  let warm_session = Session.cached ~store:store2 ~config () in
+  let t0 = Unix.gettimeofday () in
+  let loaded = Session.warm_start warm_session in
+  let warm_load_s = Unix.gettimeofday () -. t0 in
+  let warm =
+    List.map (fun s -> time (fun () -> Compile.run warm_session (spec_of s)))
+      shapes
+  in
+  Printf.printf "  cold (pipeline + store write): mean %8.3f ms over %d shapes\n"
+    (1000.0 *. mean cold) (List.length shapes);
+  Printf.printf
+    "  warm start: %d plan(s) loaded in %.3f ms; compiles then mean %8.4f ms\n"
+    loaded (1000.0 *. warm_load_s) (1000.0 *. mean warm);
+  (* concurrent cacheless sessions sharing the one store: every request is
+     a validated disk read + decode, the daemon's steady state *)
+  let requests = List.concat_map (fun s -> [ s; s; s; s ]) shapes in
+  let latencies =
+    pmap
+      (fun s ->
+        let session = Session.create ~store:store2 ~config () in
+        time (fun () -> Compile.run session (spec_of s)))
+      requests
+  in
+  let p50 = percentile 0.50 latencies and p99 = percentile 0.99 latencies in
+  Printf.printf
+    "  shared store, %d concurrent requests: p50 %8.4f ms, p99 %8.4f ms\n"
+    (List.length requests) (1000.0 *. p50) (1000.0 *. p99);
+  let st = Sw_host.Store.stats store2 in
+  Printf.printf "  store: %s\n" (Sw_host.Store.stats_to_string st);
+  csv "durability"
+    [ "shape"; "cold_s"; "warm_s" ]
+    (List.map2
+       (fun s (c, w) ->
+         [ string_of_int s; Printf.sprintf "%.6f" c; Printf.sprintf "%.6f" w ])
+       shapes
+       (List.combine cold warm));
+  csv "durability_concurrent"
+    [ "requests"; "warm_loaded"; "warm_load_s"; "p50_s"; "p99_s" ]
+    [
+      [
+        string_of_int (List.length requests);
+        string_of_int loaded;
+        Printf.sprintf "%.6f" warm_load_s;
+        Printf.sprintf "%.6f" p50;
+        Printf.sprintf "%.6f" p99;
+      ];
+    ];
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
 (* Architecture presets: the same GEMMs across mesh geometries          *)
 (* ------------------------------------------------------------------ *)
 
@@ -709,7 +800,8 @@ let () =
     [
       ("fig13", fig13); ("fig14", fig14); ("fig15", fig15); ("fig16", fig16);
       ("cost", cost); ("ablation", ablation); ("resilience", resilience);
-      ("arch", arch); ("scaling", scaling); ("micro", micro);
+      ("durability", durability); ("arch", arch); ("scaling", scaling);
+      ("micro", micro);
     ]
   in
   let args = List.tl (Array.to_list Sys.argv) in

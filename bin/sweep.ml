@@ -33,12 +33,21 @@ type trial = {
 let () =
   let argv = Sys.argv in
   let metrics = Array.exists (String.equal "--metrics") argv in
-  let int_arg name default =
+  (* Argument values are validated at parse time: a non-numeric or
+     out-of-range count aborts with a usage message instead of a crash
+     (or a wedged pool) after the sweep has started. *)
+  let int_arg ?(min = 1) name default =
     let r = ref default in
     Array.iteri
       (fun i a ->
         if String.equal a name && i + 1 < Array.length argv then
-          r := int_of_string argv.(i + 1))
+          match int_of_string_opt argv.(i + 1) with
+          | Some v when v >= min -> r := v
+          | _ ->
+              Printf.eprintf
+                "sweep: %s: '%s' is not an integer >= %d\n" name
+                argv.(i + 1) min;
+              exit 2)
       argv;
     !r
   in

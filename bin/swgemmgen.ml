@@ -116,6 +116,27 @@ let pass_stats_arg =
   let doc = "Print the per-pass wall-clock and tree-size statistics." in
   Arg.(value & flag & info [ "pass-stats" ] ~doc)
 
+(* A domain count is validated at parse time: a non-numeric or
+   non-positive --jobs is a usage error, not something to discover after
+   the work starts. *)
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "--jobs: %d is not a valid domain count (need an integer >= 1)"
+               n))
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "--jobs: '%s' is not an integer (need an integer >= 1)" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   let doc =
     "Host domains used for fan-outs such as the fault-seed matrix (default: \
@@ -125,8 +146,49 @@ let jobs_arg =
   in
   Arg.(
     value
-    & opt int (Sw_host.Pool.default_jobs ())
+    & opt jobs_conv (Sw_host.Pool.default_jobs ())
     & info [ "jobs" ] ~docv:"N" ~doc)
+
+let store_arg =
+  let doc =
+    "Durable plan store directory (created if missing). Compiled plans \
+     are persisted there — keyed by spec, options and machine model — \
+     and reused across runs; corrupt entries are quarantined and \
+     recompiled, never served. Inspect with $(b,swgemmgen cache)."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let deadline_arg =
+  let pos_float =
+    let parse s =
+      match float_of_string_opt s with
+      | Some d when d > 0.0 && Float.is_finite d -> Ok d
+      | _ ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "--deadline: '%s' is not a positive number of seconds" s))
+    in
+    Arg.conv (parse, Format.pp_print_float)
+  in
+  let doc =
+    "Per-request deadline in seconds, enforced cooperatively at pass \
+     boundaries and store operations; an expired request fails with a \
+     typed timeout error."
+  in
+  Arg.(value & opt (some pos_float) None & info [ "deadline" ] ~docv:"SECS" ~doc)
+
+(* Shared by compile/verify (--store) and the cache subcommands. *)
+let open_store dir =
+  match Sw_host.Store.open_ ~schema:Compile.store_schema ~dir () with
+  | st -> Ok st
+  | exception Sys_error e ->
+      Error (`Msg (Printf.sprintf "--store: cannot open %s: %s" dir e))
+  | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (`Msg
+          (Printf.sprintf "--store: cannot open %s: %s" dir
+             (Unix.error_message err)))
 
 let metrics_arg =
   let doc =
@@ -239,7 +301,7 @@ let options_of_passes ~no_asm names =
 let compile_cmd =
   let run input shape batch fusion binds fbinds ta tb no_asm no_rma no_hiding
       tiny arch arch_file emit dump_tree dump_ast passes dump_after no_cache
-      pass_stats =
+      pass_stats store_dir deadline_s =
     match
       ( build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb,
         resolve_config ~tiny ~arch ~arch_file )
@@ -282,9 +344,24 @@ let compile_cmd =
                 | None -> print_endline "(no schedule tree yet)")
             in
             let cache = if no_cache then None else Some (Plan_cache.create ()) in
-            let session =
-              Session.create ~options ~debug:true ?cache ~observer ~config ()
+            let store =
+              match store_dir with
+              | None -> Ok None
+              | Some dir -> Result.map Option.some (open_store dir)
             in
+            match store with
+            | Error e -> Error e
+            | Ok store -> (
+            let session =
+              Session.create ~options ~debug:true ?cache ~observer ?store
+                ?deadline_s ~config ()
+            in
+            (match (store_dir, cache) with
+            | Some dir, Some _ ->
+                let n = Session.warm_start session in
+                if n > 0 then
+                  Printf.printf "warm start: %d plan(s) from %s\n" n dir
+            | _ -> ());
             match
               Compile.generation_seconds (fun () -> Compile.run session spec)
             with
@@ -311,7 +388,7 @@ let compile_cmd =
                     let mpe, cpe = Cemit.write_files compiled ~dir in
                     Printf.printf "  wrote %s and %s\n" mpe cpe
                 | None -> ());
-                Ok ()))
+                Ok ())))
   in
   let term =
     Term.(
@@ -320,7 +397,7 @@ let compile_cmd =
        $ fbind_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg $ no_hiding_arg
        $ tiny_arg $ arch_arg $ arch_file_arg $ emit_arg $ dump_tree_arg
        $ dump_ast_arg $ passes_arg $ dump_after_arg $ no_cache_arg
-       $ pass_stats_arg))
+       $ pass_stats_arg $ store_arg $ deadline_arg))
   in
   Cmd.v (Cmd.info "compile" ~doc:"Generate athread code for a GEMM problem") term
 
@@ -389,17 +466,21 @@ let fault_plan_for ~kinds seed =
 
 let verify_cmd =
   let run input shape batch fusion binds fbinds ta tb no_asm no_rma no_hiding
-      tiny arch arch_file inject jobs metrics =
+      tiny arch arch_file inject jobs metrics store_dir deadline_s =
     with_metrics metrics @@ fun () ->
     match
       ( build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb,
-        resolve_config ~tiny ~arch ~arch_file )
+        resolve_config ~tiny ~arch ~arch_file,
+        match store_dir with
+        | None -> Ok None
+        | Some dir -> Result.map Option.some (open_store dir) )
     with
-    | Error e, _ -> Error e
-    | _, Error e -> Error e
-    | Ok spec, Ok config -> (
+    | Error e, _, _ -> Error e
+    | _, Error e, _ -> Error e
+    | _, _, Error e -> Error e
+    | Ok spec, Ok config, Ok store -> (
         let options = build_options ~no_asm ~no_rma ~no_hiding in
-        let session = Session.one_shot ~options ~config () in
+        let session = Session.create ~options ?store ?deadline_s ~config () in
         match (Compile.run_result session spec, parse_inject inject) with
         | Error e, _ -> Error (`Msg (Error.to_string e))
         | _, (Error _ as e) -> e
@@ -465,7 +546,7 @@ let verify_cmd =
         (const run $ input_arg $ shape_arg $ batch_arg $ fusion_arg $ bind_arg
        $ fbind_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg $ no_hiding_arg
        $ tiny_arg $ arch_arg $ arch_file_arg $ inject_faults_arg $ jobs_arg
-       $ metrics_arg))
+       $ metrics_arg $ store_arg $ deadline_arg))
   in
   Cmd.v
     (Cmd.info "verify"
@@ -1011,6 +1092,92 @@ let arch_cmd =
     [ list_cmd; show_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* cache                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let cache_cmd =
+  let store_req_arg =
+    let doc = "The durable plan store directory to operate on." in
+    Arg.(
+      required & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let stat_run dir =
+    Result.map
+      (fun st ->
+        print_endline (Sw_host.Store.stats_to_string (Sw_host.Store.stats st)))
+      (open_store dir)
+  in
+  let budget_arg =
+    let pos_int =
+      let parse s =
+        match int_of_string_opt s with
+        | Some b when b > 0 -> Ok b
+        | _ ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "--budget: '%s' is not a positive byte count" s))
+      in
+      Arg.conv (parse, Format.pp_print_int)
+    in
+    let doc = "Byte budget to evict down to (least recently used first)." in
+    Arg.(
+      required & opt (some pos_int) None & info [ "budget" ] ~docv:"BYTES" ~doc)
+  in
+  let gc_run dir budget =
+    Result.map
+      (fun st ->
+        let evicted = Sw_host.Store.gc st ~budget_bytes:budget () in
+        let s = Sw_host.Store.stats st in
+        Printf.printf "evicted=%d entries=%d bytes=%d\n" evicted
+          s.Sw_host.Store.entries s.Sw_host.Store.bytes)
+      (open_store dir)
+  in
+  let verify_run dir =
+    Result.bind (open_store dir) (fun st ->
+        let r = Sw_host.Store.verify st in
+        print_endline (Sw_host.Store.verify_to_string r);
+        if r.Sw_host.Store.report_served_corrupt > 0 then
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "store has served %d corrupt payload(s) — the durability \
+                  invariant is broken"
+                 r.Sw_host.Store.report_served_corrupt))
+        else Ok ())
+  in
+  let stat_cmd =
+    Cmd.v
+      (Cmd.info "stat"
+         ~doc:
+           "Print the store's entry count, byte size and cumulative \
+            counters (quarantined, stale, served_corrupt) as key=value \
+            pairs")
+      Term.(term_result (const stat_run $ store_req_arg))
+  in
+  let gc_cmd =
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Evict least-recently-used entries until the store fits the \
+            given byte budget")
+      Term.(term_result (const gc_run $ store_req_arg $ budget_arg))
+  in
+  let verify_cmd =
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Re-validate every entry (magic, schema, length, checksum), \
+            quarantining failures; exits non-zero if a corrupt payload \
+            was ever served")
+      Term.(term_result (const verify_run $ store_req_arg))
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:"Inspect and maintain a durable plan store (see --store)")
+    [ stat_cmd; gc_cmd; verify_cmd ]
+
+(* ------------------------------------------------------------------ *)
 
 let default = Term.(ret (const (`Help (`Pager, None))))
 
@@ -1033,4 +1200,5 @@ let () =
             tune_cmd;
             fuzz_cmd;
             arch_cmd;
+            cache_cmd;
           ]))

@@ -46,8 +46,44 @@ type t =
       events_run : int;
     }
   | Invalid of string
+  | Timeout of { stage : string; elapsed_s : float; deadline_s : float }
+  | Overloaded of { in_flight : int; queued : int; limit : int }
+  | Store_corrupt of { key : string; path : string; detail : string }
+  | Circuit_open of {
+      shape_class : string;
+      failures : int;
+      cooldown_s : float;
+    }
 
 exception Sim_error of t
+
+(* One stable lowercase token per variant. The token appears verbatim in
+   the corresponding to_string output, so both programmatic matching and
+   log grepping key on the same word; tests pin this. *)
+let class_of = function
+  | Deadlock _ -> "deadlock"
+  | Race _ -> "race"
+  | Bounds _ -> "bounds"
+  | Overflow _ -> "overflow"
+  | Fault_exhausted _ -> "fault_exhausted"
+  | Watchdog _ -> "watchdog"
+  | Invalid _ -> "invalid"
+  | Timeout _ -> "timeout"
+  | Overloaded _ -> "overloaded"
+  | Store_corrupt _ -> "store_corrupt"
+  | Circuit_open _ -> "circuit_open"
+
+(* Would a retry plausibly succeed? Transient classes (timing faults that
+   exhausted their in-run recovery, budget expiries, a quarantined store
+   entry that the next attempt recompiles) are worth retrying; structural
+   failures (deadlock, race, bounds, overflow, malformed input) and the
+   supervisor's own verdicts (timeout of the total budget, shed load, open
+   breaker) are deterministic and are not. *)
+let retryable = function
+  | Fault_exhausted _ | Watchdog _ | Store_corrupt _ -> true
+  | Deadlock _ | Race _ | Bounds _ | Overflow _ | Invalid _ | Timeout _
+  | Overloaded _ | Circuit_open _ ->
+      false
 
 let conflict_to_string c =
   let verb, prev =
@@ -96,8 +132,9 @@ let to_string = function
         available capacity
   | Fault_exhausted { fiber; counter; retries; sim_time } ->
       Printf.sprintf
-        "%s: wait on %s still unsatisfied after %d retr%s at t=%.6gs" fiber
-        counter retries
+        "fault_exhausted: %s: wait on %s still unsatisfied after %d retr%s \
+         at t=%.6gs"
+        fiber counter retries
         (if retries = 1 then "y" else "ies")
         sim_time
   | Watchdog { limit; sim_time; events_run } ->
@@ -109,7 +146,24 @@ let to_string = function
       in
       Printf.sprintf "watchdog: %s exceeded at t=%.6gs after %d event(s)" l
         sim_time events_run
-  | Invalid s -> s
+  | Invalid s -> "invalid: " ^ s
+  | Timeout { stage; elapsed_s; deadline_s } ->
+      Printf.sprintf
+        "timeout: %s exceeded the %.3gs request deadline (elapsed %.3gs)"
+        stage deadline_s elapsed_s
+  | Overloaded { in_flight; queued; limit } ->
+      Printf.sprintf
+        "overloaded: %d request(s) in flight and %d queued (queue limit \
+         %d); request shed"
+        in_flight queued limit
+  | Store_corrupt { key; path; detail } ->
+      Printf.sprintf "store_corrupt: entry %s at %s quarantined: %s" key path
+        detail
+  | Circuit_open { shape_class; failures; cooldown_s } ->
+      Printf.sprintf
+        "circuit_open: shape class '%s' tripped after %d consecutive \
+         failure(s); degraded for %.3gs"
+        shape_class failures cooldown_s
 
 let () =
   Printexc.register_printer (function

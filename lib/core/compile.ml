@@ -16,6 +16,9 @@ type session = {
   cache : t Plan_cache.t option;
   observer : (Pass.t -> Pass.state -> unit) option;
   registry : Sw_obs.Metrics.registry option;
+  store : Sw_host.Store.t option;
+  supervisor : Sw_host.Supervise.t option;
+  deadline_s : float option;
 }
 
 exception Compile_error of string
@@ -40,8 +43,68 @@ let with_session_registry session f =
       Fun.protect ~finally:Sw_obs.Metrics.uninstall f
   | _ -> f ()
 
-let run_result (session : session) original =
-  let { config; options; debug; cache; observer; registry = _ } = session in
+(* ------------------------------------------------------------------ *)
+(* Durable plans                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The store's schema generation: bumping [plan_schema] (or switching
+   OCaml versions — Marshal images are not portable across builds) makes
+   every existing entry stale, so a marshalled plan from another build is
+   deleted on sight, never decoded. *)
+let plan_schema = "swgemm-plan-v1"
+let store_schema = plan_schema ^ "/" ^ Sys.ocaml_version
+
+(* Compile.t is closure-free plain data end to end (specs, options,
+   config, tile model, schedule tree, AST, pass stats), so a plain
+   Marshal image round-trips exactly. *)
+let encode_plan (plan : t) = Marshal.to_string plan []
+
+let decode_plan payload =
+  (* the store already checksummed the payload against its header and
+     checked the schema generation; a failing unmarshal here means a
+     schema collision we did not anticipate — treat as a miss, recompile,
+     and let the put overwrite the entry *)
+  try Some (Marshal.from_string payload 0 : t) with _ -> None
+
+let run_result_unsupervised ?token (session : session) original =
+  let { config; options; debug; cache; observer; registry = _; store; _ } =
+    session
+  in
+  (* Cooperative deadline checkpoints: from the supervisor's token when
+     running under one (the clock starts at admission), or a local clock
+     when only [deadline_s] is set. Expiry surfaces as the typed Timeout
+     error through the normal Fail path. *)
+  let checkpoint =
+    match token with
+    | Some tok ->
+        fun stage ->
+          (match Sw_host.Supervise.checkpoint ~stage tok with
+          | Ok () -> ()
+          | Error e -> raise (Fail e))
+    | None -> (
+        match session.deadline_s with
+        | None -> fun _ -> ()
+        | Some d ->
+            let start = Unix.gettimeofday () in
+            fun stage ->
+              let e = Unix.gettimeofday () -. start in
+              if e > d then
+                raise
+                  (Fail
+                     (Sw_arch.Error.Timeout
+                        { stage; elapsed_s = e; deadline_s = d })))
+  in
+  let observer =
+    (* a deadline check after every executed pass: the pipeline is the
+       long haul, so a stalled pass is caught at the next pass boundary *)
+    match (token, session.deadline_s) with
+    | None, None -> observer
+    | _ ->
+        Some
+          (fun p st ->
+            checkpoint ("pass:" ^ p.Pass.name);
+            match observer with Some f -> f p st | None -> ())
+  in
   try
     with_session_registry session @@ fun () ->
     Sw_obs.Span.ambient ~cat:"compile"
@@ -53,6 +116,7 @@ let run_result (session : session) original =
         ]
       "compile"
     @@ fun () ->
+    checkpoint "validate";
     (match Options.validate options with Ok () -> () | Error e -> fail "%s" e);
     (match Sw_arch.Config.validate config with
     | Ok () -> ()
@@ -118,14 +182,49 @@ let run_result (session : session) original =
       in
       { original; spec; options; config; tiles; tree; program; pass_stats }
     in
+    let key = Plan_cache.key ~spec:original ~options ~config in
+    (* Lookup order: in-memory cache, then the durable store, then a cold
+       compilation whose plan is written back to the store. A store I/O
+       failure degrades the request to memory-only — the plan is still
+       produced and returned — but an injected Crash.Crashed propagates:
+       the chaos tests rely on it to simulate abrupt death mid-write. *)
+    let produce () =
+      match store with
+      | None -> cold ()
+      | Some st -> (
+          checkpoint "store.get";
+          match Option.bind (Sw_host.Store.get st ~key) decode_plan with
+          | Some plan -> plan
+          | None ->
+              let plan = cold () in
+              checkpoint "store.put";
+              (try Sw_host.Store.put st ~key (encode_plan plan) with
+              | Sys_error _ | Unix.Unix_error _ -> ());
+              plan)
+    in
     Ok
       (match cache with
-      | None -> cold ()
-      | Some cache ->
-          Plan_cache.find_or_add cache
-            ~key:(Plan_cache.key ~spec:original ~options ~config)
-            cold)
+      | None -> produce ()
+      | Some cache -> Plan_cache.find_or_add cache ~key produce)
   with Fail e -> Error e
+
+let run_result (session : session) original =
+  match session.supervisor with
+  | None -> run_result_unsupervised session original
+  | Some sup ->
+      Sw_host.Supervise.run sup
+        ~shape_class:(Spec.to_string original)
+        ?deadline_s:session.deadline_s
+        (fun tok -> run_result_unsupervised ~token:tok session original)
+
+let warm_start (session : session) =
+  match (session.store, session.cache) with
+  | Some store, Some cache ->
+      Sw_host.Store.fold store ~init:0 ~f:(fun n ~key ~payload ->
+          match decode_plan payload with
+          | Some plan -> if Plan_cache.add cache ~key plan then n + 1 else n
+          | None -> n)
+  | _ -> 0
 
 let run session spec =
   match run_result session spec with
@@ -136,7 +235,17 @@ let compile ?(options = Options.all_on) ?(debug = false) ?cache ?observer
     ~config original =
   match
     run_result
-      { config; options; debug; cache; observer; registry = None }
+      {
+        config;
+        options;
+        debug;
+        cache;
+        observer;
+        registry = None;
+        store = None;
+        supervisor = None;
+        deadline_s = None;
+      }
       original
   with
   | Ok t -> t

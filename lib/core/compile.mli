@@ -34,6 +34,18 @@ type session = {
       (** fires after every executed pass — the hook behind [--dump-after] *)
   registry : Sw_obs.Metrics.registry option;
       (** backs runs in domains that installed no ambient registry *)
+  store : Sw_host.Store.t option;
+      (** durable plan store, consulted between the in-memory cache and a
+          cold compilation; cold plans are written back. Store I/O
+          failures degrade the request to memory-only. *)
+  supervisor : Sw_host.Supervise.t option;
+      (** service envelope for {!run_result}: admission control, the
+          per-shape-class circuit breaker, bounded retry and the deadline
+          clock *)
+  deadline_s : float option;
+      (** per-request deadline; enforced cooperatively at checkpoints
+          (compile start, every pass boundary, store reads and writes)
+          whether or not a supervisor is installed *)
 }
 (** See {!Session} for construction and the sharing contract. The record
     is immutable; its mutable components (cache, registry) are themselves
@@ -48,7 +60,32 @@ val run_result : session -> Spec.t -> (t, Sw_arch.Error.t) result
     back as values, never as exceptions, so parallel workers can ship
     them across domain boundaries. A session cache hit skips the pipeline
     entirely (the cached plan's [pass_stats] are those of the cold
-    compilation). *)
+    compilation).
+
+    With a [store], the lookup order is in-memory cache → durable store →
+    cold compilation (written back to the store). With a [supervisor] the
+    whole request runs under its envelope and may additionally fail with
+    [Timeout], [Overloaded] or [Circuit_open] (shape class:
+    [Spec.to_string] of the requested spec). With a [deadline_s], expiry
+    at any checkpoint fails the request with [Timeout]. *)
+
+val warm_start : session -> int
+(** Preload the session's in-memory cache from its durable store
+    (validated reads; corrupt entries are quarantined, stale ones
+    deleted). Returns the number of plans loaded. 0 when the session
+    lacks a store or a cache. *)
+
+val store_schema : string
+(** The schema generation under which plans are persisted: a plan format
+    version plus the OCaml version (Marshal images are not portable
+    across compiler builds). Pass to {!Sw_host.Store.open_}. *)
+
+val encode_plan : t -> string
+(** The marshalled image persisted in the store. *)
+
+val decode_plan : string -> t option
+(** Inverse of {!encode_plan}; [None] when the payload does not decode
+    (treated as a miss by the store path). *)
 
 val run : session -> Spec.t -> t
 (** {!run_result}, raising [Sw_arch.Error.Sim_error] on [Error]. *)

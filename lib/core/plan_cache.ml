@@ -110,6 +110,30 @@ let find_or_add t ~key:k produce =
   in
   get ()
 
+(* Insert-if-absent, counting as neither hit nor miss: the warm-start
+   path preloads plans decoded from the durable store without skewing the
+   traffic counters the cache tests pin. *)
+let add t ~key:k plan =
+  let s = shard_of t k in
+  Mutex.lock s.mutex;
+  let added =
+    if Hashtbl.mem s.table k || Hashtbl.mem s.inflight k then false
+    else begin
+      if List.length s.order >= t.shard_capacity then (
+        match s.order with
+        | oldest :: rest ->
+            Hashtbl.remove s.table oldest;
+            s.order <- rest;
+            s.evictions <- s.evictions + 1
+        | [] -> ());
+      Hashtbl.add s.table k plan;
+      s.order <- s.order @ [ k ];
+      true
+    end
+  in
+  Mutex.unlock s.mutex;
+  added
+
 let locked s f =
   Mutex.lock s.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) f

@@ -41,6 +41,12 @@ val find_or_add : 'a t -> key:string -> (unit -> 'a) -> 'a
     nothing; its exception propagates to the producing caller and one of
     the waiters retakes the produce. *)
 
+val add : 'a t -> key:string -> 'a -> bool
+(** Insert [key] if absent (evicting the shard's oldest entry when full),
+    counting as neither hit nor miss. [false] when the key is already
+    present or in flight. The warm-start path: plans decoded from the
+    durable store are preloaded without skewing traffic counters. *)
+
 val mem : 'a t -> string -> bool
 val clear : 'a t -> unit
 val stats : 'a t -> stats

@@ -9,24 +9,49 @@ type t = Compile.session = {
   cache : Compile.t Plan_cache.t option;
   observer : (Pass.t -> Pass.state -> unit) option;
   registry : Sw_obs.Metrics.registry option;
+  store : Sw_host.Store.t option;
+  supervisor : Sw_host.Supervise.t option;
+  deadline_s : float option;
 }
 
 let create ?(options = Options.all_on) ?(debug = false) ?cache ?observer
-    ?registry ~config () =
-  { config; options; debug; cache; observer; registry }
+    ?registry ?store ?supervisor ?deadline_s ~config () =
+  {
+    config;
+    options;
+    debug;
+    cache;
+    observer;
+    registry;
+    store;
+    supervisor;
+    deadline_s;
+  }
 
 let one_shot ?options ?debug ~config () = create ?options ?debug ~config ()
 
-let cached ?options ?debug ?(capacity = 64) ?(shards = 8) ?registry ~config () =
+let cached ?options ?debug ?(capacity = 64) ?(shards = 8) ?registry ?store
+    ?supervisor ?deadline_s ~config () =
   create ?options ?debug
     ~cache:(Plan_cache.create ~capacity ~shards ())
-    ?registry ~config ()
+    ?registry ?store ?supervisor ?deadline_s ~config ()
+
+let durable ?options ?debug ?capacity ?shards ?registry ?budget_bytes
+    ?supervisor ?deadline_s ~dir ~config () =
+  let store =
+    Sw_host.Store.open_ ?budget_bytes ~schema:Compile.store_schema ~dir ()
+  in
+  cached ?options ?debug ?capacity ?shards ?registry ~store ?supervisor
+    ?deadline_s ~config ()
 
 let with_options t options = { t with options }
 let with_config t config = { t with config }
 let with_debug t debug = { t with debug }
+let with_deadline t deadline_s = { t with deadline_s }
 
 let run = Compile.run
 let run_result = Compile.run_result
+let warm_start = Compile.warm_start
 
 let cache_stats t = Option.map Plan_cache.stats t.cache
+let store_stats t = Option.map Sw_host.Store.stats t.store

@@ -24,6 +24,9 @@ type t = Compile.session = {
   cache : Compile.t Plan_cache.t option;
   observer : (Pass.t -> Pass.state -> unit) option;
   registry : Sw_obs.Metrics.registry option;
+  store : Sw_host.Store.t option;
+  supervisor : Sw_host.Supervise.t option;
+  deadline_s : float option;
 }
 
 val create :
@@ -32,11 +35,14 @@ val create :
   ?cache:Compile.t Plan_cache.t ->
   ?observer:(Pass.t -> Pass.state -> unit) ->
   ?registry:Sw_obs.Metrics.registry ->
+  ?store:Sw_host.Store.t ->
+  ?supervisor:Sw_host.Supervise.t ->
+  ?deadline_s:float ->
   config:Sw_arch.Config.t ->
   unit ->
   t
 (** Defaults: {!Options.all_on}, no debug, no cache, no observer, no
-    registry. *)
+    registry, no store, no supervisor, no deadline. *)
 
 val one_shot :
   ?options:Options.t -> ?debug:bool -> config:Sw_arch.Config.t -> unit -> t
@@ -49,15 +55,36 @@ val cached :
   ?capacity:int ->
   ?shards:int ->
   ?registry:Sw_obs.Metrics.registry ->
+  ?store:Sw_host.Store.t ->
+  ?supervisor:Sw_host.Supervise.t ->
+  ?deadline_s:float ->
   config:Sw_arch.Config.t ->
   unit ->
   t
 (** A session with a fresh sharded plan cache (default 64 plans over 8
     shards) — the configuration meant for parallel fan-outs. *)
 
+val durable :
+  ?options:Options.t ->
+  ?debug:bool ->
+  ?capacity:int ->
+  ?shards:int ->
+  ?registry:Sw_obs.Metrics.registry ->
+  ?budget_bytes:int ->
+  ?supervisor:Sw_host.Supervise.t ->
+  ?deadline_s:float ->
+  dir:string ->
+  config:Sw_arch.Config.t ->
+  unit ->
+  t
+(** {!cached} plus a durable plan store opened at [dir] under
+    {!Compile.store_schema} — what [swgemmgen --store DIR] builds. Call
+    {!warm_start} to preload the in-memory cache from it. *)
+
 val with_options : t -> Options.t -> t
 val with_config : t -> Sw_arch.Config.t -> t
 val with_debug : t -> bool -> t
+val with_deadline : t -> float option -> t
 
 val run : t -> Spec.t -> Compile.t
 (** {!Compile.run}. *)
@@ -65,4 +92,9 @@ val run : t -> Spec.t -> Compile.t
 val run_result : t -> Spec.t -> (Compile.t, Sw_arch.Error.t) result
 (** {!Compile.run_result}. *)
 
+val warm_start : t -> int
+(** {!Compile.warm_start}: preload the in-memory cache from the durable
+    store; returns the number of plans loaded. *)
+
 val cache_stats : t -> Plan_cache.stats option
+val store_stats : t -> Sw_host.Store.stats option

@@ -1,0 +1,498 @@
+(* Crash-safe persistent artifact store.
+
+   A content-addressed on-disk cache of opaque payloads (the typed layer —
+   marshalled compilation plans — lives in Sw_core.Compile). Invariants:
+
+   - every entry is self-verifying: a header records the schema digest,
+     payload length and payload MD5, all checked before a payload is ever
+     returned — a torn or bit-flipped entry is QUARANTINED (moved aside
+     for forensics), counted, and reported as a miss, never served;
+   - writes are atomic: payloads are staged into tmp/ and renamed into
+     place, so a crash at any point leaves either the old entry, the new
+     entry, or a stray temp file — never a half-written object;
+   - the manifest (MANIFEST.json) is an INDEX, not a source of truth: it
+     carries the LRU clock, access times and cumulative counters, and is
+     itself written atomically. A stale, torn or missing manifest is
+     rebuilt from a directory scan on open, so no crash window around the
+     manifest write can lose artifacts or resurrect evicted ones;
+   - entries written under a different schema generation are deleted on
+     sight (stale, not corrupt): a marshalled plan from another schema or
+     compiler build must never be decoded.
+
+   Crash-injection sites (Sw_host.Crash): store.put.stage (payload staged,
+   before rename), store.put.commit (after rename, before manifest),
+   store.manifest (before the manifest rename). The chaos tests kill the
+   process at each and assert recovery. *)
+
+let magic = "swgemm-store"
+let format_version = 1
+
+type entry = { size : int; mutable atime : int }
+
+type t = {
+  dir : string;
+  schema_md5 : string;
+  budget_bytes : int option;
+  mutex : Mutex.t;
+  entries : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  (* process-lifetime traffic *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable puts : int;
+  mutable evictions : int;
+  (* cumulative across process lifetimes (persisted in the manifest) *)
+  mutable quarantined : int;
+  mutable stale : int;
+  mutable served_corrupt : int;
+}
+
+type stats = {
+  entries : int;
+  bytes : int;
+  hits : int;
+  misses : int;
+  puts : int;
+  evictions : int;
+  quarantined : int;
+  stale : int;
+  served_corrupt : int;
+}
+
+type verify_report = {
+  checked : int;
+  ok : int;
+  bad : int;  (* quarantined by this verify pass *)
+  report_served_corrupt : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Paths                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let valid_key k =
+  k <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '-' || c = '_' || c = '.')
+       k
+
+let check_key k =
+  if not (valid_key k) then
+    invalid_arg (Printf.sprintf "Store: invalid key %S" k)
+
+let objects_dir t = Filename.concat t.dir "objects"
+
+let shard_dir t key =
+  Filename.concat (objects_dir t) (String.sub (key ^ "__") 0 2)
+
+let object_path t key = Filename.concat (shard_dir t key) key
+let tmp_dir t = Filename.concat t.dir "tmp"
+let quarantine_dir t = Filename.concat t.dir "quarantine"
+let manifest_path t = Filename.concat t.dir "MANIFEST.json"
+
+let mkdir_p path =
+  let rec mk path =
+    if not (Sys.file_exists path) then begin
+      mk (Filename.dirname path);
+      try Unix.mkdir path 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  mk path
+
+(* ------------------------------------------------------------------ *)
+(* Entry file format                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let header ~schema_md5 ~payload =
+  Printf.sprintf "%s %d %s %s %d\n" magic format_version schema_md5
+    (Digest.to_hex (Digest.string payload))
+    (String.length payload)
+
+(* A validated read: Ok payload | Error `Stale | Error (`Corrupt detail).
+   Missing files surface as `Missing. *)
+let read_entry ~schema_md5 path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> Error `Missing
+  | raw -> (
+      match String.index_opt raw '\n' with
+      | None -> Error (`Corrupt "no header line")
+      | Some nl -> (
+          let head = String.sub raw 0 nl in
+          let payload = String.sub raw (nl + 1) (String.length raw - nl - 1) in
+          match String.split_on_char ' ' head with
+          | [ m; v; schema; md5; len ] ->
+              if m <> magic || int_of_string_opt v <> Some format_version then
+                Error (`Corrupt "bad magic or format version")
+              else if schema <> schema_md5 then Error `Stale
+              else if int_of_string_opt len <> Some (String.length payload)
+              then
+                Error
+                  (`Corrupt
+                    (Printf.sprintf "length mismatch: header %s, payload %d"
+                       len (String.length payload)))
+              else if Digest.to_hex (Digest.string payload) <> md5 then
+                Error (`Corrupt "payload checksum mismatch")
+              else Ok payload
+          | _ -> Error (`Corrupt "malformed header")))
+
+(* ------------------------------------------------------------------ *)
+(* Manifest                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let manifest_json (t : t) =
+  let open Sw_obs.Json in
+  let entries =
+    Hashtbl.fold (fun key (e : entry) acc -> (key, e) :: acc) t.entries []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Obj
+    [
+      ("magic", String magic);
+      ("version", Int format_version);
+      ("schema_md5", String t.schema_md5);
+      ("clock", Int t.clock);
+      ("quarantined_total", Int t.quarantined);
+      ("stale_total", Int t.stale);
+      ("served_corrupt_total", Int t.served_corrupt);
+      ( "entries",
+        List
+          (List.map
+             (fun (key, (e : entry)) ->
+               Obj
+                 [
+                   ("key", String key);
+                   ("size", Int e.size);
+                   ("atime", Int e.atime);
+                 ])
+             entries) );
+    ]
+
+(* Atomic like the object writes: stage and rename. Failure to persist the
+   manifest is never fatal — it is rebuilt from the objects on open. *)
+let save_manifest_locked (t : t) =
+  let tmp = Filename.concat (tmp_dir t) (Printf.sprintf "manifest.%d" (Unix.getpid ())) in
+  try
+    Out_channel.with_open_bin tmp (fun oc ->
+        Out_channel.output_string oc
+          (Sw_obs.Json.to_string ~pretty:true (manifest_json t)));
+    Crash.hit "store.manifest";
+    Sys.rename tmp (manifest_path t)
+  with Sys_error _ -> (try Sys.remove tmp with Sys_error _ -> ())
+
+let load_manifest (t : t) =
+  match Sw_obs.Json.parse_file (manifest_path t) with
+  | Error _ -> ()
+  | Ok j ->
+      let open Sw_obs.Json in
+      let int_field name =
+        Option.bind (member name j) to_int_opt |> Option.value ~default:0
+      in
+      let schema_ok =
+        Option.bind (member "schema_md5" j) to_string_opt
+        = Some t.schema_md5
+      in
+      t.clock <- int_field "clock";
+      if schema_ok then begin
+        t.quarantined <- int_field "quarantined_total";
+        t.stale <- int_field "stale_total";
+        t.served_corrupt <- int_field "served_corrupt_total"
+      end;
+      (match Option.bind (member "entries" j) to_list_opt with
+      | None -> ()
+      | Some es ->
+          List.iter
+            (fun e ->
+              match
+                ( Option.bind (member "key" e) to_string_opt,
+                  Option.bind (member "atime" e) to_int_opt )
+              with
+              | Some key, Some atime -> (
+                  match Hashtbl.find_opt t.entries key with
+                  | Some entry -> entry.atime <- atime
+                  | None -> ())
+              | _ -> ())
+            es)
+
+(* ------------------------------------------------------------------ *)
+(* Open: scan the objects as the source of truth, then overlay the      *)
+(* manifest's access times and counters                                 *)
+(* ------------------------------------------------------------------ *)
+
+let scan (t : t) =
+  let dir = objects_dir t in
+  Array.iter
+    (fun shard ->
+      let sd = Filename.concat dir shard in
+      if Sys.is_directory sd then
+        Array.iter
+          (fun key ->
+            let path = Filename.concat sd key in
+            match (Unix.stat path).Unix.st_kind with
+            | Unix.S_REG ->
+                if valid_key key then
+                  Hashtbl.replace t.entries key
+                    { size = (Unix.stat path).Unix.st_size; atime = 0 }
+            | _ -> ()
+            | exception Unix.Unix_error _ -> ())
+          (Sys.readdir sd))
+    (try Sys.readdir dir with Sys_error _ -> [||])
+
+let open_ ?budget_bytes ~schema ~dir () =
+  (match budget_bytes with
+  | Some b when b <= 0 ->
+      invalid_arg "Store.open_: budget_bytes must be positive"
+  | _ -> ());
+  let t =
+    {
+      dir;
+      schema_md5 = Digest.to_hex (Digest.string schema);
+      budget_bytes;
+      mutex = Mutex.create ();
+      entries = Hashtbl.create 64;
+      clock = 0;
+      hits = 0;
+      misses = 0;
+      puts = 0;
+      evictions = 0;
+      quarantined = 0;
+      stale = 0;
+      served_corrupt = 0;
+    }
+  in
+  mkdir_p (objects_dir t);
+  mkdir_p (tmp_dir t);
+  mkdir_p (quarantine_dir t);
+  scan t;
+  load_manifest t;
+  (* stray temp files are debris from crashed writes: never adopted,
+     always discarded *)
+  Array.iter
+    (fun f ->
+      if f <> "." && f <> ".." then
+        try Sys.remove (Filename.concat (tmp_dir t) f) with Sys_error _ -> ())
+    (try Sys.readdir (tmp_dir t) with Sys_error _ -> [||]);
+  t
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine / stale handling (all under the lock)                     *)
+(* ------------------------------------------------------------------ *)
+
+let quarantine_locked (t : t) key detail =
+  let src = object_path t key in
+  let dst =
+    Filename.concat (quarantine_dir t)
+      (Printf.sprintf "%s.%d" key t.quarantined)
+  in
+  (try Sys.rename src dst with Sys_error _ -> ());
+  Hashtbl.remove t.entries key;
+  t.quarantined <- t.quarantined + 1;
+  Sw_obs.Metrics.incr_a "store.quarantined_total";
+  save_manifest_locked t;
+  ignore detail
+
+let drop_stale_locked (t : t) key =
+  (try Sys.remove (object_path t key) with Sys_error _ -> ());
+  Hashtbl.remove t.entries key;
+  t.stale <- t.stale + 1;
+  Sw_obs.Metrics.incr_a "store.stale_total"
+
+(* ------------------------------------------------------------------ *)
+(* Read side                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let tick (t : t) =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(* The one place a payload leaves the store: everything returned here has
+   passed the magic/schema/length/checksum gauntlet of [read_entry]. *)
+let get (t : t) ~key =
+  check_key key;
+  locked t @@ fun () ->
+  match read_entry ~schema_md5:t.schema_md5 (object_path t key) with
+  | Ok payload ->
+      (match Hashtbl.find_opt t.entries key with
+      | Some e -> e.atime <- tick t
+      | None ->
+          (* object committed but never indexed (crash before manifest):
+             adopt it now *)
+          Hashtbl.replace t.entries key
+            { size = String.length payload; atime = tick t });
+      t.hits <- t.hits + 1;
+      Sw_obs.Metrics.incr_a "store.hits_total";
+      Some payload
+  | Error `Missing ->
+      Hashtbl.remove t.entries key;
+      t.misses <- t.misses + 1;
+      Sw_obs.Metrics.incr_a "store.misses_total";
+      None
+  | Error `Stale ->
+      drop_stale_locked t key;
+      t.misses <- t.misses + 1;
+      Sw_obs.Metrics.incr_a "store.misses_total";
+      None
+  | Error (`Corrupt detail) ->
+      quarantine_locked t key detail;
+      t.misses <- t.misses + 1;
+      Sw_obs.Metrics.incr_a "store.misses_total";
+      None
+
+let mem t key = locked t @@ fun () -> Hashtbl.mem t.entries key
+
+let keys t =
+  locked t @@ fun () ->
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [] |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Write side                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let total_bytes_locked (t : t) =
+  Hashtbl.fold (fun _ (e : entry) acc -> acc + e.size) t.entries 0
+
+let evict_lru_locked (t : t) budget =
+  let evicted = ref 0 in
+  while total_bytes_locked t > budget && Hashtbl.length t.entries > 0 do
+    let victim =
+      Hashtbl.fold
+        (fun key (e : entry) acc ->
+          match acc with
+          | Some (_, best) when (best : entry).atime <= e.atime -> acc
+          | _ -> Some (key, e))
+        t.entries None
+    in
+    match victim with
+    | None -> ()
+    | Some (key, _) ->
+        (try Sys.remove (object_path t key) with Sys_error _ -> ());
+        Hashtbl.remove t.entries key;
+        t.evictions <- t.evictions + 1;
+        incr evicted;
+        Sw_obs.Metrics.incr_a "store.evictions_total"
+  done;
+  !evicted
+
+let put (t : t) ~key payload =
+  check_key key;
+  locked t @@ fun () ->
+  let head = header ~schema_md5:t.schema_md5 ~payload in
+  let size = String.length head + String.length payload in
+  mkdir_p (shard_dir t key);
+  let tmp =
+    Filename.concat (tmp_dir t)
+      (Printf.sprintf "%s.%d.tmp" key (Unix.getpid ()))
+  in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc head;
+      Out_channel.output_string oc payload);
+  (* crash here leaves only debris in tmp/: discarded on next open *)
+  Crash.hit "store.put.stage";
+  Sys.rename tmp (object_path t key);
+  (* crash here leaves a committed, self-verifying object that the next
+     open adopts from the directory scan *)
+  Crash.hit "store.put.commit";
+  Hashtbl.replace t.entries key { size; atime = tick t };
+  t.puts <- t.puts + 1;
+  Sw_obs.Metrics.incr_a "store.puts_total";
+  (match t.budget_bytes with
+  | Some budget -> ignore (evict_lru_locked t budget)
+  | None -> ());
+  save_manifest_locked t
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gc (t : t) ?budget_bytes () =
+  locked t @@ fun () ->
+  let budget =
+    match (budget_bytes, t.budget_bytes) with
+    | Some b, _ | None, Some b -> b
+    | None, None -> 0
+  in
+  let evicted = evict_lru_locked t budget in
+  save_manifest_locked t;
+  evicted
+
+let verify (t : t) =
+  locked t @@ fun () ->
+  let all =
+    Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [] |> List.sort compare
+  in
+  let ok = ref 0 and bad = ref 0 in
+  List.iter
+    (fun key ->
+      match read_entry ~schema_md5:t.schema_md5 (object_path t key) with
+      | Ok _ -> incr ok
+      | Error `Missing -> Hashtbl.remove t.entries key
+      | Error `Stale -> drop_stale_locked t key
+      | Error (`Corrupt detail) ->
+          incr bad;
+          quarantine_locked t key detail)
+    all;
+  save_manifest_locked t;
+  {
+    checked = List.length all;
+    ok = !ok;
+    bad = !bad;
+    report_served_corrupt = t.served_corrupt;
+  }
+
+let fold t ~init ~f =
+  (* validated reads without touching traffic counters or access times:
+     warm starts must not skew the LRU or the hit ratio *)
+  let ks = keys t in
+  List.fold_left
+    (fun acc key ->
+      let payload =
+        locked t @@ fun () ->
+        match read_entry ~schema_md5:t.schema_md5 (object_path t key) with
+        | Ok payload -> Some payload
+        | Error `Missing ->
+            Hashtbl.remove t.entries key;
+            None
+        | Error `Stale ->
+            drop_stale_locked t key;
+            None
+        | Error (`Corrupt detail) ->
+            quarantine_locked t key detail;
+            None
+      in
+      match payload with Some p -> f acc ~key ~payload:p | None -> acc)
+    init ks
+
+let flush t = locked t @@ fun () -> save_manifest_locked t
+
+let stats (t : t) =
+  locked t @@ fun () ->
+  {
+    entries = Hashtbl.length t.entries;
+    bytes = total_bytes_locked t;
+    hits = t.hits;
+    misses = t.misses;
+    puts = t.puts;
+    evictions = t.evictions;
+    quarantined = t.quarantined;
+    stale = t.stale;
+    served_corrupt = t.served_corrupt;
+  }
+
+let stats_to_string (s : stats) =
+  Printf.sprintf
+    "entries=%d bytes=%d hits=%d misses=%d puts=%d evictions=%d \
+     quarantined=%d stale=%d served_corrupt=%d"
+    s.entries s.bytes s.hits s.misses s.puts s.evictions s.quarantined
+    s.stale s.served_corrupt
+
+let verify_to_string (r : verify_report) =
+  Printf.sprintf "checked=%d ok=%d quarantined=%d served_corrupt=%d"
+    r.checked r.ok r.bad r.report_served_corrupt

@@ -1,0 +1,88 @@
+(** Crash-safe persistent artifact store.
+
+    A content-addressed on-disk cache of opaque payloads, keyed by
+    caller-chosen digests (the typed layer — marshalled compilation plans
+    keyed by spec × options × arch digest — lives in
+    {!Sw_core.Compile}). The durability contract:
+
+    - {b atomic writes}: payloads are staged into [tmp/] and renamed into
+      place; a crash leaves the old entry, the new entry or discardable
+      debris, never a torn object;
+    - {b self-verifying entries}: a header carries the schema digest,
+      payload length and payload MD5, all validated before a payload is
+      returned. A failing entry is {e quarantined} (moved to
+      [quarantine/] for forensics) and reported as a miss — a corrupt
+      payload is never served;
+    - {b schema generations}: entries written under a different schema
+      string are deleted on sight (stale, not corrupt);
+    - {b rebuildable index}: [MANIFEST.json] holds the LRU clock and
+      cumulative counters; when missing or torn it is rebuilt from a
+      directory scan, so no manifest crash window loses artifacts;
+    - {b bounded size}: with a byte budget, least-recently-used entries
+      are evicted after each write.
+
+    All operations are domain-safe (one internal mutex). Layout, header
+    format and the recovery rules are documented in DESIGN.md §13. *)
+
+type t
+
+val open_ : ?budget_bytes:int -> schema:string -> dir:string -> unit -> t
+(** Open (creating directories as needed) the store rooted at [dir] for
+    the given schema generation. Scans existing objects, overlays the
+    manifest when readable, and discards stray temp files from crashed
+    writes. Raises [Invalid_argument] when [budget_bytes <= 0]. *)
+
+val get : t -> key:string -> string option
+(** Validated read. [None] on miss, stale entry (deleted) or corrupt
+    entry (quarantined). *)
+
+val put : t -> key:string -> string -> unit
+(** Atomic write-rename, then LRU eviction down to the byte budget.
+    Raises [Sys_error] on I/O failure and {!Crash.Crashed} under an armed
+    crash plan — callers on the compile path degrade to memory-only. *)
+
+val mem : t -> string -> bool
+
+val keys : t -> string list
+(** Indexed keys, sorted (content not validated until read). *)
+
+val fold :
+  t -> init:'a -> f:('a -> key:string -> payload:string -> 'a) -> 'a
+(** Validated fold over every entry (quarantining corrupt ones) without
+    touching access times or hit/miss counters — the warm-start path. *)
+
+val gc : t -> ?budget_bytes:int -> unit -> int
+(** Evict LRU entries down to [budget_bytes] (default: the open-time
+    budget; a store opened without one and given none here evicts
+    everything). Returns the number evicted. *)
+
+type verify_report = {
+  checked : int;
+  ok : int;
+  bad : int;  (** quarantined by this verify pass *)
+  report_served_corrupt : int;
+      (** cumulative count of corrupt payloads ever returned by {!get} —
+          the invariant the chaos harness pins at zero *)
+}
+
+val verify : t -> verify_report
+(** Re-validate every entry, quarantining failures. *)
+
+val flush : t -> unit
+(** Persist the manifest now (it is also persisted after every write). *)
+
+type stats = {
+  entries : int;
+  bytes : int;
+  hits : int;  (** this process *)
+  misses : int;
+  puts : int;
+  evictions : int;
+  quarantined : int;  (** cumulative across process lifetimes *)
+  stale : int;
+  served_corrupt : int;
+}
+
+val stats : t -> stats
+val stats_to_string : stats -> string
+val verify_to_string : verify_report -> string

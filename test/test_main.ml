@@ -23,4 +23,6 @@ let () =
       ("host", Test_host.tests);
       ("golden", Test_golden.tests);
       ("check", Test_check.tests);
+      ("store", Test_store.tests);
+      ("supervise", Test_supervise.tests);
     ]
