@@ -795,17 +795,156 @@ let run_series name f =
     ~path:(Filename.concat "results" ("BENCH_" ^ name ^ ".json"))
     json
 
-let () =
-  let by_name =
-    [
-      ("fig13", fig13); ("fig14", fig14); ("fig15", fig15); ("fig16", fig16);
-      ("cost", cost); ("ablation", ablation); ("resilience", resilience);
-      ("durability", durability); ("arch", arch); ("scaling", scaling);
-      ("micro", micro);
-    ]
+(* ------------------------------------------------------------------ *)
+(* Perf-regression sentinel                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* `check` re-runs the fast, deterministic series and compares their
+   BENCH_*.json against tolerance-band baselines committed under
+   bench/baselines/. Gflops come from the calibrated machine model, so
+   they are bit-stable and get a tight band; wall clock varies by host
+   and only catches order-of-magnitude rot; row counts are structural
+   and get zero tolerance (a deliberate change re-runs `check --write`). *)
+
+let sentinel_series = [ "arch"; "cost"; "durability" ]
+
+let tolerance_spec = function
+  | "arch" ->
+      [
+        ("generated_gflops.count", 0.0); ("generated_gflops.mean", 0.05);
+        ("generated_gflops.max", 0.05); ("tables.arch.rows", 0.0);
+        ("wall_seconds", 3.0);
+      ]
+  | "cost" -> [ ("tables.cost_cache.rows", 0.0); ("wall_seconds", 3.0) ]
+  | "durability" ->
+      [
+        ("tables.durability.rows", 0.0);
+        ("tables.durability_concurrent.rows", 0.0); ("wall_seconds", 3.0);
+      ]
+  | s -> failwith ("no tolerance spec for series " ^ s)
+
+(* Dotted path into a BENCH json; a path ending at a list reads its
+   length (row counts). *)
+let resolve path json =
+  let open Sw_obs.Json in
+  let rec walk j = function
+    | [] -> (
+        match j with
+        | Float f -> Some f
+        | Int i -> Some (float_of_int i)
+        | List l -> Some (float_of_int (List.length l))
+        | _ -> None)
+    | seg :: rest -> (
+        match member seg j with Some j -> walk j rest | None -> None)
   in
+  walk json (String.split_on_char '.' path)
+
+let bench_result_path name =
+  Filename.concat "results" ("BENCH_" ^ name ^ ".json")
+
+let write_baseline ~baseline_dir name =
+  let open Sw_obs.Json in
+  match parse_file (bench_result_path name) with
+  | Error e ->
+      Printf.eprintf "check --write: cannot read %s: %s\n"
+        (bench_result_path name) e;
+      exit 1
+  | Ok fresh ->
+      let tolerances =
+        List.map
+          (fun (path, frac) ->
+            match resolve path fresh with
+            | None ->
+                Printf.eprintf "check --write: %s has no %s\n" name path;
+                exit 1
+            | Some v ->
+                Obj
+                  [
+                    ("path", String path); ("value", Float v);
+                    ("tol_frac", Float frac);
+                  ])
+          (tolerance_spec name)
+      in
+      write_file ~pretty:true
+        ~path:(Filename.concat baseline_dir (name ^ ".json"))
+        (Obj [ ("series", String name); ("tolerances", List tolerances) ])
+
+(* One message per violated band, naming the series and metric. *)
+let check_failures ~baseline_dir name =
+  let open Sw_obs.Json in
+  match parse_file (Filename.concat baseline_dir (name ^ ".json")) with
+  | Error e -> [ Printf.sprintf "%s: cannot read baseline: %s" name e ]
+  | Ok base -> (
+      match parse_file (bench_result_path name) with
+      | Error e -> [ Printf.sprintf "%s: cannot read fresh result: %s" name e ]
+      | Ok fresh ->
+          let tolerances =
+            match member "tolerances" base with Some (List l) -> l | _ -> []
+          in
+          if tolerances = [] then
+            [ Printf.sprintf "%s: baseline has no tolerances" name ]
+          else
+            List.filter_map
+              (fun tol ->
+                match
+                  ( Option.bind (member "path" tol) to_string_opt,
+                    Option.bind (member "value" tol) to_float_opt,
+                    Option.bind (member "tol_frac" tol) to_float_opt )
+                with
+                | Some path, Some value, Some frac -> (
+                    match resolve path fresh with
+                    | None ->
+                        Some
+                          (Printf.sprintf "%s: %s missing from fresh result"
+                             name path)
+                    | Some got ->
+                        if
+                          Float.abs (got -. value)
+                          <= frac *. Float.abs value
+                        then None
+                        else
+                          Some
+                            (Printf.sprintf
+                               "%s: %s = %g outside %g +/- %g%% of baseline"
+                               name path got value (100.0 *. frac)))
+                | _ -> Some (Printf.sprintf "%s: malformed tolerance entry" name))
+              tolerances)
+
+let all_series =
+  [
+    ("fig13", fig13); ("fig14", fig14); ("fig15", fig15); ("fig16", fig16);
+    ("cost", cost); ("ablation", ablation); ("resilience", resilience);
+    ("durability", durability); ("arch", arch); ("scaling", scaling);
+    ("micro", micro);
+  ]
+
+let check ~baseline_dir ~compare_only ~write =
+  if not compare_only then
+    List.iter (fun n -> run_series n (List.assoc n all_series)) sentinel_series;
+  if write then begin
+    List.iter (write_baseline ~baseline_dir) sentinel_series;
+    Printf.printf "bench check: wrote baselines for %s to %s\n"
+      (String.concat ", " sentinel_series)
+      baseline_dir
+  end
+  else
+    match List.concat_map (check_failures ~baseline_dir) sentinel_series with
+    | [] ->
+        Printf.printf "bench check: %s within tolerance bands of %s\n"
+          (String.concat ", " sentinel_series)
+          baseline_dir
+    | failures ->
+        List.iter
+          (fun f -> Printf.printf "bench check FAILED: %s\n" f)
+          failures;
+        exit 1
+
+let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let jobs = ref (Sw_host.Pool.default_jobs ()) in
+  let compare_only = ref false in
+  let write = ref false in
+  let baseline_dir = ref (Filename.concat "bench" "baselines") in
   let rec strip = function
     | [] -> []
     | "--jobs" :: n :: rest ->
@@ -814,6 +953,15 @@ let () =
         | _ ->
             Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
             exit 1);
+        strip rest
+    | "--compare-only" :: rest ->
+        compare_only := true;
+        strip rest
+    | "--write" :: rest ->
+        write := true;
+        strip rest
+    | "--baselines" :: dir :: rest ->
+        baseline_dir := dir;
         strip rest
     | a :: rest -> a :: strip rest
   in
@@ -827,14 +975,17 @@ let () =
   Sw_host.Pool.with_pool ~jobs:!jobs @@ fun p ->
   pool := Some p;
   match names with
-  | [] -> List.iter (fun (n, f) -> run_series n f) by_name
+  | [ "check" ] ->
+      check ~baseline_dir:!baseline_dir ~compare_only:!compare_only
+        ~write:!write
+  | [] -> List.iter (fun (n, f) -> run_series n f) all_series
   | names ->
       List.iter
         (fun n ->
-          match List.assoc_opt n by_name with
+          match List.assoc_opt n all_series with
           | Some f -> run_series n f
           | None ->
-              Printf.eprintf "unknown experiment %s (have: %s)\n" n
-                (String.concat ", " (List.map fst by_name));
+              Printf.eprintf "unknown experiment %s (have: check, %s)\n" n
+                (String.concat ", " (List.map fst all_series));
               exit 1)
         names

@@ -215,6 +215,65 @@ let with_metrics enabled f =
         r)
   end
 
+let log_level_conv =
+  let parse s =
+    match Sw_obs.Log.level_of_string s with
+    | Some l -> Ok l
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "--log-level: '%s' is not one of debug, info, warn, error" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt l -> Format.pp_print_string fmt (Sw_obs.Log.level_to_string l) )
+
+let log_level_arg =
+  let doc =
+    "Enable the structured JSON-lines event log at this level (debug, \
+     info, warn, error). Events stream to stderr unless $(b,--log-file) is \
+     given. A flight recorder is installed alongside: the last events, \
+     spans and metric deltas are dumped to results/flightrec-*.json \
+     whenever a request fails, a breaker opens, a store entry is \
+     quarantined or a crash site fires."
+  in
+  Arg.(
+    value
+    & opt (some log_level_conv) None
+    & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let log_file_arg =
+  let doc =
+    "Append JSON-lines log events to $(docv) instead of stderr (implies \
+     $(b,--log-level) info when none is given)."
+  in
+  Arg.(value & opt (some string) None & info [ "log-file" ] ~docv:"FILE" ~doc)
+
+(* --log-level/--log-file: with neither given nothing is installed and
+   every log/flight call site stays inert, so default output is
+   byte-identical to a build without this subsystem. *)
+let with_logging ?level ?file f =
+  match (level, file) with
+  | None, None -> f ()
+  | _ ->
+      let level = Option.value level ~default:Sw_obs.Log.Info in
+      let oc, close =
+        match file with
+        | None -> (stderr, fun () -> ())
+        | Some path ->
+            let oc = open_out_gen [ Open_creat; Open_append ] 0o644 path in
+            (oc, fun () -> close_out oc)
+      in
+      Sw_obs.Log.install (Sw_obs.Log.create ~min_level:level ~out:oc ());
+      Sw_obs.Flight.install (Sw_obs.Flight.create ());
+      Fun.protect
+        ~finally:(fun () ->
+          Sw_obs.Flight.uninstall ();
+          Sw_obs.Log.uninstall ();
+          close ())
+        f
+
 let parse_fusion = function
   | None -> Ok Spec.No_fusion
   | Some s -> (
@@ -301,7 +360,8 @@ let options_of_passes ~no_asm names =
 let compile_cmd =
   let run input shape batch fusion binds fbinds ta tb no_asm no_rma no_hiding
       tiny arch arch_file emit dump_tree dump_ast passes dump_after no_cache
-      pass_stats store_dir deadline_s =
+      pass_stats store_dir deadline_s log_level log_file =
+    with_logging ?level:log_level ?file:log_file @@ fun () ->
     match
       ( build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb,
         resolve_config ~tiny ~arch ~arch_file )
@@ -397,7 +457,8 @@ let compile_cmd =
        $ fbind_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg $ no_hiding_arg
        $ tiny_arg $ arch_arg $ arch_file_arg $ emit_arg $ dump_tree_arg
        $ dump_ast_arg $ passes_arg $ dump_after_arg $ no_cache_arg
-       $ pass_stats_arg $ store_arg $ deadline_arg))
+       $ pass_stats_arg $ store_arg $ deadline_arg $ log_level_arg
+       $ log_file_arg))
   in
   Cmd.v (Cmd.info "compile" ~doc:"Generate athread code for a GEMM problem") term
 
@@ -466,7 +527,9 @@ let fault_plan_for ~kinds seed =
 
 let verify_cmd =
   let run input shape batch fusion binds fbinds ta tb no_asm no_rma no_hiding
-      tiny arch arch_file inject jobs metrics store_dir deadline_s =
+      tiny arch arch_file inject jobs metrics store_dir deadline_s log_level
+      log_file =
+    with_logging ?level:log_level ?file:log_file @@ fun () ->
     with_metrics metrics @@ fun () ->
     match
       ( build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb,
@@ -546,7 +609,8 @@ let verify_cmd =
         (const run $ input_arg $ shape_arg $ batch_arg $ fusion_arg $ bind_arg
        $ fbind_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg $ no_hiding_arg
        $ tiny_arg $ arch_arg $ arch_file_arg $ inject_faults_arg $ jobs_arg
-       $ metrics_arg $ store_arg $ deadline_arg))
+       $ metrics_arg $ store_arg $ deadline_arg $ log_level_arg
+       $ log_file_arg))
   in
   Cmd.v
     (Cmd.info "verify"
@@ -1151,8 +1215,8 @@ let cache_cmd =
       (Cmd.info "stat"
          ~doc:
            "Print the store's entry count, byte size and cumulative \
-            counters (quarantined, stale, served_corrupt) as key=value \
-            pairs")
+            counters (quarantined, stale, served_corrupt, hits_total, \
+            misses_total, evicted_bytes) as key=value pairs")
       Term.(term_result (const stat_run $ store_req_arg))
   in
   let gc_cmd =
@@ -1178,6 +1242,69 @@ let cache_cmd =
     [ stat_cmd; gc_cmd; verify_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* debug                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let debug_cmd =
+  let out_dir_arg =
+    let doc = "Directory the flight record is written into." in
+    Arg.(value & opt string "results" & info [ "out-dir" ] ~docv:"DIR" ~doc)
+  in
+  (* An on-demand flight dump: run one compilation at debug verbosity with
+     the recorder installed and dump unconditionally — no failure needed.
+     The resulting file has the same schema as the automatic failure dumps. *)
+  let dump_run input shape batch fusion binds fbinds ta tb no_asm no_rma
+      no_hiding tiny arch arch_file store_dir out_dir =
+    match
+      ( build_spec ~input ~shape ~batch ~fusion ~binds ~fbinds ~ta ~tb,
+        resolve_config ~tiny ~arch ~arch_file,
+        match store_dir with
+        | None -> Ok None
+        | Some dir -> Result.map Option.some (open_store dir) )
+    with
+    | Error e, _, _ -> Error e
+    | _, Error e, _ -> Error e
+    | _, _, Error e -> Error e
+    | Ok spec, Ok config, Ok store ->
+        let flight = Sw_obs.Flight.create ~dir:out_dir () in
+        Sw_obs.Log.install (Sw_obs.Log.create ~min_level:Sw_obs.Log.Debug ());
+        Sw_obs.Flight.install flight;
+        Fun.protect ~finally:(fun () ->
+            Sw_obs.Flight.uninstall ();
+            Sw_obs.Log.uninstall ())
+        @@ fun () ->
+        let options = build_options ~no_asm ~no_rma ~no_hiding in
+        let session = Session.create ~options ?store ~config () in
+        (match Compile.run_result session spec with
+        | Ok compiled ->
+            Printf.printf "compiled %s [%s]\n"
+              (Spec.to_string compiled.Compile.spec)
+              (Options.name options)
+        | Error e -> Printf.printf "compile failed: %s\n" (Error.to_string e));
+        let path = Sw_obs.Flight.dump ~reason:"debug.dump" flight in
+        Printf.printf "flight record: %s\n" path;
+        Ok ()
+  in
+  let dump_cmd =
+    Cmd.v
+      (Cmd.info "dump"
+         ~doc:
+           "Run one compilation with the flight recorder and a debug-level \
+            event log installed, then dump the flight record \
+            unconditionally and print its path")
+      Term.(
+        term_result
+          (const dump_run $ input_arg $ shape_arg $ batch_arg $ fusion_arg
+         $ bind_arg $ fbind_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg
+         $ no_hiding_arg $ tiny_arg $ arch_arg $ arch_file_arg $ store_arg
+         $ out_dir_arg))
+  in
+  Cmd.group
+    (Cmd.info "debug"
+       ~doc:"Forensic helpers: on-demand flight-recorder dumps")
+    [ dump_cmd ]
+
+(* ------------------------------------------------------------------ *)
 
 let default = Term.(ret (const (`Help (`Pager, None))))
 
@@ -1201,4 +1328,5 @@ let () =
             fuzz_cmd;
             arch_cmd;
             cache_cmd;
+            debug_cmd;
           ]))

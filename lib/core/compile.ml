@@ -209,13 +209,32 @@ let run_result_unsupervised ?token (session : session) original =
   with Fail e -> Error e
 
 let run_result (session : session) original =
-  match session.supervisor with
-  | None -> run_result_unsupervised session original
-  | Some sup ->
-      Sw_host.Supervise.run sup
-        ~shape_class:(Spec.to_string original)
-        ?deadline_s:session.deadline_s
-        (fun tok -> run_result_unsupervised ~token:tok session original)
+  let r =
+    match session.supervisor with
+    | None -> run_result_unsupervised session original
+    | Some sup ->
+        Sw_host.Supervise.run sup
+          ~shape_class:(Spec.to_string original)
+          ?deadline_s:session.deadline_s
+          (fun tok -> run_result_unsupervised ~token:tok session original)
+  in
+  (* One flight dump per escaped typed error, at the outermost layer —
+     retries that eventually succeed dump nothing. *)
+  (match r with
+  | Ok _ ->
+      Sw_obs.Log.debug ~scope:"compile" "ok"
+        [ ("spec", Sw_obs.Log.S (Spec.to_string original)) ]
+  | Error e ->
+      let class_ = Sw_arch.Error.class_of e in
+      Sw_obs.Log.error ~scope:"compile" "failed"
+        [
+          ("class", Sw_obs.Log.S class_);
+          ("spec", Sw_obs.Log.S (Spec.to_string original));
+          ("error", Sw_obs.Log.S (Sw_arch.Error.to_string e));
+        ];
+      if Sw_obs.Flight.enabled () then
+        ignore (Sw_obs.Flight.trigger ~reason:("error." ^ class_)));
+  r
 
 let warm_start (session : session) =
   match (session.store, session.cache) with

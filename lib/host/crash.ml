@@ -113,6 +113,22 @@ let decide site =
   Mutex.unlock lock;
   fired
 
+(* Last words before dying: the flight dump is the only forensic record a
+   Kill leaves behind (it writes results/, never the store, so crash
+   recovery invariants are unperturbed). *)
+let flight_dump site action =
+  if Sw_obs.Flight.enabled () then begin
+    Sw_obs.Log.error ~scope:"crash" "fired"
+      [ ("site", Sw_obs.Log.S site); ("action", Sw_obs.Log.S action) ];
+    Sw_obs.Flight.record ~kind:"crash"
+      (Sw_obs.Json.Obj
+         [
+           ("site", Sw_obs.Json.String site);
+           ("action", Sw_obs.Json.String action);
+         ]);
+    ignore (Sw_obs.Flight.trigger ~reason:("crash." ^ site))
+  end
+
 let hit site =
   match !armed with
   | None when !env_loaded -> ()  (* fast path: nothing armed *)
@@ -122,9 +138,12 @@ let hit site =
       | Some Raise ->
           Sw_obs.Metrics.incr_a ~labels:[ ("site", site) ]
             "host_fault.crashes_total";
+          flight_dump site "raise";
           raise (Crashed site)
       | Some Kill ->
-          (* flush nothing: the whole point is to die abruptly *)
+          (* dump the flight record, then die abruptly: nothing else is
+             flushed — partial on-disk state is the point of the drill *)
+          flight_dump site "kill";
           Unix.kill (Unix.getpid ()) Sys.sigkill
       | Some (Stall d) ->
           Sw_obs.Metrics.incr_a ~labels:[ ("site", site) ]

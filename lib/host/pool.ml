@@ -90,8 +90,10 @@ let map t f xs =
       let results = Array.make n None in
       let parent_reg = Sw_obs.Metrics.current () in
       let parent_sink = Sw_obs.Span.current () in
+      let parent_log = Sw_obs.Log.current () in
       let snaps = Array.make n None in
       let lanes = Array.make n None in
+      let logs = Array.make n None in
       let remaining = ref n in
       let finished = Condition.create () in
       let task i () =
@@ -111,6 +113,9 @@ let map t f xs =
             Sw_obs.Span.install
               (Sw_obs.Span.create ~epoch:(Sw_obs.Span.epoch p) ())
         | None -> ());
+        (match parent_log with
+        | Some p -> Sw_obs.Log.install (Sw_obs.Log.fork p)
+        | None -> ());
         let r =
           try Ok (f input.(i))
           with e -> Error (e, Printexc.get_raw_backtrace ())
@@ -124,6 +129,11 @@ let map t f xs =
         | Some _, Some sink ->
             lanes.(i) <- Some (lane (), sink);
             Sw_obs.Span.uninstall ()
+        | _ -> ());
+        (match (parent_log, Sw_obs.Log.current ()) with
+        | Some _, Some l ->
+            logs.(i) <- Some l;
+            Sw_obs.Log.uninstall ()
         | _ -> ());
         results.(i) <- Some r
       in
@@ -154,6 +164,13 @@ let map t f xs =
                   Sw_obs.Span.absorb ~into:parent ~tid:w s
               | None -> ())
             lanes
+      | None -> ());
+      (match parent_log with
+      | Some parent ->
+          Array.iter
+            (function
+              | Some l -> Sw_obs.Log.absorb ~into:parent l | None -> ())
+            logs
       | None -> ());
       (* first failure by input index wins, deterministically *)
       Array.iter

@@ -45,6 +45,9 @@ type t = {
   mutable quarantined : int;
   mutable stale : int;
   mutable served_corrupt : int;
+  mutable hits_total : int;
+  mutable misses_total : int;
+  mutable evicted_bytes : int;
 }
 
 type stats = {
@@ -57,6 +60,9 @@ type stats = {
   quarantined : int;
   stale : int;
   served_corrupt : int;
+  hits_total : int;
+  misses_total : int;
+  evicted_bytes : int;
 }
 
 type verify_report = {
@@ -159,6 +165,9 @@ let manifest_json (t : t) =
       ("quarantined_total", Int t.quarantined);
       ("stale_total", Int t.stale);
       ("served_corrupt_total", Int t.served_corrupt);
+      ("hits_total", Int t.hits_total);
+      ("misses_total", Int t.misses_total);
+      ("evicted_bytes_total", Int t.evicted_bytes);
       ( "entries",
         List
           (List.map
@@ -200,7 +209,10 @@ let load_manifest (t : t) =
       if schema_ok then begin
         t.quarantined <- int_field "quarantined_total";
         t.stale <- int_field "stale_total";
-        t.served_corrupt <- int_field "served_corrupt_total"
+        t.served_corrupt <- int_field "served_corrupt_total";
+        t.hits_total <- int_field "hits_total";
+        t.misses_total <- int_field "misses_total";
+        t.evicted_bytes <- int_field "evicted_bytes_total"
       end;
       (match Option.bind (member "entries" j) to_list_opt with
       | None -> ()
@@ -262,6 +274,9 @@ let open_ ?budget_bytes ~schema ~dir () =
       quarantined = 0;
       stale = 0;
       served_corrupt = 0;
+      hits_total = 0;
+      misses_total = 0;
+      evicted_bytes = 0;
     }
   in
   mkdir_p (objects_dir t);
@@ -297,13 +312,25 @@ let quarantine_locked (t : t) key detail =
   t.quarantined <- t.quarantined + 1;
   Sw_obs.Metrics.incr_a "store.quarantined_total";
   save_manifest_locked t;
-  ignore detail
+  Sw_obs.Log.warn ~scope:"store" "quarantine"
+    [ ("key", Sw_obs.Log.S key); ("detail", Sw_obs.Log.S detail) ];
+  if Sw_obs.Flight.enabled () then begin
+    Sw_obs.Flight.record ~kind:"store"
+      (Sw_obs.Json.Obj
+         [
+           ("op", Sw_obs.Json.String "quarantine");
+           ("key", Sw_obs.Json.String key);
+           ("detail", Sw_obs.Json.String detail);
+         ]);
+    ignore (Sw_obs.Flight.trigger ~reason:"store.quarantine")
+  end
 
 let drop_stale_locked (t : t) key =
   (try Sys.remove (object_path t key) with Sys_error _ -> ());
   Hashtbl.remove t.entries key;
   t.stale <- t.stale + 1;
-  Sw_obs.Metrics.incr_a "store.stale_total"
+  Sw_obs.Metrics.incr_a "store.stale_total";
+  Sw_obs.Log.info ~scope:"store" "drop_stale" [ ("key", Sw_obs.Log.S key) ]
 
 (* ------------------------------------------------------------------ *)
 (* Read side                                                            *)
@@ -328,21 +355,31 @@ let get (t : t) ~key =
           Hashtbl.replace t.entries key
             { size = String.length payload; atime = tick t });
       t.hits <- t.hits + 1;
+      t.hits_total <- t.hits_total + 1;
       Sw_obs.Metrics.incr_a "store.hits_total";
+      Sw_obs.Log.info ~scope:"store" "get.hit"
+        [
+          ("key", Sw_obs.Log.S key);
+          ("bytes", Sw_obs.Log.I (String.length payload));
+        ];
       Some payload
   | Error `Missing ->
       Hashtbl.remove t.entries key;
       t.misses <- t.misses + 1;
+      t.misses_total <- t.misses_total + 1;
       Sw_obs.Metrics.incr_a "store.misses_total";
+      Sw_obs.Log.info ~scope:"store" "get.miss" [ ("key", Sw_obs.Log.S key) ];
       None
   | Error `Stale ->
       drop_stale_locked t key;
       t.misses <- t.misses + 1;
+      t.misses_total <- t.misses_total + 1;
       Sw_obs.Metrics.incr_a "store.misses_total";
       None
   | Error (`Corrupt detail) ->
       quarantine_locked t key detail;
       t.misses <- t.misses + 1;
+      t.misses_total <- t.misses_total + 1;
       Sw_obs.Metrics.incr_a "store.misses_total";
       None
 
@@ -372,12 +409,16 @@ let evict_lru_locked (t : t) budget =
     in
     match victim with
     | None -> ()
-    | Some (key, _) ->
+    | Some (key, e) ->
         (try Sys.remove (object_path t key) with Sys_error _ -> ());
         Hashtbl.remove t.entries key;
         t.evictions <- t.evictions + 1;
+        t.evicted_bytes <- t.evicted_bytes + e.size;
         incr evicted;
-        Sw_obs.Metrics.incr_a "store.evictions_total"
+        Sw_obs.Metrics.incr_a "store.evictions_total";
+        Sw_obs.Metrics.incr_a ~by:e.size "store.evicted_bytes_total";
+        Sw_obs.Log.info ~scope:"store" "evict"
+          [ ("key", Sw_obs.Log.S key); ("bytes", Sw_obs.Log.I e.size) ]
   done;
   !evicted
 
@@ -403,6 +444,8 @@ let put (t : t) ~key payload =
   Hashtbl.replace t.entries key { size; atime = tick t };
   t.puts <- t.puts + 1;
   Sw_obs.Metrics.incr_a "store.puts_total";
+  Sw_obs.Log.info ~scope:"store" "put"
+    [ ("key", Sw_obs.Log.S key); ("bytes", Sw_obs.Log.I size) ];
   (match t.budget_bytes with
   | Some budget -> ignore (evict_lru_locked t budget)
   | None -> ());
@@ -484,14 +527,19 @@ let stats (t : t) =
     quarantined = t.quarantined;
     stale = t.stale;
     served_corrupt = t.served_corrupt;
+    hits_total = t.hits_total;
+    misses_total = t.misses_total;
+    evicted_bytes = t.evicted_bytes;
   }
 
+(* New keys go at the end: chaos CI and scripts grep the prefix. *)
 let stats_to_string (s : stats) =
   Printf.sprintf
     "entries=%d bytes=%d hits=%d misses=%d puts=%d evictions=%d \
-     quarantined=%d stale=%d served_corrupt=%d"
+     quarantined=%d stale=%d served_corrupt=%d hits_total=%d \
+     misses_total=%d evicted_bytes=%d"
     s.entries s.bytes s.hits s.misses s.puts s.evictions s.quarantined
-    s.stale s.served_corrupt
+    s.stale s.served_corrupt s.hits_total s.misses_total s.evicted_bytes
 
 let verify_to_string (r : verify_report) =
   Printf.sprintf "checked=%d ok=%d quarantined=%d served_corrupt=%d"

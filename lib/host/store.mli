@@ -81,6 +81,9 @@ type stats = {
   quarantined : int;  (** cumulative across process lifetimes *)
   stale : int;
   served_corrupt : int;
+  hits_total : int;  (** cumulative across process lifetimes *)
+  misses_total : int;
+  evicted_bytes : int;  (** cumulative bytes reclaimed by eviction *)
 }
 
 val stats : t -> stats

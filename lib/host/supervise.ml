@@ -133,6 +133,10 @@ let expired tok =
    drive it deterministically). *)
 let admit_poll_s = 0.001
 
+let set_load_gauges ~in_flight ~queued =
+  Sw_obs.Metrics.set_a "supervise.in_flight" (float_of_int in_flight);
+  Sw_obs.Metrics.set_a "supervise.queue_depth" (float_of_int queued)
+
 let try_admit t =
   Mutex.lock t.mutex;
   let r =
@@ -153,13 +157,17 @@ let try_admit t =
       Ok `Queued
     end
   in
+  let inf = t.in_flight and q = t.queued in
   Mutex.unlock t.mutex;
+  set_load_gauges ~in_flight:inf ~queued:q;
   r
 
 let admit t tok =
   match try_admit t with
   | Error e ->
       Sw_obs.Metrics.incr_a "supervise.shed_total";
+      Sw_obs.Log.warn ~scope:"supervise" "admission.shed"
+        [ ("error", Sw_obs.Log.S (Sw_arch.Error.to_string e)) ];
       Error e
   | Ok `Admitted -> Ok ()
   | Ok `Queued ->
@@ -167,7 +175,9 @@ let admit t tok =
         if expired tok then begin
           Mutex.lock t.mutex;
           t.queued <- t.queued - 1;
+          let inf = t.in_flight and q = t.queued in
           Mutex.unlock t.mutex;
+          set_load_gauges ~in_flight:inf ~queued:q;
           Sw_obs.Metrics.incr_a "supervise.timeouts_total";
           Error
             (Sw_arch.Error.Timeout
@@ -187,8 +197,12 @@ let admit t tok =
             end
             else false
           in
+          let inf = t.in_flight and q = t.queued in
           Mutex.unlock t.mutex;
-          if admitted then Ok ()
+          if admitted then begin
+            set_load_gauges ~in_flight:inf ~queued:q;
+            Ok ()
+          end
           else begin
             t.sleep admit_poll_s;
             wait ()
@@ -200,7 +214,9 @@ let admit t tok =
 let release t =
   Mutex.lock t.mutex;
   t.in_flight <- t.in_flight - 1;
-  Mutex.unlock t.mutex
+  let inf = t.in_flight and q = t.queued in
+  Mutex.unlock t.mutex;
+  set_load_gauges ~in_flight:inf ~queued:q
 
 let in_flight t =
   Mutex.lock t.mutex;
@@ -211,6 +227,47 @@ let in_flight t =
 (* ------------------------------------------------------------------ *)
 (* Circuit breaker                                                      *)
 (* ------------------------------------------------------------------ *)
+
+let state_gauge = function
+  | Closed -> 0.0
+  | Half_open -> 1.0
+  | Open_until _ -> 2.0
+
+let state_name = function
+  | Closed -> "closed"
+  | Half_open -> "half_open"
+  | Open_until _ -> "open"
+
+(* Emitted outside the supervisor mutex: a breaker.open flight dump
+   writes a file and must not extend the breaker critical section. *)
+let note_transition class_ ~before ~after ~failures =
+  Sw_obs.Metrics.set_a
+    ~labels:[ ("class", class_) ]
+    "supervise.breaker_state" (state_gauge after);
+  let fields =
+    [
+      ("class", Sw_obs.Log.S class_);
+      ("from", Sw_obs.Log.S (state_name before));
+      ("to", Sw_obs.Log.S (state_name after));
+      ("failures", Sw_obs.Log.I failures);
+    ]
+  in
+  match after with
+  | Open_until _ ->
+      Sw_obs.Log.warn ~scope:"supervise" "breaker.open" fields;
+      if Sw_obs.Flight.enabled () then begin
+        Sw_obs.Flight.record ~kind:"breaker"
+          (Sw_obs.Json.Obj
+             [
+               ("class", Sw_obs.Json.String class_);
+               ("from", Sw_obs.Json.String (state_name before));
+               ("to", Sw_obs.Json.String (state_name after));
+               ("failures", Sw_obs.Json.Int failures);
+             ]);
+        ignore (Sw_obs.Flight.trigger ~reason:"breaker.open")
+      end
+  | Half_open -> Sw_obs.Log.info ~scope:"supervise" "breaker.half_open" fields
+  | Closed -> Sw_obs.Log.info ~scope:"supervise" "breaker.close" fields
 
 let breaker_of t class_ =
   match Hashtbl.find_opt t.breakers class_ with
@@ -225,6 +282,7 @@ let breaker_of t class_ =
 let breaker_check t class_ =
   Mutex.lock t.mutex;
   let b = breaker_of t class_ in
+  let transition = ref None in
   let r =
     match b.state with
     | Closed | Half_open -> Ok ()
@@ -232,6 +290,7 @@ let breaker_check t class_ =
         let now = t.now () in
         if now >= until then begin
           b.state <- Half_open;
+          transition := Some (Open_until until, Half_open, b.failures);
           Ok ()
         end
         else begin
@@ -246,11 +305,16 @@ let breaker_check t class_ =
         end
   in
   Mutex.unlock t.mutex;
+  (match !transition with
+  | Some (before, after, failures) ->
+      note_transition class_ ~before ~after ~failures
+  | None -> ());
   r
 
 let breaker_note t class_ ~ok =
   Mutex.lock t.mutex;
   let b = breaker_of t class_ in
+  let before = b.state in
   (if ok then begin
      b.failures <- 0;
      b.state <- Closed
@@ -269,7 +333,11 @@ let breaker_note t class_ ~ok =
          Sw_obs.Metrics.incr_a "supervise.breaker_trips_total"
      | Closed | Open_until _ -> ()
    end);
-  Mutex.unlock t.mutex
+  let after = b.state and failures = b.failures in
+  Mutex.unlock t.mutex;
+  (* Open_until t1 -> Open_until t2 is "still open", not a transition *)
+  if state_name before <> state_name after then
+    note_transition class_ ~before ~after ~failures
 
 let breaker_state t class_ =
   Mutex.lock t.mutex;
@@ -318,7 +386,15 @@ let attempts t ?deadline_s work =
               && not (expired tok)
             then begin
               Sw_obs.Metrics.incr_a "supervise.retries_total";
-              t.sleep (backoff t ~attempt);
+              let delay = backoff t ~attempt in
+              Sw_obs.Metrics.observe_a "supervise.backoff_seconds" delay;
+              Sw_obs.Log.info ~scope:"supervise" "retry"
+                [
+                  ("attempt", Sw_obs.Log.I attempt);
+                  ("backoff_s", Sw_obs.Log.F delay);
+                  ("error", Sw_obs.Log.S (Sw_arch.Error.class_of e));
+                ];
+              t.sleep delay;
               go (attempt + 1)
             end
             else Error e)

@@ -141,9 +141,15 @@ type value =
 
 type snapshot = (key * value) list
 
+(* Registry keys are normalized at instrument creation, but a snapshot's
+   order must never depend on how a key was produced (insertion order,
+   absorb order, a hand-built snapshot fed through absorb): re-sort the
+   label set of every key here so to_text/to_json are byte-identical for
+   any construction order and any --jobs value. *)
 let snapshot (r : registry) =
   Hashtbl.fold
-    (fun k i acc ->
+    (fun (name, labels) i acc ->
+      let k = (name, norm_labels labels) in
       let v =
         match i with
         | C c -> Counter !c

@@ -46,7 +46,18 @@ let span t ?cat ?args ?(tid = 0) name f =
       complete t ?cat ?args ~pid:host_pid ~tid
         ~ts_us:(1e6 *. (t0 -. t.epoch))
         ~dur_us:(1e6 *. (t1 -. t0))
-        name)
+        name;
+      (* host-side spans feed the flight recorder (raw sink pushes from
+         the trace bridge do not — thousands of simulated events would
+         flood the ring) *)
+      if Flight.enabled () then
+        Flight.record ~kind:"span"
+          (Json.Obj
+             [
+               ("name", Json.String name);
+               ("cat", Json.String (Option.value cat ~default:""));
+               ("dur_us", Json.Float (1e6 *. (t1 -. t0)));
+             ]))
     f
 
 let set_process_name t ~pid name =

@@ -1,0 +1,284 @@
+(* Tests of the forensic observability added in this layer: the bounded
+   flight-recorder ring (Sw_obs.Flight), the structured JSON-lines event
+   log (Sw_obs.Log) with its parse round-trip, the dump-on-failure
+   triggers wired through Compile/Supervise/Store, and the determinism of
+   absorbed log order under the pool width. *)
+
+open Sw_obs
+open Sw_core
+open Sw_arch
+
+let check = Alcotest.check
+let qtest = Helpers.qtest
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "swgemm-flight.%d.%d" (Unix.getpid ()) !dir_counter)
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Ring-buffer bounds                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ring_inputs = QCheck.(pair (int_range 1 16) (int_range 0 100))
+
+let test_flight_ring_bounds =
+  qtest "flight: ring keeps the last min(n,capacity) records" ring_inputs
+    (fun (capacity, n) ->
+      let t = Flight.create ~capacity ~clock:(fun () -> 0.0) () in
+      for i = 1 to n do
+        Flight.note t ~kind:"k" (Json.Int i)
+      done;
+      let kept = min n capacity in
+      Flight.length t = kept
+      && Flight.dropped t = max 0 (n - capacity)
+      && List.map (fun r -> r.Flight.body) (Flight.records t)
+         = List.init kept (fun i -> Json.Int (n - kept + i + 1)))
+
+let test_log_ring_bounds =
+  qtest "log: ring keeps the last min(n,capacity) events" ring_inputs
+    (fun (capacity, n) ->
+      let t = Log.create ~capacity ~clock:(fun () -> 0.0) () in
+      for i = 1 to n do
+        Log.event t Log.Info ~scope:"t" "e" [ ("i", Log.I i) ]
+      done;
+      let kept = min n capacity in
+      Log.length t = kept
+      && Log.dropped t = max 0 (n - capacity)
+      && List.map (fun e -> e.Log.fields) (Log.events t)
+         = List.init kept (fun i -> [ ("i", Log.I (n - kept + i + 1)) ]))
+
+(* ------------------------------------------------------------------ *)
+(* JSON-lines round trip                                                *)
+(* ------------------------------------------------------------------ *)
+
+let level_gen =
+  QCheck.oneofl [ Log.Debug; Log.Info; Log.Warn; Log.Error ]
+
+(* F values are kept non-integral: the emitter prints 2.0 as "2", which
+   parses back as an Int — a representation change, not a data loss. *)
+let field_gen =
+  QCheck.(
+    oneof
+      [
+        map (fun s -> Log.S s) printable_string;
+        map (fun i -> Log.I i) int;
+        map (fun b -> Log.B b) bool;
+        map (fun i -> Log.F (float_of_int i +. 0.5)) small_signed_int;
+      ])
+
+let event_gen =
+  QCheck.(
+    map
+      (fun (seq, ts, level, scope, name, fields) ->
+        { Log.seq; ts = float_of_int ts +. 0.5; level; scope; name; fields })
+      (tup6 small_nat small_signed_int level_gen printable_string
+         printable_string
+         (small_list (pair printable_string field_gen))))
+
+let test_log_line_roundtrip =
+  qtest "log: of_line (to_line e) = Ok e" event_gen (fun e ->
+      Log.of_line (Log.to_line e) = Ok e)
+
+let test_log_line_nan_inf () =
+  let e =
+    {
+      Log.seq = 3;
+      ts = Float.nan;
+      level = Log.Warn;
+      scope = "s";
+      name = "n";
+      fields =
+        [ ("a", Log.F Float.nan); ("b", Log.F Float.infinity);
+          ("c", Log.F Float.neg_infinity) ];
+    }
+  in
+  let line = Log.to_line e in
+  check Alcotest.bool "nan/inf render as null" true
+    (Helpers.contains line "\"a\":null" && Helpers.contains line "\"b\":null");
+  match Log.of_line line with
+  | Error err -> Alcotest.failf "parse failed: %s" err
+  | Ok e' ->
+      check Alcotest.bool "nan ts survives as nan" true (Float.is_nan e'.Log.ts);
+      List.iter
+        (fun (_, f) ->
+          match f with
+          | Log.F v ->
+              check Alcotest.bool "field came back as nan" true (Float.is_nan v)
+          | _ -> Alcotest.fail "field kind changed")
+        e'.Log.fields
+
+(* ------------------------------------------------------------------ *)
+(* Off by default                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_inert_when_uninstalled () =
+  check Alcotest.bool "no flight" false (Flight.enabled ());
+  check Alcotest.bool "no log" false (Log.enabled ());
+  (* all of these must be no-ops, not errors *)
+  Flight.record ~kind:"k" Json.Null;
+  Log.info ~scope:"s" "e" [];
+  check (Alcotest.option Alcotest.string) "trigger without recorder" None
+    (Flight.trigger ~reason:"r")
+
+(* ------------------------------------------------------------------ *)
+(* Dump-on-error: exactly once per escaped failure                      *)
+(* ------------------------------------------------------------------ *)
+
+let bad_options = { Options.use_asm = true; use_rma = false; hiding = true }
+
+let test_dump_once_per_failure () =
+  let dir = fresh_dir () in
+  Flight.install (Flight.create ~dir ());
+  Fun.protect ~finally:Flight.uninstall @@ fun () ->
+  let config = Config.tiny () in
+  let spec = Spec.make ~m:64 ~n:64 ~k:64 () in
+  (match Session.run_result (Session.create ~options:bad_options ~config ()) spec with
+  | Error (Error.Invalid _) -> ()
+  | _ -> Alcotest.fail "expected a typed Invalid error");
+  check Alcotest.int "one dump per failure" 1 (Array.length (Sys.readdir dir));
+  (* a successful compile dumps nothing *)
+  (match Session.run_result (Session.create ~config ()) spec with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "expected success, got %s" (Error.to_string e));
+  check Alcotest.int "success adds no dump" 1 (Array.length (Sys.readdir dir));
+  (* a second failure dumps exactly once more *)
+  (match Session.run_result (Session.create ~options:bad_options ~config ()) spec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected failure");
+  check Alcotest.int "two failures, two dumps" 2
+    (Array.length (Sys.readdir dir))
+
+(* ------------------------------------------------------------------ *)
+(* The acceptance scenario: breaker opens -> flightrec with the breaker  *)
+(* transition and the recent store narrative                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_flightrec_on_breaker_open () =
+  let dir = fresh_dir () in
+  Flight.install (Flight.create ~dir ());
+  Log.install (Log.create ~min_level:Log.Debug ~clock:(fun () -> 0.0) ());
+  Fun.protect ~finally:(fun () ->
+      Flight.uninstall ();
+      Log.uninstall ())
+  @@ fun () ->
+  (* a couple of store operations land in the log, and through it in the
+     flight ring, before the failures start *)
+  let store =
+    Sw_host.Store.open_ ~schema:Compile.store_schema ~dir:(fresh_dir ()) ()
+  in
+  let key = Digest.to_hex (Digest.string "flight-test") in
+  Sw_host.Store.put store ~key "payload";
+  (match Sw_host.Store.get store ~key with
+  | Some _ -> ()
+  | None -> Alcotest.fail "store get missed");
+  let policy =
+    {
+      Sw_host.Supervise.default_policy with
+      Sw_host.Supervise.breaker_threshold = 2;
+      max_attempts = 1;
+    }
+  in
+  let sup =
+    Sw_host.Supervise.create ~policy ~now:(fun () -> 0.0)
+      ~sleep:(fun _ -> ())
+      ()
+  in
+  let session =
+    Session.create ~options:bad_options ~store ~supervisor:sup
+      ~config:(Config.tiny ()) ()
+  in
+  let spec = Spec.make ~m:64 ~n:64 ~k:64 () in
+  for _ = 1 to 2 do
+    match Session.run_result session spec with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "expected failure"
+  done;
+  check Alcotest.bool "breaker opened" true
+    (Sw_host.Supervise.breaker_state sup (Spec.to_string spec) = `Open);
+  (* among the dumps there is one for the breaker opening, and it holds
+     both the breaker transition record and the logged store operations *)
+  let dumps =
+    Array.to_list (Sys.readdir dir)
+    |> List.map (fun f ->
+           match Json.parse_file (Filename.concat dir f) with
+           | Ok j -> j
+           | Error e -> Alcotest.failf "invalid dump %s: %s" f e)
+  in
+  let reason j =
+    Option.bind (Json.member "reason" j) Json.to_string_opt
+  in
+  match List.find_opt (fun j -> reason j = Some "breaker.open") dumps with
+  | None -> Alcotest.fail "no flightrec with reason breaker.open"
+  | Some j ->
+      let records =
+        match Json.member "records" j with
+        | Some (Json.List l) -> l
+        | _ -> Alcotest.fail "dump has no records"
+      in
+      let kind_of r =
+        Option.bind (Json.member "kind" r) Json.to_string_opt
+      in
+      check Alcotest.bool "breaker transition recorded" true
+        (List.exists (fun r -> kind_of r = Some "breaker") records);
+      let scope_of r =
+        Option.bind (Json.member "body" r) (fun b ->
+            Option.bind (Json.member "scope" b) Json.to_string_opt)
+      in
+      check Alcotest.bool "store narrative recorded" true
+        (List.exists
+           (fun r -> kind_of r = Some "log" && scope_of r = Some "store")
+           records)
+
+(* ------------------------------------------------------------------ *)
+(* Absorbed log order is invariant under --jobs                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_jobs_invariant_log_order () =
+  let run jobs =
+    let l = Log.create ~clock:(fun () -> 0.0) () in
+    Log.install l;
+    Fun.protect ~finally:Log.uninstall @@ fun () ->
+    Sw_host.Pool.with_pool ~jobs (fun pool ->
+        ignore
+          (Sw_host.Pool.map pool
+             (fun i ->
+               Log.info ~scope:"task" "start" [ ("i", Log.I i) ];
+               Log.info ~scope:"task" "finish" [ ("i", Log.I i) ];
+               i)
+             [ 0; 1; 2; 3; 4; 5; 6; 7 ]));
+    List.map Log.to_line (Log.events l)
+  in
+  let sequential = run 1 in
+  check Alcotest.int "events present" 16 (List.length sequential);
+  check
+    (Alcotest.list Alcotest.string)
+    "byte-identical lines for --jobs 4" sequential (run 4);
+  check
+    (Alcotest.list Alcotest.string)
+    "byte-identical lines for --jobs 3" sequential (run 3)
+
+let tests =
+  [
+    test_flight_ring_bounds;
+    test_log_ring_bounds;
+    test_log_line_roundtrip;
+    Alcotest.test_case "log: nan/inf fields render null, parse as nan" `Quick
+      test_log_line_nan_inf;
+    Alcotest.test_case "flight/log: inert when uninstalled" `Quick
+      test_inert_when_uninstalled;
+    Alcotest.test_case "flight: exactly one dump per escaped failure" `Quick
+      test_dump_once_per_failure;
+    Alcotest.test_case "flight: breaker.open dump carries the evidence"
+      `Quick test_flightrec_on_breaker_open;
+    Alcotest.test_case "log: absorbed order invariant under --jobs" `Quick
+      test_jobs_invariant_log_order;
+  ]

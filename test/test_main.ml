@@ -25,4 +25,5 @@ let () =
       ("check", Test_check.tests);
       ("store", Test_store.tests);
       ("supervise", Test_supervise.tests);
+      ("flight", Test_flight.tests);
     ]

@@ -326,9 +326,34 @@ let test_zero_overhead_when_off () =
   Alcotest.(check bool) "metrics recorded" true
     (List.length (Metrics.snapshot r) > 0)
 
+(* Construction order must not leak into the rendered snapshot: metric
+   keys and label sets are sorted, so text and JSON are byte-identical
+   however the instruments were created (the --jobs determinism story). *)
+let test_snapshot_order_independent () =
+  let build specs =
+    let r = Metrics.create () in
+    List.iter (fun (name, labels) -> Metrics.incr (Metrics.counter r ~labels name)) specs;
+    r
+  in
+  let r1 =
+    build [ ("x", [ ("a", "1"); ("b", "2") ]); ("y", []); ("x", [ ("a", "9") ]) ]
+  in
+  let r2 =
+    build [ ("x", [ ("a", "9") ]); ("x", [ ("b", "2"); ("a", "1") ]); ("y", []) ]
+  in
+  check Alcotest.string "same text"
+    (Metrics.to_text (Metrics.snapshot r1))
+    (Metrics.to_text (Metrics.snapshot r2));
+  check Alcotest.string "same json"
+    (Json.to_string (Metrics.to_json (Metrics.snapshot r1)))
+    (Json.to_string (Metrics.to_json (Metrics.snapshot r2)))
+
 let tests =
   [
     ("instrument identity & kinds", `Quick, test_instrument_identity);
+    ( "snapshot independent of construction order",
+      `Quick,
+      test_snapshot_order_independent );
     ("histogram buckets", `Quick, test_histogram_buckets);
     test_histogram_conservation;
     ("snapshot diff/merge round-trip", `Quick, test_snapshot_diff_merge);
