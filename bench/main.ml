@@ -4,7 +4,7 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe fig13      -- one experiment
-     (fig13 | fig14 | fig15 | fig16 | cost | ablation | micro)
+     (fig13 | fig14 | fig15 | fig16 | cost | ablation | service | micro)
 
    Absolute Gflops come from the calibrated machine model (DESIGN.md §4);
    the claims under reproduction are the *relative* results: breakdown
@@ -35,11 +35,11 @@ let pool = ref None
 let pmap f xs =
   match !pool with Some p -> Sw_host.Pool.map p f xs | None -> List.map f xs
 
-let session ?(options = Options.all_on) () = Session.one_shot ~options ~config ()
+let session ?(options = Options.all_on) () = Session.create ~no_cache:true ~options ~arch:config ()
 
 (* Pure measurement (safe inside pool tasks); [ours] adds the logging. *)
 let measure_ours ?options spec =
-  (Runner.measure (Compile.run (session ?options ()) spec)).Runner.gflops
+  (Runner.measure (Compile.run_exn (session ?options ()) spec)).Runner.gflops
 
 let log_gflops g = gflops_log := g :: !gflops_log
 
@@ -338,7 +338,7 @@ let cost () =
     (fun (name, spec, options) ->
       let compiled, secs =
         Compile.generation_seconds (fun () ->
-            Compile.run (session ~options ()) spec)
+            Compile.run_exn (session ~options ()) spec)
       in
       Printf.printf
         "  %-18s %8.2f ms (schedule tree + polyhedral bounds + AST + %d C lines)\n"
@@ -355,13 +355,13 @@ let cost () =
   let rows = ref [] in
   List.iter
     (fun (name, spec, options) ->
-      let cached = Session.create ~options ~cache ~config () in
+      let cached = Session.create ~options ~cache ~arch:config () in
       let _, cold =
-        Compile.generation_seconds (fun () -> Compile.run cached spec)
+        Compile.generation_seconds (fun () -> Compile.run_exn cached spec)
       in
       let t0 = Unix.gettimeofday () in
       for _ = 1 to hit_iters do
-        ignore (Compile.run cached spec)
+        ignore (Compile.run_exn cached spec)
       done;
       let hit = (Unix.gettimeofday () -. t0) /. float_of_int hit_iters in
       rows :=
@@ -395,11 +395,11 @@ let ablation () =
   header "ablation: batch dimension placement (§3, §8.3)";
   let batch = 8 and m = 2048 and n = 2048 and k = 5120 in
   let spec = Spec.make ~batch ~m ~n ~k () in
-  let inside = (Runner.measure (Compile.run (session ()) spec)).Runner.gflops in
+  let inside = (Runner.measure (Compile.run_exn (session ()) spec)).Runner.gflops in
   (* per-batch mesh relaunch: batch independent launches of the unbatched
      kernel (what a library without a batched interface must do) *)
   let single =
-    Runner.measure (Compile.run (session ()) (Spec.make ~m ~n ~k ()))
+    Runner.measure (Compile.run_exn (session ()) (Spec.make ~m ~n ~k ()))
   in
   let relaunch_s = float_of_int batch *. single.Runner.seconds in
   let relaunch =
@@ -415,7 +415,7 @@ let ablation () =
   let spec = Spec.make ~m:8192 ~n:8192 ~k:8192 () in
   let base = ours spec in
   let with_cfg cfg =
-    (Runner.measure (Compile.run (Session.one_shot ~config:cfg ()) spec))
+    (Runner.measure (Compile.run_exn (Session.create ~no_cache:true ~arch:cfg ()) spec))
       .Runner.gflops
   in
   Printf.printf "  baseline model:            %8.2f Gflops\n" base;
@@ -497,7 +497,7 @@ let resilience () =
   let rows = ref [] in
   List.iter
     (fun (m, n, k) ->
-      let compiled = Compile.run (session ()) (Spec.make ~m ~n ~k ()) in
+      let compiled = Compile.run_exn (session ()) (Spec.make ~m ~n ~k ()) in
       let clean = ref 0.0 in
       List.iter
         (fun (name, plan) ->
@@ -566,20 +566,20 @@ let durability () =
   (* cold: every compile misses memory and disk, pays the pipeline and
      the store write-back *)
   let store = Sw_host.Store.open_ ~schema:Compile.store_schema ~dir () in
-  let cold_session = Session.cached ~store ~config () in
+  let cold_session = Session.create ~store ~arch:config () in
   let cold =
-    List.map (fun s -> time (fun () -> Compile.run cold_session (spec_of s)))
+    List.map (fun s -> time (fun () -> Compile.run_exn cold_session (spec_of s)))
       shapes
   in
   (* warm start: a restarted process reloads the plans from disk into the
      in-memory cache, then every compile is a memory hit *)
   let store2 = Sw_host.Store.open_ ~schema:Compile.store_schema ~dir () in
-  let warm_session = Session.cached ~store:store2 ~config () in
+  let warm_session = Session.create ~store:store2 ~arch:config () in
   let t0 = Unix.gettimeofday () in
   let loaded = Session.warm_start warm_session in
   let warm_load_s = Unix.gettimeofday () -. t0 in
   let warm =
-    List.map (fun s -> time (fun () -> Compile.run warm_session (spec_of s)))
+    List.map (fun s -> time (fun () -> Compile.run_exn warm_session (spec_of s)))
       shapes
   in
   Printf.printf "  cold (pipeline + store write): mean %8.3f ms over %d shapes\n"
@@ -593,8 +593,8 @@ let durability () =
   let latencies =
     pmap
       (fun s ->
-        let session = Session.create ~store:store2 ~config () in
-        time (fun () -> Compile.run session (spec_of s)))
+        let session = Session.create ~store:store2 ~arch:config () in
+        time (fun () -> Compile.run_exn session (spec_of s)))
       requests
   in
   let p50 = percentile 0.50 latencies and p99 = percentile 0.99 latencies in
@@ -652,7 +652,7 @@ let arch () =
           | None -> failwith ("unknown preset " ^ name)
         in
         let spec = Spec.make ~m ~n ~k () in
-        let p = Runner.measure (Compile.run (Session.one_shot ~config:cfg ()) spec) in
+        let p = Runner.measure (Compile.run_exn (Session.create ~no_cache:true ~arch:cfg ()) spec) in
         (p.Runner.gflops, p.Runner.seconds, Config.peak_gflops cfg))
       work
   in
@@ -668,6 +668,61 @@ let arch () =
         g (1000.0 *. secs) (100.0 *. g /. pk))
     work measured;
   csv "arch" [ "preset"; "m"; "n"; "k"; "gflops"; "seconds" ] (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* Compile service: in-process daemon under concurrent load             *)
+(* ------------------------------------------------------------------ *)
+
+(* The swgemmd request path end to end, minus the fork: a Server on a
+   loopback TCP port, one shared Session, 8 client domains x 64
+   requests through Loadgen (the harness behind `swgemmgen client
+   loadgen`). Bands pin the row count; the series itself asserts the
+   service-level invariants — zero errors and byte-identical C. *)
+let service () =
+  header "compile service: in-process server, concurrent clients";
+  let clients = 8 and requests = 64 in
+  let session = Session.create ~arch:config () in
+  let server =
+    Sw_host.Server.create
+      ~supervisor:(Sw_host.Supervise.create ())
+      ~handler:(Service.handler (Service.create ~session))
+      ()
+  in
+  let port = Sw_host.Server.listen_tcp server ~port:0 () in
+  let serving = Thread.create (fun () -> Sw_host.Server.serve server) () in
+  let spec = Spec.make ~m:512 ~n:512 ~k:512 () in
+  let params = Sw_obs.Json.Obj [ ("spec", Spec.to_json spec) ] in
+  let connect () = Sw_host.Client.connect_tcp ~port () in
+  let r = Sw_cli.Loadgen.run ~connect ~params ~clients ~requests () in
+  Sw_host.Server.drain server;
+  Thread.join serving;
+  if r.Sw_cli.Loadgen.errors > 0 then
+    failwith
+      (Printf.sprintf "service: %d request(s) failed" r.Sw_cli.Loadgen.errors);
+  if not r.Sw_cli.Loadgen.identical_c then
+    failwith "service: responses returned differing C";
+  let p50 = Sw_cli.Loadgen.quantile_ms r.Sw_cli.Loadgen.latencies 0.5 in
+  let p99 = Sw_cli.Loadgen.quantile_ms r.Sw_cli.Loadgen.latencies 0.99 in
+  Printf.printf
+    "%d request(s) over %d client(s): p50 %.3f ms, p99 %.3f ms, %.0f req/s\n"
+    requests clients p50 p99
+    (float_of_int requests /. r.Sw_cli.Loadgen.wall_s);
+  let s = Sw_host.Server.stats server in
+  Printf.printf "served %d, errored %d, shed %d, connections %d\n"
+    s.Sw_host.Server.served s.Sw_host.Server.errored s.Sw_host.Server.shed
+    s.Sw_host.Server.connections;
+  csv "service"
+    [ "client"; "requests"; "errors"; "mean_ms"; "max_ms" ]
+    (List.map
+       (fun row ->
+         [
+           string_of_int row.Sw_cli.Loadgen.client;
+           string_of_int row.Sw_cli.Loadgen.requests;
+           string_of_int row.Sw_cli.Loadgen.errors;
+           Printf.sprintf "%.3f" (1000.0 *. row.Sw_cli.Loadgen.mean_s);
+           Printf.sprintf "%.3f" (1000.0 *. row.Sw_cli.Loadgen.max_s);
+         ])
+       r.Sw_cli.Loadgen.rows)
 
 (* ------------------------------------------------------------------ *)
 (* Multi-cluster scaling (the MPI level of §2.1/§10)                    *)
@@ -703,7 +758,7 @@ let micro () =
   let open Toolkit in
   let gen name spec options =
     Test.make ~name
-      (Staged.stage (fun () -> ignore (Compile.run (session ~options ()) spec)))
+      (Staged.stage (fun () -> ignore (Compile.run_exn (session ~options ()) spec)))
   in
   let tests =
     [
@@ -806,7 +861,7 @@ let run_series name f =
    and only catches order-of-magnitude rot; row counts are structural
    and get zero tolerance (a deliberate change re-runs `check --write`). *)
 
-let sentinel_series = [ "arch"; "cost"; "durability" ]
+let sentinel_series = [ "arch"; "cost"; "durability"; "service" ]
 
 let tolerance_spec = function
   | "arch" ->
@@ -816,6 +871,7 @@ let tolerance_spec = function
         ("wall_seconds", 3.0);
       ]
   | "cost" -> [ ("tables.cost_cache.rows", 0.0); ("wall_seconds", 3.0) ]
+  | "service" -> [ ("tables.service.rows", 0.0); ("wall_seconds", 3.0) ]
   | "durability" ->
       [
         ("tables.durability.rows", 0.0);
@@ -914,7 +970,8 @@ let all_series =
   [
     ("fig13", fig13); ("fig14", fig14); ("fig15", fig15); ("fig16", fig16);
     ("cost", cost); ("ablation", ablation); ("resilience", resilience);
-    ("durability", durability); ("arch", arch); ("scaling", scaling);
+    ("durability", durability); ("arch", arch); ("service", service);
+    ("scaling", scaling);
     ("micro", micro);
   ]
 

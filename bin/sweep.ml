@@ -162,9 +162,11 @@ let () =
       Buffer.add_string buf
         (Printf.sprintf "trial %3d %s [%s]\n" t.idx (Spec.to_string t.spec)
            (Options.name t.options));
-    let session = Session.create ~options:t.options ?cache ~config:t.config () in
+    let session =
+      Session.create ~options:t.options ?cache ~no_cache:true ~arch:t.config ()
+    in
     let failed =
-      match Compile.run_result session t.spec with
+      match Compile.run session t.spec with
       | Error e ->
           Buffer.add_string buf
             (Printf.sprintf "EXN trial %d %s: %s\n" t.idx

@@ -8,6 +8,7 @@
 open Cmdliner
 open Sw_core
 open Sw_arch
+open Sw_cli
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                     *)
@@ -60,25 +61,11 @@ let tb_arg =
   let doc = "Use op(B) = B^T (B stored N x K)." in
   Arg.(value & flag & info [ "tb" ] ~doc)
 
-let tiny_arg =
-  let doc = "Use the scaled-down test configuration (2x2 mesh) instead of SW26010Pro." in
-  Arg.(value & flag & info [ "tiny" ] ~doc)
+let tiny_arg = Common_flags.tiny_arg
 
-let arch_arg =
-  let doc =
-    "Architecture preset to generate for (see $(b,swgemmgen arch list)). \
-     Overrides $(b,--tiny)."
-  in
-  Arg.(value & opt (some string) None & info [ "arch" ] ~docv:"NAME" ~doc)
+let arch_arg = Common_flags.arch_arg
 
-let arch_file_arg =
-  let doc =
-    "Load the architecture description from a JSON file (the schema \
-     $(b,swgemmgen arch show NAME --json) prints). Overrides $(b,--arch) \
-     and $(b,--tiny)."
-  in
-  Arg.(
-    value & opt (some file) None & info [ "arch-file" ] ~docv:"FILE" ~doc)
+let arch_file_arg = Common_flags.arch_file_arg
 
 let emit_arg =
   let doc = "Directory to write the generated MPE/CPE C files into." in
@@ -108,171 +95,29 @@ let dump_after_arg =
   let doc = "Print the schedule tree after the named pass (repeatable)." in
   Arg.(value & opt_all string [] & info [ "dump-after" ] ~docv:"PASS" ~doc)
 
-let no_cache_arg =
-  let doc = "Do not consult the compilation plan cache." in
-  Arg.(value & flag & info [ "no-cache" ] ~doc)
+let no_cache_arg = Common_flags.no_cache_arg
 
 let pass_stats_arg =
   let doc = "Print the per-pass wall-clock and tree-size statistics." in
   Arg.(value & flag & info [ "pass-stats" ] ~doc)
 
-(* A domain count is validated at parse time: a non-numeric or
-   non-positive --jobs is a usage error, not something to discover after
-   the work starts. *)
-let jobs_conv =
-  let parse s =
-    match int_of_string_opt s with
-    | Some n when n >= 1 -> Ok n
-    | Some n ->
-        Error
-          (`Msg
-            (Printf.sprintf
-               "--jobs: %d is not a valid domain count (need an integer >= 1)"
-               n))
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf
-               "--jobs: '%s' is not an integer (need an integer >= 1)" s))
-  in
-  Arg.conv (parse, Format.pp_print_int)
+let jobs_arg = Common_flags.jobs_arg
 
-let jobs_arg =
-  let doc =
-    "Host domains used for fan-outs such as the fault-seed matrix (default: \
-     the machine's recommended domain count). Results are deterministic: \
-     $(b,--jobs 1) runs inline and any other value produces byte-identical \
-     output."
-  in
-  Arg.(
-    value
-    & opt jobs_conv (Sw_host.Pool.default_jobs ())
-    & info [ "jobs" ] ~docv:"N" ~doc)
+let store_arg = Common_flags.store_arg
 
-let store_arg =
-  let doc =
-    "Durable plan store directory (created if missing). Compiled plans \
-     are persisted there — keyed by spec, options and machine model — \
-     and reused across runs; corrupt entries are quarantined and \
-     recompiled, never served. Inspect with $(b,swgemmgen cache)."
-  in
-  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+let deadline_arg = Common_flags.deadline_arg
 
-let deadline_arg =
-  let pos_float =
-    let parse s =
-      match float_of_string_opt s with
-      | Some d when d > 0.0 && Float.is_finite d -> Ok d
-      | _ ->
-          Error
-            (`Msg
-              (Printf.sprintf
-                 "--deadline: '%s' is not a positive number of seconds" s))
-    in
-    Arg.conv (parse, Format.pp_print_float)
-  in
-  let doc =
-    "Per-request deadline in seconds, enforced cooperatively at pass \
-     boundaries and store operations; an expired request fails with a \
-     typed timeout error."
-  in
-  Arg.(value & opt (some pos_float) None & info [ "deadline" ] ~docv:"SECS" ~doc)
+let open_store = Common_flags.open_store
 
-(* Shared by compile/verify (--store) and the cache subcommands. *)
-let open_store dir =
-  match Sw_host.Store.open_ ~schema:Compile.store_schema ~dir () with
-  | st -> Ok st
-  | exception Sys_error e ->
-      Error (`Msg (Printf.sprintf "--store: cannot open %s: %s" dir e))
-  | exception Unix.Unix_error (err, _, _) ->
-      Error
-        (`Msg
-          (Printf.sprintf "--store: cannot open %s: %s" dir
-             (Unix.error_message err)))
+let metrics_arg = Common_flags.metrics_arg
 
-let metrics_arg =
-  let doc =
-    "Install a metrics registry for the run and print its snapshot \
-     afterwards (pass runs, cache traffic, simulator wait latencies, fault \
-     injections). Without this flag no registry exists and the \
-     instrumentation sites are inert; output is unchanged."
-  in
-  Arg.(value & flag & info [ "metrics" ] ~doc)
+let with_metrics = Common_flags.with_metrics
 
-(* --metrics: the registry lives only for the duration of the run so
-   successive cmdliner evaluations (tests) cannot see each other. *)
-let with_metrics enabled f =
-  if not enabled then f ()
-  else begin
-    let registry = Sw_obs.Metrics.create () in
-    Sw_obs.Metrics.install registry;
-    Fun.protect
-      ~finally:(fun () -> Sw_obs.Metrics.uninstall ())
-      (fun () ->
-        let r = f () in
-        print_string "--- metrics ---\n";
-        print_string (Sw_obs.Metrics.to_text (Sw_obs.Metrics.snapshot registry));
-        r)
-  end
+let log_level_arg = Common_flags.log_level_arg
 
-let log_level_conv =
-  let parse s =
-    match Sw_obs.Log.level_of_string s with
-    | Some l -> Ok l
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf
-               "--log-level: '%s' is not one of debug, info, warn, error" s))
-  in
-  Arg.conv
-    ( parse,
-      fun fmt l -> Format.pp_print_string fmt (Sw_obs.Log.level_to_string l) )
+let log_file_arg = Common_flags.log_file_arg
 
-let log_level_arg =
-  let doc =
-    "Enable the structured JSON-lines event log at this level (debug, \
-     info, warn, error). Events stream to stderr unless $(b,--log-file) is \
-     given. A flight recorder is installed alongside: the last events, \
-     spans and metric deltas are dumped to results/flightrec-*.json \
-     whenever a request fails, a breaker opens, a store entry is \
-     quarantined or a crash site fires."
-  in
-  Arg.(
-    value
-    & opt (some log_level_conv) None
-    & info [ "log-level" ] ~docv:"LEVEL" ~doc)
-
-let log_file_arg =
-  let doc =
-    "Append JSON-lines log events to $(docv) instead of stderr (implies \
-     $(b,--log-level) info when none is given)."
-  in
-  Arg.(value & opt (some string) None & info [ "log-file" ] ~docv:"FILE" ~doc)
-
-(* --log-level/--log-file: with neither given nothing is installed and
-   every log/flight call site stays inert, so default output is
-   byte-identical to a build without this subsystem. *)
-let with_logging ?level ?file f =
-  match (level, file) with
-  | None, None -> f ()
-  | _ ->
-      let level = Option.value level ~default:Sw_obs.Log.Info in
-      let oc, close =
-        match file with
-        | None -> (stderr, fun () -> ())
-        | Some path ->
-            let oc = open_out_gen [ Open_creat; Open_append ] 0o644 path in
-            (oc, fun () -> close_out oc)
-      in
-      Sw_obs.Log.install (Sw_obs.Log.create ~min_level:level ~out:oc ());
-      Sw_obs.Flight.install (Sw_obs.Flight.create ());
-      Fun.protect
-        ~finally:(fun () ->
-          Sw_obs.Flight.uninstall ();
-          Sw_obs.Log.uninstall ();
-          close ())
-        f
+let with_logging = Common_flags.with_logging
 
 let parse_fusion = function
   | None -> Ok Spec.No_fusion
@@ -307,26 +152,7 @@ let build_options ~no_asm ~no_rma ~no_hiding =
     hiding = (not no_hiding) && not no_rma;
   }
 
-(* Machine-model resolution, most explicit source first: --arch-file, then
-   --arch (registry preset), then --tiny, then the calibrated default. *)
-let resolve_config ~tiny ~arch ~arch_file =
-  match arch_file with
-  | Some path -> (
-      match Arch_desc.load_file path with
-      | Ok d -> Ok (Arch_desc.to_config d)
-      | Error e -> Error (`Msg ("--arch-file: " ^ e)))
-  | None -> (
-      match arch with
-      | Some name -> (
-          match Arch_desc.config_of_name name with
-          | Some c -> Ok c
-          | None ->
-              Error
-                (`Msg
-                  (Printf.sprintf "--arch: unknown preset '%s' (known: %s)"
-                     name
-                     (String.concat ", " (Arch_desc.names ())))))
-      | None -> Ok (if tiny then Config.tiny () else Config.sw26010pro))
+let resolve_config = Common_flags.resolve_config
 
 (* --passes LIST: translate an explicit enabled-pass subset into the option
    record the pipeline's relevance predicates read. Contradictory subsets
@@ -403,7 +229,6 @@ let compile_cmd =
                 | Some t -> print_string (Sw_tree.Tree.to_string t)
                 | None -> print_endline "(no schedule tree yet)")
             in
-            let cache = if no_cache then None else Some (Plan_cache.create ()) in
             let store =
               match store_dir with
               | None -> Ok None
@@ -413,17 +238,17 @@ let compile_cmd =
             | Error e -> Error e
             | Ok store -> (
             let session =
-              Session.create ~options ~debug:true ?cache ~observer ?store
-                ?deadline_s ~config ()
+              Session.create ~options ~debug:true ~no_cache ~observer ?store
+                ?deadline:deadline_s ~arch:config ()
             in
-            (match (store_dir, cache) with
+            (match (store_dir, session.Session.cache) with
             | Some dir, Some _ ->
                 let n = Session.warm_start session in
                 if n > 0 then
                   Printf.printf "warm start: %d plan(s) from %s\n" n dir
             | _ -> ());
             match
-              Compile.generation_seconds (fun () -> Compile.run session spec)
+              Compile.generation_seconds (fun () -> Compile.run_exn session spec)
             with
             | exception Error.Sim_error e -> Error (`Msg (Error.to_string e))
             | compiled, secs ->
@@ -543,8 +368,11 @@ let verify_cmd =
     | _, _, Error e -> Error e
     | Ok spec, Ok config, Ok store -> (
         let options = build_options ~no_asm ~no_rma ~no_hiding in
-        let session = Session.create ~options ?store ?deadline_s ~config () in
-        match (Compile.run_result session spec, parse_inject inject) with
+        let session =
+          Session.create ~no_cache:true ~options ?store ?deadline:deadline_s
+            ~arch:config ()
+        in
+        match (Compile.run session spec, parse_inject inject) with
         | Error e, _ -> Error (`Msg (Error.to_string e))
         | _, (Error _ as e) -> e
         | Ok compiled, Ok None -> (
@@ -635,7 +463,7 @@ let perf_cmd =
     | _, Error e -> Error e
     | Ok spec, Ok config -> (
         let options = build_options ~no_asm ~no_rma ~no_hiding in
-        match Compile.run_result (Session.one_shot ~options ~config ()) spec with
+        match Compile.run (Session.create ~no_cache:true ~options ~arch:config ()) spec with
         | Error e -> Error (`Msg (Error.to_string e))
         | Ok compiled ->
             let p = Runner.measure compiled in
@@ -714,7 +542,7 @@ let profile_cmd =
           Sw_obs.Metrics.uninstall ()
         in
         Fun.protect ~finally @@ fun () ->
-        match Compile.run_result (Session.one_shot ~options ~config ()) spec with
+        match Compile.run (Session.create ~no_cache:true ~options ~arch:config ()) spec with
         | Error e -> Error (`Msg (Error.to_string e))
         | Ok compiled -> (
             match
@@ -818,7 +646,7 @@ let breakdown_cmd =
             List.iter
               (fun (name, options) ->
                 let compiled =
-                  Compile.run (Session.one_shot ~options ~config ()) spec
+                  Compile.run_exn (Session.create ~no_cache:true ~options ~arch:config ()) spec
                 in
                 let p = Runner.measure compiled in
                 Printf.printf "  %-16s %10.2f Gflops\n" name p.Runner.gflops)
@@ -1274,8 +1102,10 @@ let debug_cmd =
             Sw_obs.Log.uninstall ())
         @@ fun () ->
         let options = build_options ~no_asm ~no_rma ~no_hiding in
-        let session = Session.create ~options ?store ~config () in
-        (match Compile.run_result session spec with
+        let session =
+          Session.create ~no_cache:true ~options ?store ~arch:config ()
+        in
+        (match Compile.run session spec with
         | Ok compiled ->
             Printf.printf "compiled %s [%s]\n"
               (Spec.to_string compiled.Compile.spec)
@@ -1305,6 +1135,344 @@ let debug_cmd =
     [ dump_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* client: drive a running swgemmd over the wire protocol               *)
+(* ------------------------------------------------------------------ *)
+
+let client_socket_arg =
+  let doc = "Connect to the daemon's Unix socket at $(docv)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let client_port_arg =
+  let doc = "Connect to the daemon over TCP on port $(docv)." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let client_host_arg =
+  let doc = "TCP host the daemon listens on." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+
+let connector ~socket ~host ~port =
+  match (socket, port) with
+  | Some _, Some _ -> Error (`Msg "give --socket or --port, not both")
+  | Some path, None -> Ok (fun () -> Sw_host.Client.connect_unix ~path)
+  | None, Some port -> Ok (fun () -> Sw_host.Client.connect_tcp ~host ~port ())
+  | None, None -> Error (`Msg "give --socket PATH or --port PORT")
+
+let with_client connect f =
+  match
+    try Ok (connect ())
+    with Unix.Unix_error (e, _, arg) ->
+      Error
+        (`Msg
+          (Printf.sprintf "client: cannot connect%s: %s"
+             (if arg = "" then "" else " to " ^ arg)
+             (Unix.error_message e)))
+  with
+  | Error _ as e -> e
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Sw_host.Client.close c) (fun () -> f c)
+
+let client_call c ~meth ~params =
+  match Sw_host.Client.call c ~meth ~params () with
+  | Ok body -> Ok body
+  | Error e ->
+      Error
+        (`Msg
+          (Printf.sprintf "%s failed [%s]: %s" meth e.Sw_host.Wire.err_class
+             e.Sw_host.Wire.message))
+
+(* The wire request body: the same spec/options flags the local compile
+   command takes, serialized through the protocol's JSON codecs. *)
+let client_params ~shape ~batch ~fusion ~ta ~tb ~options =
+  match shape with
+  | None -> Error (`Msg "give --shape M,N,K")
+  | Some (m, n, k) -> (
+      match parse_fusion fusion with
+      | Error _ as e -> e
+      | Ok fusion -> (
+          match Spec.make ?batch ~ta ~tb ~fusion ~m ~n ~k () with
+          | spec ->
+              Ok
+                (Sw_obs.Json.Obj
+                   [
+                     ("spec", Spec.to_json spec);
+                     ("options", Options.to_json options);
+                   ])
+          | exception Invalid_argument e -> Error (`Msg e)))
+
+let response_string name body =
+  match Sw_obs.Json.member name body with
+  | Some (Sw_obs.Json.String s) -> Ok s
+  | _ -> Error (`Msg (Printf.sprintf "client: response lacks %S" name))
+
+(* Write the daemon's C back under the same names batch --emit uses, so
+   the two paths are diffable file-for-file. *)
+let write_remote_c ~dir body =
+  let ( let* ) = Result.bind in
+  let* name = response_string "name" body in
+  let* mpe_c = response_string "mpe_c" body in
+  let* cpe_c = response_string "cpe_c" body in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let base = Filename.concat dir name in
+  let mpe = base ^ "_mpe.c" and cpe = base ^ "_cpe.c" in
+  Out_channel.with_open_text mpe (fun oc -> output_string oc mpe_c);
+  Out_channel.with_open_text cpe (fun oc -> output_string oc cpe_c);
+  Ok (mpe, cpe)
+
+let padded_string body =
+  match Sw_obs.Json.member "padded" body with
+  | Some j -> (
+      match Spec.of_json j with Ok s -> Spec.to_string s | Error _ -> "?")
+  | None -> "?"
+
+let client_ping socket port host =
+  match connector ~socket ~host ~port with
+  | Error _ as e -> e
+  | Ok connect ->
+      with_client connect @@ fun c ->
+      Result.map
+        (fun _ -> print_string "pong\n")
+        (client_call c ~meth:"ping" ~params:(Sw_obs.Json.Obj []))
+
+let client_compile socket port host shape batch fusion ta tb no_asm no_rma
+    no_hiding emit =
+  let options = build_options ~no_asm ~no_rma ~no_hiding in
+  match connector ~socket ~host ~port with
+  | Error _ as e -> e
+  | Ok connect -> (
+      match client_params ~shape ~batch ~fusion ~ta ~tb ~options with
+      | Error _ as e -> e
+      | Ok params -> (
+          with_client connect @@ fun c ->
+          match client_call c ~meth:"compile" ~params with
+          | Error _ as e -> e
+          | Ok body -> (
+              Printf.printf "compiled %s [%s] (remote)\n" (padded_string body)
+                (Options.name options);
+              (match Sw_obs.Json.member "spm_bytes" body with
+              | Some (Sw_obs.Json.Int b) ->
+                  Printf.printf "  SPM footprint: %d bytes\n" b
+              | _ -> ());
+              match emit with
+              | None -> Ok ()
+              | Some dir ->
+                  Result.map
+                    (fun (mpe, cpe) ->
+                      Printf.printf "  wrote %s and %s\n" mpe cpe)
+                    (write_remote_c ~dir body))))
+
+let client_verify socket port host shape batch fusion ta tb no_asm no_rma
+    no_hiding =
+  let options = build_options ~no_asm ~no_rma ~no_hiding in
+  match connector ~socket ~host ~port with
+  | Error _ as e -> e
+  | Ok connect -> (
+      match client_params ~shape ~batch ~fusion ~ta ~tb ~options with
+      | Error _ as e -> e
+      | Ok params ->
+          with_client connect @@ fun c ->
+          Result.map
+            (fun body ->
+              Printf.printf "verify %s [%s]: PASS (remote)\n"
+                (padded_string body) (Options.name options))
+            (client_call c ~meth:"verify" ~params))
+
+let client_stat socket port host =
+  match connector ~socket ~host ~port with
+  | Error _ as e -> e
+  | Ok connect ->
+      with_client connect @@ fun c ->
+      Result.map
+        (fun body ->
+          print_string (Sw_obs.Json.to_string ~pretty:true body);
+          print_newline ())
+        (client_call c ~meth:"stat" ~params:(Sw_obs.Json.Obj []))
+
+let clients_arg =
+  let doc = "Concurrent client connections to drive." in
+  Arg.(value & opt Common_flags.jobs_conv 8 & info [ "clients" ] ~docv:"N" ~doc)
+
+let requests_arg =
+  let doc = "Total requests, split across the clients." in
+  Arg.(
+    value & opt Common_flags.jobs_conv 64 & info [ "requests" ] ~docv:"N" ~doc)
+
+let bench_out_arg =
+  let doc = "Write the loadgen report (BENCH_service schema) to $(docv)." in
+  Arg.(
+    value
+    & opt string (Filename.concat "results" "BENCH_service.json")
+    & info [ "out" ] ~docv:"FILE" ~doc)
+
+let client_loadgen socket port host shape batch fusion ta tb no_asm no_rma
+    no_hiding clients requests emit out =
+  let options = build_options ~no_asm ~no_rma ~no_hiding in
+  match connector ~socket ~host ~port with
+  | Error _ as e -> e
+  | Ok connect -> (
+      match client_params ~shape ~batch ~fusion ~ta ~tb ~options with
+      | Error _ as e -> e
+      | Ok params -> (
+          let r = Loadgen.run ~connect ~params ~clients ~requests () in
+          let p50 = Loadgen.quantile_ms r.Loadgen.latencies 0.5 in
+          let p99 = Loadgen.quantile_ms r.Loadgen.latencies 0.99 in
+          let mean_ms =
+            match r.Loadgen.latencies with
+            | [] -> 0.0
+            | l ->
+                1000.0 *. List.fold_left ( +. ) 0.0 l
+                /. float_of_int (List.length l)
+          in
+          let rows =
+            List.map
+              (fun row ->
+                Sw_obs.Json.List
+                  [
+                    Sw_obs.Json.String (string_of_int row.Loadgen.client);
+                    Sw_obs.Json.String (string_of_int row.Loadgen.requests);
+                    Sw_obs.Json.String (string_of_int row.Loadgen.errors);
+                    Sw_obs.Json.String
+                      (Printf.sprintf "%.3f" (1000.0 *. row.Loadgen.mean_s));
+                    Sw_obs.Json.String
+                      (Printf.sprintf "%.3f" (1000.0 *. row.Loadgen.max_s));
+                  ])
+              r.Loadgen.rows
+          in
+          let json =
+            Sw_obs.Json.Obj
+              [
+                ("series", Sw_obs.Json.String "service");
+                ("clients", Sw_obs.Json.Int clients);
+                ("requests", Sw_obs.Json.Int requests);
+                ("errors", Sw_obs.Json.Int r.Loadgen.errors);
+                ("identical_c", Sw_obs.Json.Bool r.Loadgen.identical_c);
+                ("wall_seconds", Sw_obs.Json.Float r.Loadgen.wall_s);
+                ( "throughput_rps",
+                  Sw_obs.Json.Float
+                    (if r.Loadgen.wall_s > 0.0 then
+                       float_of_int requests /. r.Loadgen.wall_s
+                     else 0.0) );
+                ( "latency_ms",
+                  Sw_obs.Json.Obj
+                    [
+                      ("p50", Sw_obs.Json.Float p50);
+                      ("p99", Sw_obs.Json.Float p99);
+                      ("mean", Sw_obs.Json.Float mean_ms);
+                    ] );
+                ( "tables",
+                  Sw_obs.Json.Obj
+                    [
+                      ( "service",
+                        Sw_obs.Json.Obj
+                          [
+                            ( "columns",
+                              Sw_obs.Json.List
+                                (List.map
+                                   (fun c -> Sw_obs.Json.String c)
+                                   [
+                                     "client"; "requests"; "errors"; "mean_ms";
+                                     "max_ms";
+                                   ]) );
+                            ("rows", Sw_obs.Json.List rows);
+                          ] );
+                    ] );
+              ]
+          in
+          (try Unix.mkdir (Filename.dirname out) 0o755
+           with Unix.Unix_error (Unix.EEXIST, _, _) | Sys_error _ -> ());
+          Sw_obs.Json.write_file ~pretty:true ~path:out json;
+          Printf.printf
+            "loadgen: %d request(s) over %d client(s) in %.3f s\n\
+            \  errors: %d   identical C: %b\n\
+            \  latency p50 %.3f ms   p99 %.3f ms   mean %.3f ms\n\
+             [wrote %s]\n"
+            requests clients r.Loadgen.wall_s r.Loadgen.errors
+            r.Loadgen.identical_c p50 p99 mean_ms out;
+          (match (emit, r.Loadgen.first) with
+          | Some dir, Some body ->
+              Result.map
+                (fun (mpe, cpe) -> Printf.printf "  wrote %s and %s\n" mpe cpe)
+                (write_remote_c ~dir body)
+          | Some _, None -> Error (`Msg "loadgen: no successful response to emit")
+          | None, _ -> Ok ())
+          |> function
+          | Error _ as e -> e
+          | Ok () ->
+              if not r.Loadgen.identical_c then
+                Error (`Msg "loadgen: responses returned differing C")
+              else if r.Loadgen.errors > 0 then
+                Error
+                  (`Msg
+                    (Printf.sprintf "loadgen: %d request(s) failed"
+                       r.Loadgen.errors))
+              else Ok ()))
+
+let client_cmd =
+  let conn = (client_socket_arg, client_port_arg, client_host_arg) in
+  let spec_terms f =
+    let socket, port, host = conn in
+    Term.(
+      term_result
+        (const f $ socket $ port $ host $ shape_arg $ batch_arg $ fusion_arg
+       $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg $ no_hiding_arg))
+  in
+  let ping_cmd =
+    let socket, port, host = conn in
+    Cmd.v
+      (Cmd.info "ping" ~doc:"Round-trip a liveness probe to the daemon")
+      Term.(term_result (const client_ping $ socket $ port $ host))
+  in
+  let compile_cmd =
+    let socket, port, host = conn in
+    Cmd.v
+      (Cmd.info "compile"
+         ~doc:
+           "Compile a shape on the daemon; $(b,--emit) writes the returned \
+            MPE/CPE C under the same file names batch compile uses")
+      Term.(
+        term_result
+          (const client_compile $ socket $ port $ host $ shape_arg $ batch_arg
+         $ fusion_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg
+         $ no_hiding_arg $ emit_arg))
+  in
+  let verify_cmd =
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Compile a shape on the daemon and run its functional \
+            verification remotely")
+      (spec_terms client_verify)
+  in
+  let stat_cmd =
+    let socket, port, host = conn in
+    Cmd.v
+      (Cmd.info "stat"
+         ~doc:"Print the daemon's plan-cache and store counters as JSON")
+      Term.(term_result (const client_stat $ socket $ port $ host))
+  in
+  let loadgen_cmd =
+    let socket, port, host = conn in
+    Cmd.v
+      (Cmd.info "loadgen"
+         ~doc:
+           "Drive N concurrent clients through the domain pool against the \
+            daemon, report p50/p99 latency and write the BENCH_service \
+            report; fails unless every response succeeded with \
+            byte-identical C")
+      Term.(
+        term_result
+          (const client_loadgen $ socket $ port $ host $ shape_arg $ batch_arg
+         $ fusion_arg $ ta_arg $ tb_arg $ no_asm_arg $ no_rma_arg
+         $ no_hiding_arg $ clients_arg $ requests_arg $ emit_arg
+         $ bench_out_arg))
+  in
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running swgemmd over the line-delimited JSON wire \
+          protocol (v1)")
+    [ ping_cmd; compile_cmd; verify_cmd; stat_cmd; loadgen_cmd ]
+
+(* ------------------------------------------------------------------ *)
 
 let default = Term.(ret (const (`Help (`Pager, None))))
 
@@ -1329,4 +1497,5 @@ let () =
             arch_cmd;
             cache_cmd;
             debug_cmd;
+            client_cmd;
           ]))

@@ -11,6 +11,15 @@
 open Sw_core
 open Sw_arch
 
+(* Compile under a throwaway cacheless session; raises Sim_error on
+   failure (the old compile_exn convenience). *)
+let compile_exn ?options ?debug ?cache ?observer ~config spec =
+  Compile.run_exn
+    (Session.create ?options ?debug ?cache ~no_cache:true ?observer
+       ~arch:config ())
+    spec
+
+
 let config = Config.sw26010pro
 let peak = Config.peak_gflops config
 
@@ -19,7 +28,7 @@ let layer_shapes =
   [ (2048, 2048, 5120); (4096, 4096, 10240); (8192, 8192, 8192) ]
 
 let report name spec =
-  let compiled = Compile.compile ~config spec in
+  let compiled = compile_exn ~config spec in
   let ours = (Runner.measure compiled).Runner.gflops in
   let lib = (Sw_xmath.Xmath.measure config spec).Sw_xmath.Xmath.gflops in
   Printf.printf "  %-28s ours %8.2f Gflops (%4.1f%%)  baseline %8.2f Gflops  -> %.2fx\n"
@@ -47,7 +56,7 @@ let () =
   List.iter
     (fun fusion ->
       let spec = Spec.make ~fusion ~m:16 ~n:16 ~k:16 () in
-      match Runner.verify (Compile.compile ~config:tiny spec) with
+      match Runner.verify (compile_exn ~config:tiny spec) with
       | Ok () ->
           Printf.printf "functional check (%s): PASSED\n" (Spec.to_string spec)
       | Error e -> failwith (Runner.error_to_string e))

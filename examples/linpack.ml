@@ -16,6 +16,15 @@ open Sw_core
 open Sw_arch
 open Sw_blas
 
+(* Compile under a throwaway cacheless session; raises Sim_error on
+   failure (the old compile_exn convenience). *)
+let compile_exn ?options ?debug ?cache ?observer ~config spec =
+  Compile.run_exn
+    (Session.create ?options ?debug ?cache ~no_cache:true ?observer
+       ~arch:config ())
+    spec
+
+
 let tiny = Config.tiny ()
 
 (* C := C - A x B through the compiled kernel on the simulated cluster. *)
@@ -24,7 +33,7 @@ let simulated_gemm_update ~(a : Matrix.t) ~(b : Matrix.t) ~(c : Matrix.t) =
     Spec.make ~alpha:(-1.0) ~beta:1.0 ~m:c.Matrix.rows ~n:c.Matrix.cols
       ~k:a.Matrix.cols ()
   in
-  let compiled = Compile.compile ~config:tiny spec in
+  let compiled = compile_exn ~config:tiny spec in
   let padded = compiled.Compile.spec in
   let mem = Mem.create () in
   let install name (m : Matrix.t) rows cols =
@@ -76,7 +85,7 @@ let () =
   List.iter
     (fun nn ->
       let spec = Spec.make ~m:nn ~n:nn ~k:nn () in
-      let g = (Runner.measure (Compile.compile ~config spec)).Runner.gflops in
+      let g = (Runner.measure (compile_exn ~config spec)).Runner.gflops in
       let hpl_flops = 2.0 /. 3.0 *. (float_of_int nn ** 3.0) in
       Printf.printf "  %-10d %16.2f %18.2f\n" nn g (hpl_flops /. (g *. 1e9)))
     [ 8192; 15360; 32768 ];

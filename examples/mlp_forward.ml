@@ -14,6 +14,15 @@ open Sw_core
 open Sw_arch
 open Sw_blas
 
+(* Compile under a throwaway cacheless session; raises Sim_error on
+   failure (the old compile_exn convenience). *)
+let compile_exn ?options ?debug ?cache ?observer ~config spec =
+  Compile.run_exn
+    (Session.create ?options ?debug ?cache ~no_cache:true ?observer
+       ~arch:config ())
+    spec
+
+
 let config = Config.tiny () (* functional run at reduced scale *)
 
 (* one generated, simulated, verified layer: C = fn-fused GEMM *)
@@ -21,7 +30,7 @@ let run_layer ~fusion ~a ~b ~out_rows ~out_cols =
   let spec =
     Spec.make ~beta:0.0 ~fusion ~m:out_rows ~n:out_cols ~k:a.Matrix.cols ()
   in
-  let compiled = Compile.compile ~config spec in
+  let compiled = compile_exn ~config spec in
   let padded = compiled.Compile.spec in
   let mem = Mem.create () in
   let install name (m : Matrix.t) rows cols =
@@ -79,7 +88,7 @@ let () =
     (fun (name, fusion) ->
       let spec = Spec.make ~beta:0.0 ~fusion ~m:4096 ~n:8192 ~k:8192 () in
       let ours =
-        (Runner.measure (Compile.compile ~config:big spec)).Runner.gflops
+        (Runner.measure (compile_exn ~config:big spec)).Runner.gflops
       in
       let baseline = (Sw_xmath.Xmath.measure big spec).Sw_xmath.Xmath.gflops in
       Printf.printf "  %-24s %8.2f Gflops fused vs %8.2f library+MPE (%.2fx)\n"

@@ -26,7 +26,7 @@ let () =
       match Plan.make spec ~clusters with
       | Error e -> failwith e
       | Ok plan ->
-          let s = Multi_sim.measure (Session.one_shot ~config ()) plan in
+          let s = Multi_sim.measure (Session.create ~no_cache:true ~arch:config ()) plan in
           Printf.printf "%-10d %-8s %14.2f %16.3f %14.2f %11.1f%%\n" clusters
             (Printf.sprintf "%dx%d" plan.Plan.grid_rows plan.Plan.grid_cols)
             (1000.0 *. s.Multi_sim.seconds)
@@ -46,7 +46,7 @@ let () =
   | Error e -> failwith e
   | Ok plan -> (
       Printf.printf "plan: %s\n" (Plan.to_string plan);
-      match Multi_sim.verify (Session.one_shot ~config:tiny ()) plan with
+      match Multi_sim.verify (Session.create ~no_cache:true ~arch:tiny ()) plan with
       | Ok () ->
           print_endline "functional check (6 clusters, reassembled C): PASSED"
       | Error e -> failwith (Error.to_string e))

@@ -12,6 +12,15 @@
 open Sw_core
 open Sw_arch
 
+(* Compile under a throwaway cacheless session; raises Sim_error on
+   failure (the old compile_exn convenience). *)
+let compile_exn ?options ?debug ?cache ?observer ~config spec =
+  Compile.run_exn
+    (Session.create ?options ?debug ?cache ~no_cache:true ?observer
+       ~arch:config ())
+    spec
+
+
 let source =
   {|
 void gemm(double A[2048][2048], double B[2048][2048], double C[2048][2048]) {
@@ -38,7 +47,7 @@ let () =
   (* 2. compile for the SW26010Pro model, timing the generation (§8.5) *)
   let config = Config.sw26010pro in
   let compiled, gen_s =
-    Compile.generation_seconds (fun () -> Compile.compile ~config spec)
+    Compile.generation_seconds (fun () -> compile_exn ~config spec)
   in
   Printf.printf "generated athread code in %.1f ms (vs months by hand, §8.5)\n"
     (1000.0 *. gen_s);
@@ -50,7 +59,7 @@ let () =
   (* 3. functional validation: the same problem at reduced scale runs on a
      2x2-mesh cluster simulation with real data movement *)
   let tiny = Config.tiny () in
-  let small = Compile.compile ~config:tiny (Spec.make ~m:16 ~n:16 ~k:16 ()) in
+  let small = compile_exn ~config:tiny (Spec.make ~m:16 ~n:16 ~k:16 ()) in
   (match Runner.verify small with
   | Ok () -> print_endline "functional check vs reference DGEMM: PASSED"
   | Error e -> failwith ("functional check FAILED: " ^ Runner.error_to_string e));

@@ -144,8 +144,8 @@ let exec_route (spec : Spec.t) ~a ~b ~c0 ~cref =
 
 let compile_case (case : Case.t) ~options =
   let config = Case.config_of case.Case.config in
-  let session = Session.one_shot ~options ~config () in
-  match Compile.run_result session case.Case.spec with
+  let session = Session.create ~no_cache:true ~options ~arch:config () in
+  match Compile.run session case.Case.spec with
   | Ok c -> Ok c
   | Error e ->
       fail "compile" "%s (under %s)"

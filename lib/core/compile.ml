@@ -19,12 +19,11 @@ type session = {
   store : Sw_host.Store.t option;
   supervisor : Sw_host.Supervise.t option;
   deadline_s : float option;
+  jobs : int;
 }
 
-exception Compile_error of string
-
 (* Internal control flow of one compilation; surfaces as a typed
-   Sw_arch.Error.t value from run_result (never crosses a domain
+   Sw_arch.Error.t value from run (never crosses a domain
    boundary as an exception). *)
 exception Fail of Sw_arch.Error.t
 
@@ -208,7 +207,7 @@ let run_result_unsupervised ?token (session : session) original =
       | Some cache -> Plan_cache.find_or_add cache ~key produce)
   with Fail e -> Error e
 
-let run_result (session : session) original =
+let run (session : session) original =
   let r =
     match session.supervisor with
     | None -> run_result_unsupervised session original
@@ -245,30 +244,10 @@ let warm_start (session : session) =
           | None -> n)
   | _ -> 0
 
-let run session spec =
-  match run_result session spec with
+let run_exn session spec =
+  match run session spec with
   | Ok t -> t
   | Error e -> raise (Sw_arch.Error.Sim_error e)
-
-let compile ?(options = Options.all_on) ?(debug = false) ?cache ?observer
-    ~config original =
-  match
-    run_result
-      {
-        config;
-        options;
-        debug;
-        cache;
-        observer;
-        registry = None;
-        store = None;
-        supervisor = None;
-        deadline_s = None;
-      }
-      original
-  with
-  | Ok t -> t
-  | Error e -> raise (Compile_error (Sw_arch.Error.to_string e))
 
 let generation_seconds f =
   let t0 = Unix.gettimeofday () in

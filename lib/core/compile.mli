@@ -7,12 +7,13 @@
     micro-kernel marks expanded, and packages everything with the
     array/SPM/reply inventories.
 
-    The primary entry points are {!run} and {!run_result}, which compile
-    under a {!session} — the bundle of machine model, options, plan cache,
-    debug mode, pass observer and metrics registry that {!Session} (the
-    user-facing constructor lives there) shares across host domains.
-    {!compile} remains as a source-compatible thin wrapper over a one-shot
-    session. *)
+    The single primary entry point is {!run}, which compiles under a
+    {!session} — the bundle of machine model, options, plan cache, debug
+    mode, pass observer and metrics registry that {!Session} (the
+    user-facing constructor lives there) shares across host domains — and
+    returns a typed result. {!run_exn} is the thin raising wrapper for
+    harness code that wants exceptions; service code (the wire layer, the
+    CLI, the fuzzer) consumes {!run} so no exception path exists there. *)
 
 type t = {
   original : Spec.t;  (** the spec as requested *)
@@ -46,14 +47,16 @@ type session = {
       (** per-request deadline; enforced cooperatively at checkpoints
           (compile start, every pass boundary, store reads and writes)
           whether or not a supervisor is installed *)
+  jobs : int;
+      (** the fan-out width harnesses built on this session should use
+          (the value of [--jobs]); the compilation itself never spawns
+          domains *)
 }
 (** See {!Session} for construction and the sharing contract. The record
     is immutable; its mutable components (cache, registry) are themselves
     domain-safe, so one session value can be captured by many domains. *)
 
-exception Compile_error of string
-
-val run_result : session -> Spec.t -> (t, Sw_arch.Error.t) result
+val run : session -> Spec.t -> (t, Sw_arch.Error.t) result
 (** Compile under a session. Failures — invalid option combinations or
     machine model ([Sw_arch.Error.Invalid]), SPM overflow
     ([Sw_arch.Error.Overflow]), internal validation ([Invalid]) — come
@@ -87,21 +90,9 @@ val decode_plan : string -> t option
 (** Inverse of {!encode_plan}; [None] when the payload does not decode
     (treated as a miss by the store path). *)
 
-val run : session -> Spec.t -> t
-(** {!run_result}, raising [Sw_arch.Error.Sim_error] on [Error]. *)
-
-val compile :
-  ?options:Options.t ->
-  ?debug:bool ->
-  ?cache:t Plan_cache.t ->
-  ?observer:(Pass.t -> Pass.state -> unit) ->
-  config:Sw_arch.Config.t ->
-  Spec.t ->
-  t
-(** Source-compatible wrapper: {!run} over a one-shot session built from
-    the arguments. Raises {!Compile_error} (the typed error rendered with
-    [Sw_arch.Error.to_string]) on failure. Default options:
-    {!Options.all_on}. *)
+val run_exn : session -> Spec.t -> t
+(** {!run}, raising [Sw_arch.Error.Sim_error] on [Error] — for harness
+    and example code; service code consumes {!run}. *)
 
 val flops : t -> int
 (** Floating-point operations of the padded problem (what the simulator

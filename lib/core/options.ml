@@ -23,3 +23,28 @@ let validate t =
   if t.hiding && not t.use_rma then
     Error "latency hiding requires the RMA decomposition"
   else Ok ()
+
+let to_json t =
+  Sw_obs.Json.Obj
+    [
+      ("use_asm", Sw_obs.Json.Bool t.use_asm);
+      ("use_rma", Sw_obs.Json.Bool t.use_rma);
+      ("hiding", Sw_obs.Json.Bool t.hiding);
+    ]
+
+let of_json json =
+  let module J = Sw_obs.Json in
+  let field name ~default =
+    match J.member name json with
+    | None -> Ok default
+    | Some v -> (
+        match J.to_bool_opt v with
+        | Some b -> Ok b
+        | None -> Error (Printf.sprintf "options: bad %S" name))
+  in
+  let ( let* ) = Result.bind in
+  let* use_asm = field "use_asm" ~default:all_on.use_asm in
+  let* use_rma = field "use_rma" ~default:all_on.use_rma in
+  let* hiding = field "hiding" ~default:all_on.hiding in
+  let t = { use_asm; use_rma; hiding } in
+  match validate t with Ok () -> Ok t | Error e -> Error e

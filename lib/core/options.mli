@@ -23,3 +23,10 @@ val breakdown : (string * t) list
 
 val name : t -> string
 val validate : t -> (unit, string) result
+
+val to_json : t -> Sw_obs.Json.t
+(** Wire image: the three booleans, by field name. *)
+
+val of_json : Sw_obs.Json.t -> (t, string) result
+(** Inverse of {!to_json}; omitted fields default to {!all_on}'s values
+    and the combination is {!validate}d. Never raises. *)

@@ -278,9 +278,9 @@ let one_block_perf (compiled : Compile.t) ~k =
       ~n:t.Tile_model.mesh_n ~k ()
   in
   let c =
-    Compile.run
-      (Session.create ~options:compiled.Compile.options
-         ~config:compiled.Compile.config ())
+    Compile.run_exn
+      (Session.create ~no_cache:true ~options:compiled.Compile.options
+         ~arch:compiled.Compile.config ())
       block_spec
   in
   run_timing c -. compiled.Compile.config.Config.mesh_startup_s

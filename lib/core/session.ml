@@ -1,6 +1,6 @@
-(* User-facing constructor and helpers for Compile.session. The record
-   itself lives in Compile so Compile.run/run_result can take it without a
-   module cycle; this module is the one callers name. *)
+(* User-facing builder for Compile.session. The record itself lives in
+   Compile so Compile.run can take it without a module cycle; this module
+   is the one callers name. *)
 
 type t = Compile.session = {
   config : Sw_arch.Config.t;
@@ -12,12 +12,34 @@ type t = Compile.session = {
   store : Sw_host.Store.t option;
   supervisor : Sw_host.Supervise.t option;
   deadline_s : float option;
+  jobs : int;
 }
 
-let create ?(options = Options.all_on) ?(debug = false) ?cache ?observer
-    ?registry ?store ?supervisor ?deadline_s ~config () =
+let create ?(options = Options.all_on) ?(debug = false) ?cache
+    ?(no_cache = false) ?(capacity = 64) ?(shards = 8) ?observer ?registry
+    ?store ?store_dir ?budget_bytes ?supervisor ?deadline ?(jobs = 1) ~arch ()
+    =
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Session.create: jobs = %d (need >= 1)" jobs);
+  let store =
+    match (store, store_dir) with
+    | Some _, Some _ ->
+        invalid_arg "Session.create: give ~store or ~store_dir, not both"
+    | (Some _ as st), None -> st
+    | None, Some dir ->
+        Some
+          (Sw_host.Store.open_ ?budget_bytes ~schema:Compile.store_schema ~dir
+             ())
+    | None, None -> None
+  in
+  let cache =
+    match cache with
+    | Some _ as c -> c
+    | None ->
+        if no_cache then None else Some (Plan_cache.create ~capacity ~shards ())
+  in
   {
-    config;
+    config = arch;
     options;
     debug;
     cache;
@@ -25,32 +47,17 @@ let create ?(options = Options.all_on) ?(debug = false) ?cache ?observer
     registry;
     store;
     supervisor;
-    deadline_s;
+    deadline_s = deadline;
+    jobs;
   }
 
-let one_shot ?options ?debug ~config () = create ?options ?debug ~config ()
-
-let cached ?options ?debug ?(capacity = 64) ?(shards = 8) ?registry ?store
-    ?supervisor ?deadline_s ~config () =
-  create ?options ?debug
-    ~cache:(Plan_cache.create ~capacity ~shards ())
-    ?registry ?store ?supervisor ?deadline_s ~config ()
-
-let durable ?options ?debug ?capacity ?shards ?registry ?budget_bytes
-    ?supervisor ?deadline_s ~dir ~config () =
-  let store =
-    Sw_host.Store.open_ ?budget_bytes ~schema:Compile.store_schema ~dir ()
-  in
-  cached ?options ?debug ?capacity ?shards ?registry ~store ?supervisor
-    ?deadline_s ~config ()
-
 let with_options t options = { t with options }
-let with_config t config = { t with config }
+let with_arch t arch = { t with config = arch }
 let with_debug t debug = { t with debug }
 let with_deadline t deadline_s = { t with deadline_s }
 
 let run = Compile.run
-let run_result = Compile.run_result
+let run_exn = Compile.run_exn
 let warm_start = Compile.warm_start
 
 let cache_stats t = Option.map Plan_cache.stats t.cache

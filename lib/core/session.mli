@@ -1,21 +1,33 @@
 (** Compilation sessions: the unit of state shared across host domains.
 
     A session bundles everything one generator instance needs — the
-    machine model, the enabled optimizations, the plan cache, debug mode,
-    the pass observer and a metrics registry — so the CLI, the sweep and
+    machine model, the enabled optimizations, the plan cache, the durable
+    store, debug mode, the pass observer, a metrics registry and the
+    fan-out width — so the CLI, the daemon ([swgemmd]), the sweep and
     bench harnesses, the runner and the multi-cluster simulator all
-    compile through one value instead of five optional arguments.
+    compile through one value instead of a forest of optional arguments.
+
+    {b Lifecycle contract.} {!create} is the single constructor: it
+    resolves the cache (a fresh sharded {!Plan_cache} unless [~no_cache]
+    or an explicit [~cache] is given) and opens the durable store when
+    [~store_dir] is given, and performs no other side effects — no
+    ambient installs, no threads, no signal handlers. A session needs no
+    explicit shutdown: the store persists its manifest after every write,
+    so dropping the last reference (or dying at any instant) never loses
+    committed plans. Requests run through {!run}; a long-lived service
+    creates {e one} session at startup and shares it with every worker
+    for its whole life.
 
     {b Sharing contract.} [t] is an immutable record whose mutable
     components are individually domain-safe: the {!Plan_cache} is sharded
-    and mutex-protected, and the registry is only written by the domain
-    that installed it (worker domains get fresh per-task registries from
-    {!Sw_host.Pool} and never touch the session's). One session value is
-    therefore shared as-is by every worker — clone/shard semantics live
-    here and nowhere else. Derive variants ({!with_options},
-    {!with_config}) rather than mutating; derived sessions share the
-    parent's cache, which is correct because cache keys include the spec,
-    options and config. *)
+    and mutex-protected, the {!Sw_host.Store} takes one internal mutex,
+    and the registry is only written by the domain that installed it
+    (worker domains get fresh per-task registries from {!Sw_host.Pool}
+    and never touch the session's). One session value is therefore shared
+    as-is by every worker — clone/shard semantics live here and nowhere
+    else. Derive variants ({!with_options}, {!with_arch}) rather than
+    mutating; derived sessions share the parent's cache, which is correct
+    because cache keys include the spec, options and config. *)
 
 type t = Compile.session = {
   config : Sw_arch.Config.t;
@@ -27,70 +39,58 @@ type t = Compile.session = {
   store : Sw_host.Store.t option;
   supervisor : Sw_host.Supervise.t option;
   deadline_s : float option;
+  jobs : int;
 }
 
 val create :
   ?options:Options.t ->
   ?debug:bool ->
   ?cache:Compile.t Plan_cache.t ->
+  ?no_cache:bool ->
+  ?capacity:int ->
+  ?shards:int ->
   ?observer:(Pass.t -> Pass.state -> unit) ->
   ?registry:Sw_obs.Metrics.registry ->
   ?store:Sw_host.Store.t ->
-  ?supervisor:Sw_host.Supervise.t ->
-  ?deadline_s:float ->
-  config:Sw_arch.Config.t ->
-  unit ->
-  t
-(** Defaults: {!Options.all_on}, no debug, no cache, no observer, no
-    registry, no store, no supervisor, no deadline. *)
-
-val one_shot :
-  ?options:Options.t -> ?debug:bool -> config:Sw_arch.Config.t -> unit -> t
-(** A cacheless session for a single compilation —
-    what {!Compile.compile} wraps. *)
-
-val cached :
-  ?options:Options.t ->
-  ?debug:bool ->
-  ?capacity:int ->
-  ?shards:int ->
-  ?registry:Sw_obs.Metrics.registry ->
-  ?store:Sw_host.Store.t ->
-  ?supervisor:Sw_host.Supervise.t ->
-  ?deadline_s:float ->
-  config:Sw_arch.Config.t ->
-  unit ->
-  t
-(** A session with a fresh sharded plan cache (default 64 plans over 8
-    shards) — the configuration meant for parallel fan-outs. *)
-
-val durable :
-  ?options:Options.t ->
-  ?debug:bool ->
-  ?capacity:int ->
-  ?shards:int ->
-  ?registry:Sw_obs.Metrics.registry ->
+  ?store_dir:string ->
   ?budget_bytes:int ->
   ?supervisor:Sw_host.Supervise.t ->
-  ?deadline_s:float ->
-  dir:string ->
-  config:Sw_arch.Config.t ->
+  ?deadline:float ->
+  ?jobs:int ->
+  arch:Sw_arch.Config.t ->
   unit ->
   t
-(** {!cached} plus a durable plan store opened at [dir] under
-    {!Compile.store_schema} — what [swgemmgen --store DIR] builds. Call
-    {!warm_start} to preload the in-memory cache from it. *)
+(** The one builder every binary uses ([swgemmgen], [swgemmd], [sweep],
+    [bench], the examples and tests).
+
+    Cache resolution, most explicit first: an explicit [~cache] (a cache
+    shared with other sessions) is used as-is; [~no_cache:true] disables
+    the in-memory cache (every request pays the store read or the cold
+    pipeline — one-shot compilations, cache-behavior experiments);
+    otherwise a fresh sharded cache of [capacity] plans (default 64) over
+    [shards] shards (default 8) is created.
+
+    Store resolution: [~store] adopts an already-open store;
+    [~store_dir] opens (creating directories as needed) the durable plan
+    store rooted there under {!Compile.store_schema}, with an optional
+    eviction [budget_bytes] — what [--store DIR] builds. Giving both
+    raises [Invalid_argument]. Call {!warm_start} to preload the
+    in-memory cache from it.
+
+    [deadline] is the per-request cooperative deadline in seconds;
+    [jobs] (default 1) is the fan-out width harnesses built on this
+    session use — raises [Invalid_argument] when [jobs < 1]. *)
 
 val with_options : t -> Options.t -> t
-val with_config : t -> Sw_arch.Config.t -> t
+val with_arch : t -> Sw_arch.Config.t -> t
 val with_debug : t -> bool -> t
 val with_deadline : t -> float option -> t
 
-val run : t -> Spec.t -> Compile.t
-(** {!Compile.run}. *)
+val run : t -> Spec.t -> (Compile.t, Sw_arch.Error.t) result
+(** {!Compile.run}: the typed-result entry point. *)
 
-val run_result : t -> Spec.t -> (Compile.t, Sw_arch.Error.t) result
-(** {!Compile.run_result}. *)
+val run_exn : t -> Spec.t -> Compile.t
+(** {!Compile.run_exn}: raises [Sw_arch.Error.Sim_error] on failure. *)
 
 val warm_start : t -> int
 (** {!Compile.warm_start}: preload the in-memory cache from the durable

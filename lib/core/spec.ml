@@ -65,3 +65,67 @@ let to_string t =
   in
   Printf.sprintf "%s alpha=%g beta=%g%s%s%s" base t.alpha t.beta trans batch
     fusion
+
+(* ------------------------------------------------------------------ *)
+(* Wire image                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let to_json t =
+  let open Sw_obs.Json in
+  Obj
+    ([ ("m", Int t.m); ("n", Int t.n); ("k", Int t.k) ]
+    @ (match t.batch with Some b -> [ ("batch", Int b) ] | None -> [])
+    @ [
+        ("alpha", Float t.alpha);
+        ("beta", Float t.beta);
+        ("ta", Bool t.ta);
+        ("tb", Bool t.tb);
+      ]
+    @
+    match t.fusion with
+    | No_fusion -> []
+    | Prologue fn -> [ ("prologue", String fn) ]
+    | Epilogue fn -> [ ("epilogue", String fn) ])
+
+let of_json json =
+  let module J = Sw_obs.Json in
+  let req name conv =
+    match Option.bind (J.member name json) conv with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "spec: missing or bad %S" name)
+  in
+  let opt name conv ~default =
+    match J.member name json with
+    | None -> Ok default
+    | Some v -> (
+        match conv v with
+        | Some x -> Ok x
+        | None -> Error (Printf.sprintf "spec: bad %S" name))
+  in
+  let ( let* ) = Result.bind in
+  let* m = req "m" J.to_int_opt in
+  let* n = req "n" J.to_int_opt in
+  let* k = req "k" J.to_int_opt in
+  let* alpha = opt "alpha" J.to_float_opt ~default:1.0 in
+  let* beta = opt "beta" J.to_float_opt ~default:1.0 in
+  let* ta = opt "ta" J.to_bool_opt ~default:false in
+  let* tb = opt "tb" J.to_bool_opt ~default:false in
+  let* batch =
+    opt "batch" (fun v -> Option.map Option.some (J.to_int_opt v)) ~default:None
+  in
+  let* fusion =
+    match (J.member "prologue" json, J.member "epilogue" json) with
+    | Some _, Some _ -> Error "spec: both \"prologue\" and \"epilogue\""
+    | Some v, None -> (
+        match J.to_string_opt v with
+        | Some fn -> Ok (Prologue fn)
+        | None -> Error "spec: bad \"prologue\"")
+    | None, Some v -> (
+        match J.to_string_opt v with
+        | Some fn -> Ok (Epilogue fn)
+        | None -> Error "spec: bad \"epilogue\"")
+    | None, None -> Ok No_fusion
+  in
+  match make ?batch ~alpha ~beta ~ta ~tb ~fusion ~m ~n ~k () with
+  | t -> Ok t
+  | exception Invalid_argument msg -> Error msg

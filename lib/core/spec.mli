@@ -46,3 +46,13 @@ val flops : t -> int
 (** [2 m n k] times the batch size (of this spec's sizes as given). *)
 
 val to_string : t -> string
+
+val to_json : t -> Sw_obs.Json.t
+(** The wire image [swgemmd] accepts as [params.spec]: integer [m]/[n]/
+    [k], optional [batch], [alpha]/[beta] numbers, [ta]/[tb] booleans and
+    at most one of [prologue]/[epilogue] naming an element-wise kernel.
+    Omitted optional fields take {!make}'s defaults. *)
+
+val of_json : Sw_obs.Json.t -> (t, string) result
+(** Inverse of {!to_json} (total: never raises); validates through
+    {!make}, so [of_json (to_json t) = Ok t]. *)

@@ -50,7 +50,7 @@ let search ?(candidates = default_candidates) ~config spec =
         match Config.validate cfg with
         | Error e -> { mk = (m, n, k); feasible = false; note = e; gflops = None }
         | Ok () -> (
-            match Compile.run_result (Session.one_shot ~config:cfg ()) spec with
+            match Compile.run (Session.create ~no_cache:true ~arch:cfg ()) spec with
             | Error e ->
                 {
                   mk = (m, n, k);

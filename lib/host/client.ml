@@ -1,0 +1,94 @@
+type t = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (** bytes read past the last complete frame *)
+  mutable seq : int;
+  mutable closed : bool;
+}
+
+let wrap fd = { fd; buf = Buffer.create 1024; seq = 0; closed = false }
+
+let connect_unix ~path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  wrap fd
+
+let connect_tcp ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  wrap fd
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let transport_error fmt =
+  Printf.ksprintf
+    (fun message -> Error { Wire.err_class = "invalid"; message })
+    fmt
+
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    match Unix.write_substring fd s pos len with
+    | n -> write_all fd s (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s pos len
+  end
+
+(* Read until one complete line is buffered; surplus bytes stay in
+   [t.buf] for the next call. *)
+let read_line t =
+  let chunk = Bytes.create 65_536 in
+  let rec take () =
+    let data = Buffer.contents t.buf in
+    match String.index_opt data '\n' with
+    | Some nl ->
+        Buffer.clear t.buf;
+        Buffer.add_substring t.buf data (nl + 1)
+          (String.length data - nl - 1);
+        Ok (String.sub data 0 nl)
+    | None -> (
+        match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> transport_error "connection closed by the server"
+        | n ->
+            Buffer.add_subbytes t.buf chunk 0 n;
+            take ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> take ()
+        | exception Unix.Unix_error (e, _, _) ->
+            transport_error "read: %s" (Unix.error_message e))
+  in
+  take ()
+
+let call t ?id ~meth ~params () =
+  let id =
+    match id with
+    | Some id -> id
+    | None ->
+        t.seq <- t.seq + 1;
+        string_of_int t.seq
+  in
+  let frame = Wire.encode_request { Wire.id; meth; params } ^ "\n" in
+  match write_all t.fd frame 0 (String.length frame) with
+  | exception Unix.Unix_error (e, _, _) ->
+      transport_error "write: %s" (Unix.error_message e)
+  | () ->
+      (* skip frames for other ids (stale responses after a client-side
+         retry); the daemon answers in order, so normally the first frame
+         matches *)
+      let rec await () =
+        match read_line t with
+        | Error _ as e -> e
+        | Ok line -> (
+            match Wire.decode_response line with
+            | Error e ->
+                transport_error "bad response frame: %s"
+                  (Sw_arch.Error.to_string e)
+            | Ok { Wire.rid; body } -> if rid = id then body else await ())
+      in
+      await ()

@@ -1,0 +1,29 @@
+(** Blocking client for the {!Wire} protocol — the library behind
+    [swgemmgen client] and the loadgen harness.
+
+    One [t] is one connection carrying any number of sequential
+    request/response exchanges (the protocol has no pipelining
+    guarantee; {!call} writes one frame and reads frames until the
+    matching id arrives). Not thread-safe: give each worker its own
+    connection — which is also what makes loadgen's per-client rate
+    accounting honest. *)
+
+type t
+
+val connect_unix : path:string -> t
+val connect_tcp : ?host:string -> port:int -> unit -> t
+(** Raise [Unix.Unix_error] when the daemon is not there. *)
+
+val call :
+  t ->
+  ?id:string ->
+  meth:string ->
+  params:Sw_obs.Json.t ->
+  unit ->
+  (Sw_obs.Json.t, Wire.error) result
+(** One exchange. [id] defaults to a per-connection sequence number.
+    Transport failures (connection closed, unparsable response frame)
+    surface as a [Wire.error] with class [invalid], so callers handle
+    exactly one error shape. *)
+
+val close : t -> unit

@@ -1,0 +1,101 @@
+module Json = Sw_obs.Json
+module Error = Sw_arch.Error
+
+let version = 1
+let max_frame_bytes = 65_536
+
+type request = { id : string; meth : string; params : Json.t }
+type error = { err_class : string; message : string }
+type response = { rid : string; body : (Json.t, error) result }
+
+let invalid fmt = Printf.ksprintf (fun s -> Result.Error (Error.Invalid s)) fmt
+
+let encode_request { id; meth; params } =
+  Json.to_string
+    (Json.Obj
+       [
+         ("v", Json.Int version);
+         ("id", Json.String id);
+         ("method", Json.String meth);
+         ("params", params);
+       ])
+
+let encode_response { rid; body } =
+  let payload =
+    match body with
+    | Ok ok -> ("ok", ok)
+    | Result.Error { err_class; message } ->
+        ( "error",
+          Json.Obj
+            [
+              ("class", Json.String err_class);
+              ("message", Json.String message);
+            ] )
+  in
+  Json.to_string
+    (Json.Obj [ ("v", Json.Int version); ("id", Json.String rid); payload ])
+
+(* Shared frame admission: size gate first (never parse a frame we would
+   reject anyway), then strict parse, then the version gate. *)
+let decode_frame line =
+  if String.length line > max_frame_bytes then
+    invalid "frame of %d bytes exceeds the %d-byte limit" (String.length line)
+      max_frame_bytes
+  else
+    match Json.parse line with
+    | Result.Error e -> invalid "malformed frame: %s" e
+    | Ok json -> (
+        match Json.member "v" json with
+        | None -> invalid "frame is not a versioned object (no \"v\" field)"
+        | Some v -> (
+            match Json.to_int_opt v with
+            | Some v when v = version -> Ok json
+            | Some v ->
+                invalid "unknown wire version %d (this daemon speaks v%d)" v
+                  version
+            | None -> invalid "\"v\" is not an integer"))
+
+let string_field name json =
+  match Option.bind (Json.member name json) Json.to_string_opt with
+  | Some s -> Ok s
+  | None -> invalid "missing or non-string \"%s\"" name
+
+let decode_request line =
+  match decode_frame line with
+  | Result.Error _ as e -> e
+  | Ok json -> (
+      match (string_field "id" json, string_field "method" json) with
+      | (Result.Error _ as e), _ | _, (Result.Error _ as e) -> e
+      | Ok id, Ok meth ->
+          let params =
+            Option.value (Json.member "params" json) ~default:Json.Null
+          in
+          Ok { id; meth; params })
+
+let decode_response line =
+  match decode_frame line with
+  | Result.Error _ as e -> e
+  | Ok json -> (
+      match string_field "id" json with
+      | Result.Error _ as e -> e
+      | Ok rid -> (
+          match (Json.member "ok" json, Json.member "error" json) with
+          | Some ok, None -> Ok { rid; body = Ok ok }
+          | None, Some err -> (
+              match
+                ( Option.bind (Json.member "class" err) Json.to_string_opt,
+                  Option.bind (Json.member "message" err) Json.to_string_opt )
+              with
+              | Some err_class, Some message ->
+                  Ok { rid; body = Result.Error { err_class; message } }
+              | _ -> invalid "error object lacks \"class\"/\"message\"")
+          | Some _, Some _ -> invalid "frame carries both \"ok\" and \"error\""
+          | None, None -> invalid "frame carries neither \"ok\" nor \"error\""))
+
+let error_of e = { err_class = Error.class_of e; message = Error.to_string e }
+
+let response_of_result ~id body =
+  { rid = id; body = Result.map_error error_of body }
+
+let error_response ~id e =
+  encode_response (response_of_result ~id (Result.Error e))

@@ -47,7 +47,7 @@ let measure ?(noc = default_noc) ?jobs (session : Session.t) (plan : Plan.t) =
     pool_map ?jobs
       (fun (j : Plan.job) ->
         ( grid_key j,
-          (Runner.measure (Compile.run session j.Plan.spec)).Runner.seconds ))
+          (Runner.measure (Compile.run_exn session j.Plan.spec)).Runner.seconds ))
       plan.Plan.jobs
   in
   (* Keyed by grid coordinates, not completion (or even job-list) order, so
@@ -72,7 +72,7 @@ let measure ?(noc = default_noc) ?jobs (session : Session.t) (plan : Plan.t) =
   let compute_s = List.fold_left Float.max 0.0 per_cluster_s in
   let seconds = distribution_s +. compute_s in
   let single =
-    (Runner.measure (Compile.run session plan.Plan.original)).Runner.seconds
+    (Runner.measure (Compile.run_exn session plan.Plan.original)).Runner.seconds
   in
   {
     seconds;
@@ -95,7 +95,7 @@ let install_matrix mem name (m : Matrix.t) =
 let run_job (session : Session.t) (j : Plan.job) ~a ~b ~c =
   (* [a], [b], [c] are this job's (unpadded) operand slices; returns the
      computed C block or a typed error. *)
-  match Compile.run_result session j.Plan.spec with
+  match Compile.run session j.Plan.spec with
   | Error e -> Error e
   | Ok compiled -> (
       let padded = compiled.Compile.spec in

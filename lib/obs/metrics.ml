@@ -281,3 +281,23 @@ let to_json (s : snapshot) =
          in
          Json.Obj (base @ rest))
        s)
+
+let quantile value q =
+  match value with
+  | Histogram { lower; growth; n; counts; _ } when n > 0 ->
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let target = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+      let buckets = Array.length counts - 2 in
+      let estimate i =
+        if i = 0 then lower
+        else if i > buckets then lower *. (growth ** float_of_int buckets)
+        else lower *. (growth ** (float_of_int i -. 0.5))
+      in
+      let rec go i acc =
+        if i >= Array.length counts then None
+        else
+          let acc = acc + counts.(i) in
+          if acc >= target then Some (estimate i) else go (i + 1) acc
+      in
+      go 0 0
+  | _ -> None

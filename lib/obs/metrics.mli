@@ -115,3 +115,13 @@ val to_text : snapshot -> string
 (** One line per metric, sorted; histograms render count/sum/mean. *)
 
 val to_json : snapshot -> Json.t
+
+val quantile : value -> float -> float option
+(** Nearest-rank quantile estimate from a [Histogram] value: the
+    geometric midpoint of the bucket holding the [ceil (q * n)]-th
+    observation (the underflow bucket answers [lower], the overflow
+    bucket the top boundary), [q] clamped to [0, 1]. The estimate is off
+    by at most a factor of [sqrt growth] — with the default
+    [growth = 2.0], within ~41% of the true quantile, which is enough to
+    pin a latency band in CI. [None] for empty histograms, counters and
+    gauges. *)

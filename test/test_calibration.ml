@@ -8,11 +8,20 @@ open Sw_core
 open Sw_xmath
 open Sw_arch
 
+(* Compile under a throwaway cacheless session; raises Sim_error on
+   failure (the old compile_exn convenience). *)
+let compile_exn ?options ?debug ?cache ?observer ~config spec =
+  Compile.run_exn
+    (Session.create ?options ?debug ?cache ~no_cache:true ?observer
+       ~arch:config ())
+    spec
+
+
 let config = Config.sw26010pro
 let peak = Config.peak_gflops config
 
 let gflops ?(options = Options.all_on) ~m ~n ~k () =
-  let c = Compile.compile ~options ~config (Spec.make ~m ~n ~k ()) in
+  let c = compile_exn ~options ~config (Spec.make ~m ~n ~k ()) in
   (Runner.measure c).Runner.gflops
 
 let in_band name lo hi x =
@@ -118,7 +127,7 @@ let test_ours_stable_on_non_pow2 () =
 
 let test_spm_budget_9_buffers () =
   (* §6.3: nine local buffers; on the real config that is 160 KB <= 256 KB *)
-  let c = Compile.compile ~config (Spec.make ~m:512 ~n:512 ~k:256 ()) in
+  let c = compile_exn ~config (Spec.make ~m:512 ~n:512 ~k:256 ()) in
   let bytes = Sw_ast.Ast.spm_bytes c.Compile.program in
   Alcotest.(check int) "160 KiB of SPM" (160 * 1024) bytes;
   Alcotest.(check bool) "fits the 256 KiB SPM" true
@@ -151,7 +160,7 @@ let test_multi_cluster_band () =
   | Error e -> Alcotest.fail e
   | Ok plan ->
       let s =
-        Sw_multi.Multi_sim.measure ~jobs:1 (Session.one_shot ~config ()) plan
+        Sw_multi.Multi_sim.measure ~jobs:1 (Session.create ~no_cache:true ~arch:config ()) plan
       in
       in_band "6-cluster Tflops" 7.0 11.0 (s.Sw_multi.Multi_sim.gflops /. 1000.0);
       in_band "parallel efficiency" 0.6 1.0 s.Sw_multi.Multi_sim.parallel_efficiency
@@ -179,7 +188,7 @@ let test_extrapolation_on_real_config () =
      production configuration *)
   List.iter
     (fun (m, n, k) ->
-      let c = Compile.compile ~config (Spec.make ~m ~n ~k ()) in
+      let c = compile_exn ~config (Spec.make ~m ~n ~k ()) in
       let exact = (Runner.measure_exact c).Runner.seconds in
       let fast = (Runner.measure c).Runner.seconds in
       if abs_float (exact -. fast) > 0.03 *. exact then

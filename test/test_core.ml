@@ -5,12 +5,21 @@
 open Sw_core
 open Sw_arch
 
+(* Compile under a throwaway cacheless session; raises Sim_error on
+   failure (the old compile_exn convenience). *)
+let compile_exn ?options ?debug ?cache ?observer ~config spec =
+  Compile.run_exn
+    (Session.create ?options ?debug ?cache ~no_cache:true ?observer
+       ~arch:config ())
+    spec
+
+
 let check = Alcotest.check
 let qtest = Helpers.qtest
 
 let tiny = Config.tiny () (* 2x2 mesh, 4x4x2 micro kernel *)
 
-let compile ?options spec = Compile.compile ?options ~config:tiny spec
+let compile ?options spec = compile_exn ?options ~config:tiny spec
 
 let expect_ok ?seed compiled =
   match Runner.verify ?seed compiled with
@@ -94,7 +103,7 @@ let test_compile_rejects () =
        ~options:{ Options.use_asm = true; use_rma = false; hiding = true }
        (Spec.make ~m:8 ~n:8 ~k:8 ())
    with
-  | exception Compile.Compile_error _ -> ()
+  | exception Sw_arch.Error.Sim_error _ -> ()
   | _ -> Alcotest.fail "invalid options accepted")
 
 (* ------------------------------------------------------------------ *)
@@ -416,7 +425,7 @@ let test_mesh3_verify () =
   List.iter
     (fun (m, n, k) ->
       let spec = Spec.make ~m ~n ~k () in
-      match Runner.verify (Compile.compile ~config:tiny3 spec) with
+      match Runner.verify (compile_exn ~config:tiny3 spec) with
       | Ok () -> ()
       | Error e -> Alcotest.failf "3x3 mesh %dx%dx%d: %s" m n k (Runner.error_to_string e))
     [ (12, 12, 6); (24, 12, 12); (12, 24, 18); (36, 24, 30) ]
@@ -425,7 +434,7 @@ let test_mesh3_all_variants () =
   List.iter
     (fun (vname, options) ->
       let spec = Spec.make ~m:12 ~n:12 ~k:12 () in
-      match Runner.verify (Compile.compile ~options ~config:tiny3 spec) with
+      match Runner.verify (compile_exn ~options ~config:tiny3 spec) with
       | Ok () -> ()
       | Error e -> Alcotest.failf "3x3 mesh %s: %s" vname (Runner.error_to_string e))
     Options.breakdown
@@ -435,14 +444,14 @@ let test_mesh3_batched_fused () =
     Spec.make ~batch:2 ~alpha:1.5 ~fusion:(Spec.Epilogue "relu") ~m:12 ~n:12
       ~k:6 ()
   in
-  match Runner.verify (Compile.compile ~config:tiny3 spec) with
+  match Runner.verify (compile_exn ~config:tiny3 spec) with
   | Ok () -> ()
   | Error e -> Alcotest.fail (Runner.error_to_string e)
 
 let test_mesh4_transposed () =
   let tiny4 = Config.tiny ~mesh:4 ~mk:(2, 2, 2) () in
   let spec = Spec.make ~ta:true ~m:16 ~n:8 ~k:16 () in
-  match Runner.verify (Compile.compile ~config:tiny4 spec) with
+  match Runner.verify (compile_exn ~config:tiny4 spec) with
   | Ok () -> ()
   | Error e -> Alcotest.fail (Runner.error_to_string e)
 
@@ -506,7 +515,7 @@ let test_everything_at_once () =
   List.iter
     (fun (vname, options) ->
       match
-        Runner.verify (Compile.compile ~options ~config:tiny3 spec)
+        Runner.verify (compile_exn ~options ~config:tiny3 spec)
       with
       | Ok () -> ()
       | Error e -> Alcotest.failf "%s: %s" vname (Runner.error_to_string e))
@@ -525,7 +534,7 @@ let test_degenerate_mesh1 () =
     (fun (vname, options) ->
       List.iter
         (fun spec ->
-          match Runner.verify (Compile.compile ~options ~config spec) with
+          match Runner.verify (compile_exn ~options ~config spec) with
           | Ok () -> ()
           | Error e -> Alcotest.failf "mesh=1 %s: %s" vname (Runner.error_to_string e))
         [

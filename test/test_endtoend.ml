@@ -6,10 +6,19 @@ open Sw_core
 open Sw_xmath
 open Sw_arch
 
+(* Compile under a throwaway cacheless session; raises Sim_error on
+   failure (the old compile_exn convenience). *)
+let compile_exn ?options ?debug ?cache ?observer ~config spec =
+  Compile.run_exn
+    (Session.create ?options ?debug ?cache ~no_cache:true ?observer
+       ~arch:config ())
+    spec
+
+
 let config = Config.sw26010pro
 
 let measure ?options spec =
-  (Runner.measure (Compile.compile ?options ~config spec)).Runner.gflops
+  (Runner.measure (compile_exn ?options ~config spec)).Runner.gflops
 
 let lib spec = (Xmath.measure config spec).Xmath.gflops
 
@@ -72,7 +81,7 @@ let test_fused_slower_than_plain () =
 let test_program_free_params () =
   (* generated SPMD code references only the mesh coordinates as free
      parameters — sizes are baked in *)
-  let c = Compile.compile ~config (Spec.make ~m:512 ~n:512 ~k:256 ()) in
+  let c = compile_exn ~config (Spec.make ~m:512 ~n:512 ~k:256 ()) in
   Alcotest.(check (Alcotest.list Alcotest.string))
     "no free parameters" []
     (Sw_ast.Ast.free_params c.Compile.program)
@@ -82,7 +91,7 @@ let test_program_op_density () =
      counts, not with matrix elements *)
   let ops spec =
     Sw_ast.Ast.count_ops
-      (Compile.compile ~config spec).Compile.program.Sw_ast.Ast.body
+      (compile_exn ~config spec).Compile.program.Sw_ast.Ast.body
   in
   let small = ops (Spec.make ~m:512 ~n:512 ~k:256 ()) in
   let large = ops (Spec.make ~m:512 ~n:512 ~k:2048 ()) in
@@ -96,7 +105,7 @@ let test_program_op_density () =
 
 let test_c_dump_runs () =
   (* schedule tree and AST render without exceptions and are non-trivial *)
-  let c = Compile.compile ~config (Spec.make ~m:512 ~n:512 ~k:512 ()) in
+  let c = compile_exn ~config (Spec.make ~m:512 ~n:512 ~k:512 ()) in
   let tree = Sw_tree.Tree.to_string c.Compile.tree in
   let ast = Sw_ast.Ast.to_string c.Compile.program.Sw_ast.Ast.body in
   Alcotest.(check bool) "tree dump" true (String.length tree > 500);

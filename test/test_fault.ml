@@ -5,11 +5,20 @@
 open Sw_core
 open Sw_arch
 
+(* Compile under a throwaway cacheless session; raises Sim_error on
+   failure (the old compile_exn convenience). *)
+let compile_exn ?options ?debug ?cache ?observer ~config spec =
+  Compile.run_exn
+    (Session.create ?options ?debug ?cache ~no_cache:true ?observer
+       ~arch:config ())
+    spec
+
+
 let check = Alcotest.check
 let qtest = Helpers.qtest
 
 let tiny = Config.tiny ()
-let compile ?options spec = Compile.compile ?options ~config:tiny spec
+let compile ?options spec = compile_exn ?options ~config:tiny spec
 
 (* Bound every faulted simulation so a regression shows up as a typed
    Watchdog error instead of a hanging test binary. *)

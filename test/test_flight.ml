@@ -141,17 +141,17 @@ let test_dump_once_per_failure () =
   Fun.protect ~finally:Flight.uninstall @@ fun () ->
   let config = Config.tiny () in
   let spec = Spec.make ~m:64 ~n:64 ~k:64 () in
-  (match Session.run_result (Session.create ~options:bad_options ~config ()) spec with
+  (match Session.run (Session.create ~options:bad_options ~arch:config ()) spec with
   | Error (Error.Invalid _) -> ()
   | _ -> Alcotest.fail "expected a typed Invalid error");
   check Alcotest.int "one dump per failure" 1 (Array.length (Sys.readdir dir));
   (* a successful compile dumps nothing *)
-  (match Session.run_result (Session.create ~config ()) spec with
+  (match Session.run (Session.create ~arch:config ()) spec with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "expected success, got %s" (Error.to_string e));
   check Alcotest.int "success adds no dump" 1 (Array.length (Sys.readdir dir));
   (* a second failure dumps exactly once more *)
-  (match Session.run_result (Session.create ~options:bad_options ~config ()) spec with
+  (match Session.run (Session.create ~options:bad_options ~arch:config ()) spec with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected failure");
   check Alcotest.int "two failures, two dumps" 2
@@ -194,11 +194,11 @@ let test_flightrec_on_breaker_open () =
   in
   let session =
     Session.create ~options:bad_options ~store ~supervisor:sup
-      ~config:(Config.tiny ()) ()
+      ~arch:(Config.tiny ()) ()
   in
   let spec = Spec.make ~m:64 ~n:64 ~k:64 () in
   for _ = 1 to 2 do
-    match Session.run_result session spec with
+    match Session.run session spec with
     | Error _ -> ()
     | Ok _ -> Alcotest.fail "expected failure"
   done;

@@ -4,6 +4,13 @@
 open Sw_frontend
 open Sw_arch
 
+(* Compile under a throwaway cacheless session; raises Sim_error on
+   failure (the old compile_exn convenience). *)
+let compile_exn ~config spec =
+  Sw_core.Compile.run_exn
+    (Sw_core.Session.create ~no_cache:true ~arch:config ()) spec
+
+
 let check = Alcotest.check
 
 let gemm_src =
@@ -258,14 +265,14 @@ let test_recognize_rejects () =
 let test_source_to_verified_kernel () =
   (* the full promised workflow: write C, get a verified kernel *)
   let spec = ok (Extract.spec_of_source gemm_src) in
-  let compiled = Sw_core.Compile.compile ~config:(Config.tiny ()) spec in
+  let compiled = compile_exn ~config:(Config.tiny ()) spec in
   match Sw_core.Runner.verify compiled with
   | Ok () -> ()
   | Error e -> Alcotest.fail (Sw_core.Runner.error_to_string e)
 
 let test_source_to_verified_fused () =
   let spec = ok (Extract.spec_of_source fused_epilogue_src) in
-  let compiled = Sw_core.Compile.compile ~config:(Config.tiny ()) spec in
+  let compiled = compile_exn ~config:(Config.tiny ()) spec in
   match Sw_core.Runner.verify compiled with
   | Ok () -> ()
   | Error e -> Alcotest.fail (Sw_core.Runner.error_to_string e)
@@ -314,7 +321,7 @@ void gemm_tn(double A[16][16], double B[8][16], double C[16][8]) {
   check Alcotest.int "m" 16 spec.Sw_core.Spec.m;
   check Alcotest.int "n" 8 spec.Sw_core.Spec.n;
   (* and the full workflow still verifies *)
-  let compiled = Sw_core.Compile.compile ~config:(Config.tiny ()) spec in
+  let compiled = compile_exn ~config:(Config.tiny ()) spec in
   match Sw_core.Runner.verify compiled with
   | Ok () -> ()
   | Error e -> Alcotest.fail (Sw_core.Runner.error_to_string e)
@@ -351,7 +358,7 @@ let test_direct_matches_pipeline () =
   (* pipeline path *)
   let spec = ok (Extract.spec_of_source src) in
   let config = Config.tiny () in
-  let compiled = Sw_core.Compile.compile ~config spec in
+  let compiled = compile_exn ~config spec in
   let mem = Sw_arch.Mem.create () in
   let install name (m : Matrix.t) =
     Sw_arch.Mem.alloc_init mem name

@@ -7,6 +7,15 @@
 open Sw_core
 open Sw_arch
 
+(* Compile under a throwaway cacheless session; raises Sim_error on
+   failure (the old compile_exn convenience). *)
+let compile_exn ?options ?debug ?cache ?observer ~config spec =
+  Compile.run_exn
+    (Session.create ?options ?debug ?cache ~no_cache:true ?observer
+       ~arch:config ())
+    spec
+
+
 let read_golden name =
   In_channel.with_open_text (Filename.concat "golden" name)
     In_channel.input_all
@@ -35,7 +44,7 @@ let check_golden name actual =
     Alcotest.fail (diff_message ~name expected actual)
 
 let gemm512 () =
-  Compile.compile ~config:Config.sw26010pro (Spec.make ~m:512 ~n:512 ~k:512 ())
+  compile_exn ~config:Config.sw26010pro (Spec.make ~m:512 ~n:512 ~k:512 ())
 
 let test_tree () =
   check_golden "gemm512_tree.txt" (Sw_tree.Tree.to_string (gemm512 ()).Compile.tree)
@@ -43,9 +52,12 @@ let test_tree () =
 let test_cpe () = check_golden "gemm512_cpe.c" (Cemit.cpe_file (gemm512 ()))
 let test_mpe () = check_golden "gemm512_mpe.c" (Cemit.mpe_file (gemm512 ()))
 
+let test_common_flags_help () =
+  check_golden "common_flags_help.txt" (Sw_cli.Common_flags.help_plain ())
+
 let test_fused_batched_tree () =
   let c =
-    Compile.compile ~config:Config.sw26010pro
+    compile_exn ~config:Config.sw26010pro
       (Spec.make ~fusion:(Spec.Epilogue "relu") ~batch:2 ~m:512 ~n:512 ~k:512 ())
   in
   check_golden "fused_batched_tree.txt" (Sw_tree.Tree.to_string c.Compile.tree)
@@ -62,6 +74,7 @@ let tests =
     ("CPE file (512^3)", `Quick, test_cpe);
     ("MPE file (512^3)", `Quick, test_mpe);
     ("fused batched tree", `Quick, test_fused_batched_tree);
+    ("shared CLI flags --help", `Quick, test_common_flags_help);
     ("deterministic generation", `Quick, test_determinism);
   ]
 
@@ -73,7 +86,7 @@ let test_emitted_c_compiles () =
     let dir = Filename.temp_dir "swgemm" "emit" in
     List.iter
       (fun spec ->
-        let compiled = Compile.compile ~config:Config.sw26010pro spec in
+        let compiled = compile_exn ~config:Config.sw26010pro spec in
         let mpe, cpe = Cemit.write_files compiled ~dir in
         List.iter
           (fun path ->

@@ -141,7 +141,7 @@ let verify_case =
     quad (int_range 3 20) (int_range 3 18) (int_range 2 10) (int_range 1 6))
 
 let outcome p ~seed ~jobs =
-  match Multi_sim.verify ~seed ~jobs (Session.one_shot ~config:tiny ()) p with
+  match Multi_sim.verify ~seed ~jobs (Session.create ~no_cache:true ~arch:tiny ()) p with
   | Ok () -> "ok"
   | Error e -> Error.to_string e
 
@@ -162,7 +162,7 @@ let test_measure_jobs_invariant () =
   | Error e -> Alcotest.fail e
   | Ok p ->
       let stats jobs =
-        Multi_sim.measure ~jobs (Session.one_shot ~config ()) p
+        Multi_sim.measure ~jobs (Session.create ~no_cache:true ~arch:config ()) p
       in
       let s1 = stats 1 and s4 = stats 4 in
       check (Alcotest.float 0.0) "seconds" s1.Multi_sim.seconds

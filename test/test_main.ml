@@ -26,4 +26,5 @@ let () =
       ("store", Test_store.tests);
       ("supervise", Test_supervise.tests);
       ("flight", Test_flight.tests);
+      ("server", Test_server.tests);
     ]

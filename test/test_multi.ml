@@ -9,7 +9,7 @@ let tiny = Config.tiny ()
 
 (* one tiny session shared by the verify tests; two host domains so the
    pool path is exercised by the unit suite too *)
-let tiny_session = Session.one_shot ~config:tiny ()
+let tiny_session = Session.create ~no_cache:true ~arch:tiny ()
 let verify2 = Multi_sim.verify ~jobs:2 tiny_session
 
 let plan_ok spec ~clusters =
@@ -118,7 +118,7 @@ let test_measure_scaling () =
   let config = Config.sw26010pro in
   let spec = Spec.make ~m:8192 ~n:8192 ~k:4096 () in
   let time clusters =
-    (Multi_sim.measure ~jobs:2 (Session.one_shot ~config ()) (plan_ok spec ~clusters))
+    (Multi_sim.measure ~jobs:2 (Session.create ~no_cache:true ~arch:config ()) (plan_ok spec ~clusters))
       .Multi_sim.seconds
   in
   let t1 = time 1 and t2 = time 2 and t6 = time 6 in
@@ -126,7 +126,7 @@ let test_measure_scaling () =
   Alcotest.(check bool) "6 clusters faster still" true (t6 < t2);
   Alcotest.(check bool) "but sublinear" true (t6 > t1 /. 6.5);
   let s =
-    Multi_sim.measure ~jobs:2 (Session.one_shot ~config ()) (plan_ok spec ~clusters:6)
+    Multi_sim.measure ~jobs:2 (Session.create ~no_cache:true ~arch:config ()) (plan_ok spec ~clusters:6)
   in
   Alcotest.(check bool) "efficiency in (0.3, 1.0]" true
     (s.Multi_sim.parallel_efficiency > 0.3
@@ -138,7 +138,7 @@ let test_measure_reports_jobs () =
   let config = Config.sw26010pro in
   let spec = Spec.make ~m:4096 ~n:4096 ~k:2048 () in
   let s =
-    Multi_sim.measure ~jobs:2 (Session.one_shot ~config ()) (plan_ok spec ~clusters:6)
+    Multi_sim.measure ~jobs:2 (Session.create ~no_cache:true ~arch:config ()) (plan_ok spec ~clusters:6)
   in
   check Alcotest.int "six per-cluster times" 6
     (List.length s.Multi_sim.per_cluster_s)

@@ -7,6 +7,15 @@ open Sw_obs
 open Sw_core
 open Sw_arch
 
+(* Compile under a throwaway cacheless session; raises Sim_error on
+   failure (the old compile_exn convenience). *)
+let compile_exn ?options ?debug ?cache ?observer ~config spec =
+  Compile.run_exn
+    (Session.create ?options ?debug ?cache ~no_cache:true ?observer
+       ~arch:config ())
+    spec
+
+
 let check = Alcotest.check
 let qtest = Helpers.qtest
 let contains = Helpers.contains
@@ -232,7 +241,7 @@ let test_profile_empty () =
 let tiny_config = Config.tiny ()
 
 let traced_tiny ?(options = Options.all_on) spec =
-  Runner.traced (Compile.compile ~options ~config:tiny_config spec)
+  Runner.traced (compile_exn ~options ~config:tiny_config spec)
 
 let test_profile_partition_real () =
   (* on a real traced run, the five states partition every CPE's span
@@ -312,7 +321,7 @@ let test_zero_overhead_when_off () =
      are bit-equal with and without instrumentation *)
   let spec = Spec.make ~m:32 ~n:32 ~k:128 () in
   let run () =
-    Runner.measure (Compile.compile ~config:tiny_config spec)
+    Runner.measure (compile_exn ~config:tiny_config spec)
   in
   let off = run () in
   let r = Metrics.create () in

@@ -5,6 +5,15 @@
 open Sw_core
 open Sw_arch
 
+(* Compile under a throwaway cacheless session; raises Sim_error on
+   failure (the old compile_exn convenience). *)
+let compile_exn ?options ?debug ?cache ?observer ~config spec =
+  Compile.run_exn
+    (Session.create ?options ?debug ?cache ~no_cache:true ?observer
+       ~arch:config ())
+    spec
+
+
 let config = Config.sw26010pro
 let spec512 = Spec.make ~m:512 ~n:512 ~k:512 ()
 
@@ -58,7 +67,7 @@ let test_required_flags () =
 let test_breakdown_toggles () =
   List.iter
     (fun (name, options) ->
-      let compiled = Compile.compile ~options ~config spec512 in
+      let compiled = compile_exn ~options ~config spec512 in
       let ran pass = (stat_of compiled.Compile.pass_stats pass).Pass.ran in
       let check what = Alcotest.(check bool) (name ^ ": " ^ what) in
       check "tile" true (ran "tile");
@@ -74,7 +83,7 @@ let test_breakdown_toggles () =
 
 let test_fusion_toggle () =
   let spec = Spec.make ~fusion:(Spec.Epilogue "tanh") ~m:512 ~n:512 ~k:512 () in
-  let compiled = Compile.compile ~config spec in
+  let compiled = compile_exn ~config spec in
   Alcotest.(check bool)
     "fusion pass ran" true
     (stat_of compiled.Compile.pass_stats "fusion").Pass.ran;
@@ -86,7 +95,7 @@ let test_fusion_toggle () =
   Alcotest.(check bool) "epilogue extension present" true has_act
 
 let test_stats_sane () =
-  let compiled = Compile.compile ~config spec512 in
+  let compiled = compile_exn ~config spec512 in
   List.iter
     (fun s ->
       Alcotest.(check bool) (s.Pass.pass ^ ": time >= 0") true (s.Pass.seconds >= 0.0);
@@ -123,7 +132,7 @@ let test_observer_order_and_snapshots () =
         | Error e -> Alcotest.failf "after %s: invalid snapshot: %s" p.Pass.name e)
     | None -> Alcotest.failf "after %s: no snapshot" p.Pass.name
   in
-  let compiled = Compile.compile ~observer ~config spec512 in
+  let compiled = compile_exn ~observer ~config spec512 in
   let executed =
     List.filter_map
       (fun s -> if s.Pass.ran then Some s.Pass.pass else None)
@@ -138,12 +147,12 @@ let test_debug_mode_all_variants () =
      every breakdown variant and both fusion patterns *)
   List.iter
     (fun (_, options) ->
-      ignore (Compile.compile ~options ~debug:true ~config spec512))
+      ignore (compile_exn ~options ~debug:true ~config spec512))
     Options.breakdown;
   List.iter
     (fun fusion ->
       let spec = Spec.make ~fusion ~m:512 ~n:512 ~k:512 () in
-      ignore (Compile.compile ~debug:true ~config spec))
+      ignore (compile_exn ~debug:true ~config spec))
     [ Spec.Prologue "quant"; Spec.Epilogue "tanh" ]
 
 (* ------------------------------------------------------------------ *)
@@ -162,7 +171,7 @@ let buffers_of (compiled : Compile.t) =
     compiled.Compile.program.Sw_ast.Ast.spm_decls
 
 let test_invariant_accepts_final_tree () =
-  let compiled = Compile.compile ~config spec512 in
+  let compiled = compile_exn ~config spec512 in
   match
     Sw_tree.Invariant.check ~buffers:(buffers_of compiled)
       ~replies:compiled.Compile.program.Sw_ast.Ast.replies
@@ -172,13 +181,13 @@ let test_invariant_accepts_final_tree () =
   | Error e -> Alcotest.failf "final tree rejected: %s" e
 
 let test_invariant_missing_buffer () =
-  let compiled = Compile.compile ~config spec512 in
+  let compiled = compile_exn ~config spec512 in
   match Sw_tree.Invariant.check ~buffers:[] compiled.Compile.tree with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "undeclared buffers accepted"
 
 let test_invariant_spm_overflow () =
-  let compiled = Compile.compile ~config spec512 in
+  let compiled = compile_exn ~config spec512 in
   match
     Sw_tree.Invariant.check ~buffers:(buffers_of compiled)
       ~replies:compiled.Compile.program.Sw_ast.Ast.replies ~spm_capacity:64
@@ -209,8 +218,8 @@ let test_invariant_permutability () =
 
 let test_cache_hit () =
   let cache = Plan_cache.create () in
-  let c1 = Compile.compile ~cache ~config spec512 in
-  let c2 = Compile.compile ~cache ~config spec512 in
+  let c1 = compile_exn ~cache ~config spec512 in
+  let c2 = compile_exn ~cache ~config spec512 in
   Alcotest.(check bool) "hit returns the same plan" true (c1 == c2);
   let st = Plan_cache.stats cache in
   Alcotest.(check int) "one miss" 1 st.Plan_cache.misses;
@@ -219,10 +228,10 @@ let test_cache_hit () =
 
 let test_cache_invalidation () =
   let cache = Plan_cache.create () in
-  let c1 = Compile.compile ~cache ~config spec512 in
-  let c2 = Compile.compile ~cache ~options:Options.baseline ~config spec512 in
+  let c1 = compile_exn ~cache ~config spec512 in
+  let c2 = compile_exn ~cache ~options:Options.baseline ~config spec512 in
   let c3 =
-    Compile.compile ~cache ~config (Spec.make ~m:1024 ~n:512 ~k:512 ())
+    compile_exn ~cache ~config (Spec.make ~m:1024 ~n:512 ~k:512 ())
   in
   Alcotest.(check bool) "options change misses" true (c1 != c2);
   Alcotest.(check bool) "spec change misses" true (c1 != c3);
@@ -293,7 +302,7 @@ let prop_debug_compile (spec, options) =
   (* debug:true runs Invariant.check after every pass; any rejected
      intermediate tree aborts the compilation *)
   let compiled =
-    Compile.compile ~options ~debug:true ~config:(Config.tiny ()) spec
+    compile_exn ~options ~debug:true ~config:(Config.tiny ()) spec
   in
   List.for_all
     (fun p ->

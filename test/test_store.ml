@@ -241,15 +241,15 @@ let emitted compiled =
 let test_warm_start () =
   with_dir @@ fun dir ->
   let store = Sw_host.Store.open_ ~schema ~dir () in
-  let s1 = Session.cached ~store ~config:tiny () in
+  let s1 = Session.create ~store ~arch:tiny () in
   List.iter
-    (fun s -> ignore (Session.run s1 (spec_of s)))
+    (fun s -> ignore (Session.run_exn s1 (spec_of s)))
     [ 16; 24; 32 ];
   (* a "restarted" process: fresh store handle, fresh empty cache *)
   let store2 = Sw_host.Store.open_ ~schema ~dir () in
-  let s2 = Session.cached ~store:store2 ~config:tiny () in
+  let s2 = Session.create ~store:store2 ~arch:tiny () in
   check Alcotest.int "plans loaded" 3 (Session.warm_start s2);
-  ignore (Session.run s2 (spec_of 24));
+  ignore (Session.run_exn s2 (spec_of 24));
   (* the compile was a pure memory hit: no store traffic at all *)
   let st = Sw_host.Store.stats store2 in
   check Alcotest.int "no disk reads" 0 st.Sw_host.Store.hits;
@@ -260,16 +260,16 @@ let test_byte_identity_store_on_off () =
   with_dir @@ fun dir ->
   let spec = spec_of 40 in
   let reference =
-    emitted (Compile.run (Session.one_shot ~config:tiny ()) spec)
+    emitted (Compile.run_exn (Session.create ~no_cache:true ~arch:tiny ()) spec)
   in
   let store = Sw_host.Store.open_ ~schema ~dir () in
   let cold =
-    emitted (Compile.run (Session.create ~store ~config:tiny ()) spec)
+    emitted (Compile.run_exn (Session.create ~store ~arch:tiny ()) spec)
   in
   (* a second session serves the plan from disk, not the pipeline *)
   let store2 = Sw_host.Store.open_ ~schema ~dir () in
   let served =
-    emitted (Compile.run (Session.create ~store:store2 ~config:tiny ()) spec)
+    emitted (Compile.run_exn (Session.create ~store:store2 ~arch:tiny ()) spec)
   in
   check Alcotest.int "disk hit" 1 (Sw_host.Store.stats store2).Sw_host.Store.hits;
   check Alcotest.bool "cold = no-store" true (String.equal reference cold);
@@ -288,7 +288,7 @@ let test_chaos_cycles () =
   (* reference outputs compiled with no store at all *)
   let reference =
     Array.map
-      (fun s -> emitted (Compile.run (Session.one_shot ~config:tiny ()) (spec_of s)))
+      (fun s -> emitted (Compile.run_exn (Session.create ~no_cache:true ~arch:tiny ()) (spec_of s)))
       shapes
   in
   let sites = [| "store.put.stage"; "store.put.commit"; "store.manifest" |] in
@@ -297,11 +297,11 @@ let test_chaos_cycles () =
     let spec = spec_of shapes.(i) in
     (* one process lifetime: maybe crash somewhere in the store write *)
     let store = Sw_host.Store.open_ ~schema ~dir () in
-    let session = Session.create ~store ~config:tiny () in
+    let session = Session.create ~store ~arch:tiny () in
     (match Random.State.int rng 3 with
     | 0 ->
         (* clean lifetime *)
-        ignore (Session.run session spec)
+        ignore (Session.run_exn session spec)
     | 1 ->
         (* crash mid-write at a random injection site; if the entry was
            already on disk the put never runs and the compile just hits *)
@@ -309,12 +309,12 @@ let test_chaos_cycles () =
         Sw_host.Crash.with_plan
           (Sw_host.Crash.plan [ (site, 1, Sw_host.Crash.Raise) ])
           (fun () ->
-            match Session.run session spec with
+            match Session.run_exn session spec with
             | _ -> ()
             | exception Sw_host.Crash.Crashed _ -> ())
     | _ ->
         (* bit-rot: corrupt one random byte of one random object *)
-        ignore (Session.run session spec);
+        ignore (Session.run_exn session spec);
         (match object_files dir with
         | [] -> ()
         | files ->
@@ -324,8 +324,8 @@ let test_chaos_cycles () =
     (* restart: reopen, recompile the same shape; whatever survived on
        disk, the emitted C must equal the storeless reference *)
     let store2 = Sw_host.Store.open_ ~schema ~dir () in
-    let session2 = Session.create ~store:store2 ~config:tiny () in
-    let out = emitted (Session.run session2 spec) in
+    let session2 = Session.create ~store:store2 ~arch:tiny () in
+    let out = emitted (Session.run_exn session2 spec) in
     if not (String.equal out reference.(i)) then
       Alcotest.failf "cycle %d: emitted C diverged after crash/restart" cycle;
     let r = Sw_host.Store.verify store2 in

@@ -5,13 +5,22 @@
 open Sw_core
 open Sw_arch
 
+(* Compile under a throwaway cacheless session; raises Sim_error on
+   failure (the old compile_exn convenience). *)
+let compile_exn ?options ?debug ?cache ?observer ~config spec =
+  Compile.run_exn
+    (Session.create ?options ?debug ?cache ~no_cache:true ?observer
+       ~arch:config ())
+    spec
+
+
 let check = Alcotest.check
 
 let config = Config.sw26010pro
 let mesh = (config.Config.mesh_rows, config.Config.mesh_cols)
 
 let traced ?(options = Options.all_on) spec =
-  Runner.traced (Compile.compile ~options ~config spec)
+  Runner.traced (compile_exn ~options ~config spec)
 
 let spec = Spec.make ~m:512 ~n:512 ~k:2048 ()
 
@@ -47,7 +56,7 @@ let test_byte_accounting () =
      nko times. *)
   let trace, _ = traced spec in
   let u = Trace.utilization trace ~mesh in
-  let t = (Compile.compile ~config spec).Compile.tiles in
+  let t = (compile_exn ~config spec).Compile.tiles in
   let blocks = t.Tile_model.nbi * t.Tile_model.nbj in
   let per_cpe_per_block =
     (2 * t.Tile_model.tm * t.Tile_model.tn)
@@ -184,7 +193,7 @@ let test_rma_cuts_dma_traffic () =
   let u_plain = Trace.utilization t_plain ~mesh in
   (* input traffic dominates; the C tiles are the same on both sides *)
   let c_bytes =
-    let t = (Compile.compile ~config spec).Compile.tiles in
+    let t = (compile_exn ~config spec).Compile.tiles in
     8 * 2 * t.Tile_model.nbi * t.Tile_model.nbj * 64 * t.Tile_model.tm * t.Tile_model.tn
   in
   let inputs_rma = u_rma.Trace.dma_bytes - c_bytes in
