@@ -624,6 +624,83 @@ let durability () =
   rm_rf dir
 
 (* ------------------------------------------------------------------ *)
+(* Autotuning: searched decompositions vs the paper defaults            *)
+(* ------------------------------------------------------------------ *)
+
+let tune_shapes =
+  [ (2048, 2048, 2048); (4096, 4096, 4096); (4096, 16384, 8192); (8192, 8192, 8192) ]
+
+let tune_budget = 12
+
+let tune () =
+  header "tune: searched decompositions vs paper defaults (tuning DB)";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "swgemm-bench-tune.%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  let db = Sw_tune.Tune_db.open_ ~dir () in
+  let jobs = match !pool with Some p -> Sw_host.Pool.jobs p | None -> 1 in
+  Printf.printf "%-18s %12s %12s %9s %9s %7s\n" "shape" "default GF"
+    "tuned GF" "speedup" "measured" "pruned";
+  let rows =
+    List.map
+      (fun (m, n, k) ->
+        let spec = Spec.make ~m ~n ~k () in
+        match Sw_tune.Search.run ~budget:tune_budget ~jobs ~db ~config spec with
+        | Error e -> failwith (Printf.sprintf "tune %dx%dx%d: %s" m n k e)
+        | Ok o ->
+            let open Sw_tune.Search in
+            if o.gflops +. 1e-9 < o.default_gflops then
+              failwith
+                (Printf.sprintf
+                   "tune %dx%dx%d: tuned %.2f Gflops lost to the paper \
+                    default %.2f"
+                   m n k o.gflops o.default_gflops);
+            let pruned =
+              List.length o.entries - o.measurements
+            in
+            log_gflops o.gflops;
+            Printf.printf "%-18s %12.2f %12.2f %8.2fx %9d %7d\n"
+              (Printf.sprintf "%dx%dx%d" m n k)
+              o.default_gflops o.gflops
+              (o.gflops /. o.default_gflops)
+              o.measurements pruned;
+            [
+              Printf.sprintf "%dx%dx%d" m n k;
+              Printf.sprintf "%.2f" o.default_gflops;
+              Printf.sprintf "%.2f" o.gflops;
+              Printf.sprintf "%.4f" (o.gflops /. o.default_gflops);
+              string_of_int o.measurements;
+              string_of_int pruned;
+            ])
+      tune_shapes
+  in
+  (* warm pass: the DB now holds every winner, so repeat traffic must be
+     served with zero new simulator measurements *)
+  List.iter
+    (fun (m, n, k) ->
+      let spec = Spec.make ~m ~n ~k () in
+      match Sw_tune.Search.run ~budget:tune_budget ~jobs ~db ~config spec with
+      | Error e -> failwith (Printf.sprintf "warm tune %dx%dx%d: %s" m n k e)
+      | Ok o ->
+          if not o.Sw_tune.Search.from_db then
+            failwith
+              (Printf.sprintf "warm tune %dx%dx%d missed the tuning DB" m n k);
+          if o.Sw_tune.Search.measurements <> 0 then
+            failwith
+              (Printf.sprintf "warm tune %dx%dx%d spent %d measurement(s)" m n
+                 k o.Sw_tune.Search.measurements))
+    tune_shapes;
+  Printf.printf
+    "  warm DB: %d repeat request(s) served with zero simulator measurements\n"
+    (List.length tune_shapes);
+  csv "tune"
+    [ "shape"; "default_gflops"; "tuned_gflops"; "speedup"; "measured"; "pruned" ]
+    rows;
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
 (* Architecture presets: the same GEMMs across mesh geometries          *)
 (* ------------------------------------------------------------------ *)
 
@@ -685,7 +762,7 @@ let service () =
   let server =
     Sw_host.Server.create
       ~supervisor:(Sw_host.Supervise.create ())
-      ~handler:(Service.handler (Service.create ~session))
+      ~handler:(Service.handler (Service.create ~session ()))
       ()
   in
   let port = Sw_host.Server.listen_tcp server ~port:0 () in
@@ -861,7 +938,7 @@ let run_series name f =
    and only catches order-of-magnitude rot; row counts are structural
    and get zero tolerance (a deliberate change re-runs `check --write`). *)
 
-let sentinel_series = [ "arch"; "cost"; "durability"; "service" ]
+let sentinel_series = [ "arch"; "cost"; "durability"; "service"; "tune" ]
 
 let tolerance_spec = function
   | "arch" ->
@@ -871,6 +948,12 @@ let tolerance_spec = function
         ("wall_seconds", 3.0);
       ]
   | "cost" -> [ ("tables.cost_cache.rows", 0.0); ("wall_seconds", 3.0) ]
+  | "tune" ->
+      [
+        ("generated_gflops.count", 0.0); ("generated_gflops.mean", 0.05);
+        ("generated_gflops.max", 0.05); ("tables.tune.rows", 0.0);
+        ("wall_seconds", 3.0);
+      ]
   | "service" -> [ ("tables.service.rows", 0.0); ("wall_seconds", 3.0) ]
   | "durability" ->
       [
@@ -971,6 +1054,7 @@ let all_series =
     ("fig13", fig13); ("fig14", fig14); ("fig15", fig15); ("fig16", fig16);
     ("cost", cost); ("ablation", ablation); ("resilience", resilience);
     ("durability", durability); ("arch", arch); ("service", service);
+    ("tune", tune);
     ("scaling", scaling);
     ("micro", micro);
   ]
@@ -991,9 +1075,13 @@ let check ~baseline_dir ~compare_only ~write =
           (String.concat ", " sentinel_series)
           baseline_dir
     | failures ->
+        (* every violated band prints before the nonzero exit — a CI run
+           that regresses three metrics names all three, not the first *)
         List.iter
           (fun f -> Printf.printf "bench check FAILED: %s\n" f)
           failures;
+        Printf.printf "bench check: %d band(s) out of tolerance\n"
+          (List.length failures);
         exit 1
 
 let () =

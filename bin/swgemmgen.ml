@@ -670,33 +670,122 @@ let breakdown_cmd =
 (* ------------------------------------------------------------------ *)
 
 let tune_cmd =
-  let run shape tiny arch arch_file =
-    match (shape, resolve_config ~tiny ~arch ~arch_file) with
-    | None, _ -> Error (`Msg "give --shape M,N,K")
+  let budget_arg =
+    let doc =
+      "Simulator-measurement budget of the search; candidates beyond it \
+       are budget-pruned in bound order."
+    in
+    Arg.(
+      value
+      & opt int Sw_tune.Search.default_budget
+      & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let tune_db_arg =
+    let doc =
+      "Consult and record winners in the tuning database rooted at \
+       $(docv); a hit for the shape class answers instantly with zero \
+       measurements."
+    in
+    Arg.(value & opt (some string) None & info [ "tune-db" ] ~docv:"DIR" ~doc)
+  in
+  let explain_arg =
+    let doc =
+      "Print the full audit trail: every enumerated candidate with its \
+       verdict (measured, legality-rejected, bound-pruned, budget-pruned) \
+       and the pruned-vs-measured totals."
+    in
+    Arg.(value & flag & info [ "explain" ] ~doc)
+  in
+  let run shape batch fusion ta tb budget jobs tune_db explain tiny arch
+      arch_file =
+    match
+      ( build_spec ~input:None ~shape ~batch ~fusion ~binds:[] ~fbinds:[] ~ta
+          ~tb,
+        resolve_config ~tiny ~arch ~arch_file )
+    with
+    | Error e, _ -> Error e
     | _, Error e -> Error e
-    | Some (m, n, k), Ok config -> (
-        match Spec.make ~m ~n ~k () with
-        | exception Invalid_argument e -> Error (`Msg e)
-        | spec ->
-            Printf.printf
-              "micro-kernel shape search at %dx%dx%d (vendor shape %dx%dx%d):\n"
-              m n k config.Config.mk_m config.Config.mk_n config.Config.mk_k;
-            let results = Tuner.search ~config spec in
-            print_string (Tuner.report results);
-            let (bm, bn, bk), bg = Tuner.best results in
-            Printf.printf "best: %dx%dx%d (%.2f Gflops)\n" bm bn bk bg;
-            Ok ())
+    | Ok spec, Ok config -> (
+        if budget < 1 then Error (`Msg "--budget must be at least 1")
+        else
+          let db =
+            Option.map (fun dir -> Sw_tune.Tune_db.open_ ~dir ()) tune_db
+          in
+          Printf.printf "tuning %s on %s (%dx%d mesh, vendor kernel %dx%dx%d)\n"
+            (Spec.to_string spec) config.Config.name config.Config.mesh_rows
+            config.Config.mesh_cols config.Config.mk_m config.Config.mk_n
+            config.Config.mk_k;
+          match Sw_tune.Search.run ~budget ~jobs ?db ~config spec with
+          | Error e -> Error (`Msg e)
+          | Ok o ->
+              let open Sw_tune in
+              if o.Search.from_db then
+                print_endline
+                  "  tuning DB hit: recorded winner, zero measurements";
+              Printf.printf "  winner:  %-36s %10.2f Gflops\n"
+                (Space.key o.Search.winner) o.Search.gflops;
+              let default_c = Space.default config spec in
+              if o.Search.default_gflops > 0.0 then
+                Printf.printf "  default: %-36s %10.2f Gflops  (tuned %.2fx)\n"
+                  (Space.key default_c) o.Search.default_gflops
+                  (o.Search.gflops /. o.Search.default_gflops);
+              let count p =
+                List.length (List.filter (fun e -> p e.Search.verdict) o.Search.entries)
+              in
+              let legality =
+                count (function Search.Legality _ -> true | _ -> false)
+              and bound =
+                count (function Search.Bound_pruned _ -> true | _ -> false)
+              and over_budget =
+                count (function Search.Budget_pruned _ -> true | _ -> false)
+              and failed =
+                count (function Search.Failed _ -> true | _ -> false)
+              in
+              if not o.Search.from_db then
+                Printf.printf
+                  "  space: %d candidates -> %d measured, %d pruned (%d \
+                   legality, %d bound, %d budget)%s\n"
+                  (List.length o.Search.entries)
+                  o.Search.measurements
+                  (legality + bound + over_budget)
+                  legality bound over_budget
+                  (if failed > 0 then Printf.sprintf ", %d failed" failed
+                   else "");
+              if Option.is_some db && not o.Search.from_db then
+                print_endline "  [winner recorded in tuning DB]";
+              if explain then
+                List.iter
+                  (fun e ->
+                    let verdict =
+                      match e.Search.verdict with
+                      | Search.Measured g ->
+                          Printf.sprintf "measured  %10.2f Gflops" g
+                      | Search.Legality r -> "legality: " ^ r
+                      | Search.Bound_pruned { bound; best } ->
+                          Printf.sprintf
+                            "bound-pruned (bound %.2f <= best %.2f)" bound best
+                      | Search.Budget_pruned { bound } ->
+                          Printf.sprintf "budget-pruned (bound %.2f)" bound
+                      | Search.Failed r -> "failed: " ^ r
+                    in
+                    Printf.printf "    %-36s %s\n" (Space.key e.Search.candidate)
+                      verdict)
+                  o.Search.entries;
+              Ok ())
   in
   let term =
     Term.(
       term_result
-        (const run $ shape_arg $ tiny_arg $ arch_arg $ arch_file_arg))
+        (const run $ shape_arg $ batch_arg $ fusion_arg $ ta_arg $ tb_arg
+       $ budget_arg $ jobs_arg $ tune_db_arg $ explain_arg $ tiny_arg
+       $ arch_arg $ arch_file_arg))
   in
   Cmd.v
     (Cmd.info "tune"
        ~doc:
-         "Search micro-kernel shapes (the auto-tuning alternative the \
-          paper's analytic model replaces)")
+         "Search the decomposition space (LDM tiles, strip-mine factors, \
+          buffering, fusion placement) with analytic pruning and measured \
+          refinement; winners persist in the tuning DB ($(b,--tune-db))")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -765,8 +854,17 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "arch-matrix" ] ~doc)
   in
-  let run cases seed jobs inject arch_pool arch_matrix corpus_dir repro_dir
-      max_shrink sabotage replay metrics =
+  let fuzz_tune_db_arg =
+    let doc =
+      "Draw machine configurations from the tuned winners recorded in \
+       the tuning database at $(docv) (as $(i,preset\\@MxNxK) ids), so \
+       the three-way oracle exercises exactly the decompositions the \
+       tuner would serve; unioned with any $(b,--arch)."
+    in
+    Arg.(value & opt (some string) None & info [ "tune-db" ] ~docv:"DIR" ~doc)
+  in
+  let run cases seed jobs inject arch_pool arch_matrix tune_db corpus_dir
+      repro_dir max_shrink sabotage replay metrics =
     with_metrics metrics @@ fun () ->
     match replay with
     | Some path -> (
@@ -775,12 +873,59 @@ let fuzz_cmd =
         | Ok false -> Error (`Msg "replay did not reproduce the failure")
         | Error e -> Error (`Msg ("replay: " ^ e)))
     | None -> (
+        (* tuned winners fuzz as preset@MxNxK ids: match each record's
+           mesh class back to the preset it was tuned on *)
+        let tuned_pool =
+          match tune_db with
+          | None -> Ok []
+          | Some dir -> (
+              let db = Sw_tune.Tune_db.open_ ~dir () in
+              match Sw_tune.Tune_db.records db with
+              | [] ->
+                  Error
+                    (`Msg
+                      (Printf.sprintf "--tune-db: no tuning records under %s"
+                         dir))
+              | recs -> (
+                  let ids =
+                    List.filter_map
+                      (fun (r : Sw_tune.Tune_db.record) ->
+                        match
+                          List.find_opt
+                            (fun (d : Arch_desc.t) ->
+                              Sw_tune.Tune_db.mesh_class (Arch_desc.to_config d)
+                              = r.Sw_tune.Tune_db.mesh_class)
+                            Arch_desc.all
+                        with
+                        | None -> None
+                        | Some d ->
+                            let m, n, k =
+                              r.Sw_tune.Tune_db.winner.Sw_tune.Space.mk
+                            in
+                            let id =
+                              Printf.sprintf "%s@%dx%dx%d" d.Arch_desc.name m
+                                n k
+                            in
+                            Sw_check.Case.config_id_of_string id)
+                      recs
+                  in
+                  match List.sort_uniq compare ids with
+                  | [] ->
+                      Error
+                        (`Msg
+                          "--tune-db: no record matches a registered arch \
+                           preset")
+                  | ids -> Ok ids))
+        in
         let archs_result =
+          match tuned_pool with
+          | Error _ as e -> e
+          | Ok tuned ->
           let pool =
             (if arch_matrix then
                [ "tiny-8x8"; "tiny4"; "tiny-8x4"; "tiny-16x16" ]
              else [])
-            @ arch_pool
+            @ arch_pool @ tuned
           in
           match pool with
           | [] -> Ok None
@@ -847,8 +992,8 @@ let fuzz_cmd =
     Term.(
       term_result
         (const run $ cases_arg $ seed_arg $ jobs_arg $ inject_faults_arg
-       $ arch_pool_arg $ arch_matrix_arg $ corpus_arg $ repro_arg
-       $ max_shrink_arg $ sabotage_arg $ replay_arg $ metrics_arg))
+       $ arch_pool_arg $ arch_matrix_arg $ fuzz_tune_db_arg $ corpus_arg
+       $ repro_arg $ max_shrink_arg $ sabotage_arg $ replay_arg $ metrics_arg))
   in
   Cmd.v
     (Cmd.info "fuzz"

@@ -6,11 +6,44 @@ type config_id = string
 let all_config_ids = [ "tiny2"; "tiny2-deep"; "tiny4" ]
 let config_id_to_string id = id
 
+(* "preset@MxNxK" overrides the preset's micro-kernel shape — the form
+   tuned winners take when the tuning DB feeds the fuzzer. *)
+let split_id s =
+  match String.index_opt s '@' with
+  | None -> (s, None)
+  | Some i ->
+      ( String.sub s 0 i,
+        Some (String.sub s (i + 1) (String.length s - i - 1)) )
+
+let mk_of_string s =
+  match String.split_on_char 'x' s with
+  | [ a; b; c ] -> (
+      match
+        (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c)
+      with
+      | Some m, Some n, Some k when m > 0 && n > 0 && k > 0 -> Some (m, n, k)
+      | _ -> None)
+  | _ -> None
+
+let resolve_id s =
+  let preset, override = split_id s in
+  match (Sw_arch.Arch_desc.config_of_name preset, override) with
+  | None, _ -> None
+  | Some c, None -> Some c
+  | Some c, Some mk -> (
+      match mk_of_string mk with
+      | None -> None
+      | Some (m, n, k) -> (
+          let c = { c with Sw_arch.Config.mk_m = m; mk_n = n; mk_k = k } in
+          match Sw_arch.Config.validate c with
+          | Ok () -> Some c
+          | Error _ -> None))
+
 let config_id_of_string s =
-  match Sw_arch.Arch_desc.find s with Some _ -> Some s | None -> None
+  match resolve_id s with Some _ -> Some s | None -> None
 
 let config_of id =
-  match Sw_arch.Arch_desc.config_of_name id with
+  match resolve_id id with
   | Some c -> c
   | None -> invalid_arg ("Case.config_of: unknown arch preset " ^ id)
 

@@ -7,9 +7,13 @@
     JSON round-trip is the on-disk format of corpus and repro files. *)
 
 type config_id = string
-(** The name of an {!Sw_arch.Arch_desc} preset. Only names the registry
-    resolves are valid — {!config_id_of_string} is the checked
-    constructor. *)
+(** The name of an {!Sw_arch.Arch_desc} preset, optionally with a
+    micro-kernel override: ["tiny4"] is the preset as registered,
+    ["tiny4\@8x8x4"] the same machine with an 8x8x4 micro kernel — the
+    form tuned winners take when the tuning DB feeds the fuzzer. Only
+    ids that resolve (known preset, positive [MxNxK], and a machine
+    model {!Sw_arch.Config.validate} accepts) are valid —
+    {!config_id_of_string} is the checked constructor. *)
 
 val all_config_ids : config_id list
 (** The default machine pool the fuzzer draws from — all functional-test

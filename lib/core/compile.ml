@@ -20,6 +20,7 @@ type session = {
   supervisor : Sw_host.Supervise.t option;
   deadline_s : float option;
   jobs : int;
+  tuned : (Spec.t -> (Sw_arch.Config.t * Options.t) option) option;
 }
 
 (* Internal control flow of one compilation; surfaces as a typed
@@ -68,6 +69,15 @@ let decode_plan payload =
 let run_result_unsupervised ?token (session : session) original =
   let { config; options; debug; cache; observer; registry = _; store; _ } =
     session
+  in
+  (* Tuned-plan resolution happens before the cache key is formed: the
+     key covers (spec, options, config), so a tuned and an untuned
+     compilation of the same spec can never alias each other's plans. *)
+  let config, options =
+    match session.tuned with
+    | None -> (config, options)
+    | Some lookup ->
+        Option.value (lookup original) ~default:(config, options)
   in
   (* Cooperative deadline checkpoints: from the supervisor's token when
      running under one (the clock starts at admission), or a local clock

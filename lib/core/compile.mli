@@ -51,6 +51,14 @@ type session = {
       (** the fan-out width harnesses built on this session should use
           (the value of [--jobs]); the compilation itself never spawns
           domains *)
+  tuned : (Spec.t -> (Sw_arch.Config.t * Options.t) option) option;
+      (** tuning-DB lookup ({!Sw_tune.Search.session_hook} behind
+          [--tune-db]): consulted once per request, before the cache key
+          is formed, to swap the session's machine model and options for
+          the tuned winner of the spec's shape class. [None] from the
+          lookup falls back to the session's own [config]/[options].
+          Correctness is automatic — cache and store keys cover (spec,
+          options, config), so tuned and untuned plans never alias. *)
 }
 (** See {!Session} for construction and the sharing contract. The record
     is immutable; its mutable components (cache, registry) are themselves

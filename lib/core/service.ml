@@ -1,9 +1,23 @@
 module Json = Sw_obs.Json
 module Error = Sw_arch.Error
 
-type t = { session : Session.t }
+type extension =
+  Sw_obs.Json.t -> (Sw_obs.Json.t, Sw_arch.Error.t) result
 
-let create ~session = { session }
+type t = { session : Session.t; extensions : (string * extension) list }
+
+let builtin_methods = [ "ping"; "compile"; "verify"; "profile"; "stat" ]
+
+let create ?(extensions = []) ~session () =
+  List.iter
+    (fun (name, _) ->
+      if List.mem name builtin_methods then
+        invalid_arg
+          (Printf.sprintf "Service.create: extension %S shadows a builtin"
+             name))
+    extensions;
+  { session; extensions }
+
 let session t = t.session
 
 let invalid fmt = Printf.ksprintf (fun s -> Result.Error (Error.Invalid s)) fmt
@@ -66,6 +80,27 @@ let verify_request t params =
       | Result.Error (Runner.Mismatch _ as e) ->
           Result.Error (Error.Invalid (Runner.error_to_string e)))
 
+(* ROADMAP item 1 follow-up: expose the simulator's performance model
+   over the wire so remote clients can rank configurations without a
+   local toolchain. *)
+let profile_request t params =
+  match compile_request t params with
+  | Result.Error _ as e -> e
+  | Ok compiled ->
+      let perf = Runner.measure compiled in
+      Ok
+        (Json.Obj
+           [
+             ("gflops", Json.Float perf.Runner.gflops);
+             ("seconds", Json.Float perf.Runner.seconds);
+             ("exact", Json.Bool perf.Runner.exact);
+             ("spec", Spec.to_json compiled.Compile.original);
+             ("padded", Spec.to_json compiled.Compile.spec);
+             ("options", Options.to_json compiled.Compile.options);
+             ( "spm_bytes",
+               Json.Int (Sw_ast.Ast.spm_bytes compiled.Compile.program) );
+           ])
+
 let stat_request t =
   let cache =
     match Session.cache_stats t.session with
@@ -102,8 +137,14 @@ let handle ~client:_ ~meth ~params t =
     | "ping" -> Ok (Json.Obj [ ("pong", Json.Bool true) ])
     | "compile" -> Result.map compile_result_json (compile_request t params)
     | "verify" -> verify_request t params
+    | "profile" -> profile_request t params
     | "stat" -> stat_request t
-    | _ -> invalid "unknown method %S (protocol v1: ping|compile|verify|stat)" meth
+    | _ -> (
+        match List.assoc_opt meth t.extensions with
+        | Some ext -> ext params
+        | None ->
+            invalid "unknown method %S (protocol v1: %s)" meth
+              (String.concat "|" (builtin_methods @ List.map fst t.extensions)))
   with
   | Error.Sim_error e -> Result.Error e
   | Runner.Runner_error (Runner.Sim e) -> Result.Error e

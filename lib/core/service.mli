@@ -15,8 +15,16 @@
     - [verify] — like [compile], then runs the functional simulation
       against the reference; answers [{verified: true, ...}] or a typed
       error ([race], [deadlock], [invalid], ...).
+    - [profile] — like [compile], then measures the plan on the
+      performance simulator; answers [{gflops, seconds, exact, spec,
+      padded, options, spm_bytes}] ([gflops] is padded-problem flops per
+      second; [exact: false] marks block-periodic extrapolation).
     - [stat] — cache and store counters of the shared session
       ([null] for an absent component).
+
+    Deployments can mount additional methods as {e extensions}
+    ([swgemmd --tune-db] mounts [tune]); extensions dispatch after the
+    builtins and are listed in the unknown-method error alongside them.
 
     Unknown methods and malformed params answer the [invalid] class.
     The handler never raises — every failure is a typed
@@ -25,7 +33,15 @@
 
 type t
 
-val create : session:Session.t -> t
+type extension =
+  Sw_obs.Json.t -> (Sw_obs.Json.t, Sw_arch.Error.t) result
+(** An extension method body: params in, result or typed error out. Must
+    not raise — wrap failures in the [invalid] class like the builtins. *)
+
+val create : ?extensions:(string * extension) list -> session:Session.t -> unit -> t
+(** Raises [Invalid_argument] when an extension name shadows a builtin
+    method. *)
+
 val session : t -> Session.t
 
 val handle :

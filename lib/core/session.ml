@@ -13,12 +13,13 @@ type t = Compile.session = {
   supervisor : Sw_host.Supervise.t option;
   deadline_s : float option;
   jobs : int;
+  tuned : (Spec.t -> (Sw_arch.Config.t * Options.t) option) option;
 }
 
 let create ?(options = Options.all_on) ?(debug = false) ?cache
     ?(no_cache = false) ?(capacity = 64) ?(shards = 8) ?observer ?registry
-    ?store ?store_dir ?budget_bytes ?supervisor ?deadline ?(jobs = 1) ~arch ()
-    =
+    ?store ?store_dir ?budget_bytes ?supervisor ?deadline ?(jobs = 1) ?tuned
+    ~arch () =
   if jobs < 1 then
     invalid_arg (Printf.sprintf "Session.create: jobs = %d (need >= 1)" jobs);
   let store =
@@ -49,6 +50,7 @@ let create ?(options = Options.all_on) ?(debug = false) ?cache
     supervisor;
     deadline_s = deadline;
     jobs;
+    tuned;
   }
 
 let with_options t options = { t with options }

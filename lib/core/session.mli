@@ -40,6 +40,7 @@ type t = Compile.session = {
   supervisor : Sw_host.Supervise.t option;
   deadline_s : float option;
   jobs : int;
+  tuned : (Spec.t -> (Sw_arch.Config.t * Options.t) option) option;
 }
 
 val create :
@@ -57,6 +58,7 @@ val create :
   ?supervisor:Sw_host.Supervise.t ->
   ?deadline:float ->
   ?jobs:int ->
+  ?tuned:(Spec.t -> (Sw_arch.Config.t * Options.t) option) ->
   arch:Sw_arch.Config.t ->
   unit ->
   t
@@ -79,7 +81,11 @@ val create :
 
     [deadline] is the per-request cooperative deadline in seconds;
     [jobs] (default 1) is the fan-out width harnesses built on this
-    session use — raises [Invalid_argument] when [jobs < 1]. *)
+    session use — raises [Invalid_argument] when [jobs < 1].
+
+    [tuned] installs the tuning-DB lookup (see {!Compile.session});
+    requests whose shape class has a recorded winner compile under the
+    tuned machine model and options instead of the session's own. *)
 
 val with_options : t -> Options.t -> t
 val with_arch : t -> Sw_arch.Config.t -> t

@@ -24,6 +24,7 @@ let () =
       ("golden", Test_golden.tests);
       ("check", Test_check.tests);
       ("store", Test_store.tests);
+      ("tune", Test_tune.tests);
       ("supervise", Test_supervise.tests);
       ("flight", Test_flight.tests);
       ("server", Test_server.tests);

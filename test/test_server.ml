@@ -227,7 +227,7 @@ let test_handle_line_sheds () =
 
 let tiny_service () =
   let session = Sw_core.Session.create ~arch:(Config.tiny ()) () in
-  Sw_core.Service.create ~session
+  Sw_core.Service.create ~session ()
 
 let test_loopback_smoke () =
   let service = tiny_service () in
@@ -262,6 +262,84 @@ let test_loopback_smoke () =
   check Alcotest.int "one connection" 1 s.Server.connections
 
 (* ------------------------------------------------------------------ *)
+(* The profile method and service extensions                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_method () =
+  let service = tiny_service () in
+  let spec = Sw_core.Spec.make ~m:32 ~n:32 ~k:32 () in
+  let params = Json.Obj [ ("spec", Sw_core.Spec.to_json spec) ] in
+  (match Sw_core.Service.handle ~client:"t" ~meth:"profile" ~params service with
+  | Error e -> Alcotest.failf "profile: %s" (Sw_arch.Error.to_string e)
+  | Ok body ->
+      let num name =
+        match Option.bind (Json.member name body) Json.to_float_opt with
+        | Some v -> v
+        | None -> Alcotest.failf "profile body lacks numeric %S" name
+      in
+      check Alcotest.bool "gflops positive" true (num "gflops" > 0.0);
+      check Alcotest.bool "seconds positive" true (num "seconds" > 0.0);
+      check Alcotest.bool "exact is a bool" true
+        (Option.bind (Json.member "exact" body) Json.to_bool_opt <> None);
+      check Alcotest.bool "echoes the spec" true
+        (Json.member "spec" body <> None);
+      check Alcotest.bool "reports the padded spec" true
+        (Json.member "padded" body <> None));
+  (* totality: profile on malformed params is a typed invalid, no raise *)
+  (match
+     Sw_core.Service.handle ~client:"t" ~meth:"profile" ~params:Json.Null
+       service
+   with
+  | Error e ->
+      check Alcotest.string "missing spec is invalid" "invalid"
+        (Sw_arch.Error.class_of e)
+  | Ok _ -> Alcotest.fail "profile without spec must fail");
+  match
+    Sw_core.Service.handle ~client:"t" ~meth:"profile"
+      ~params:(Json.Obj [ ("spec", Json.String "nope") ])
+      service
+  with
+  | Error e ->
+      check Alcotest.string "bad spec is invalid" "invalid"
+        (Sw_arch.Error.class_of e)
+  | Ok _ -> Alcotest.fail "profile with bad spec must fail"
+
+let test_extension_dispatch () =
+  let session = Sw_core.Session.create ~arch:(Config.tiny ()) () in
+  let echo params = Ok (Json.Obj [ ("echo", params) ]) in
+  let service =
+    Sw_core.Service.create ~extensions:[ ("echo", echo) ] ~session ()
+  in
+  (match
+     Sw_core.Service.handle ~client:"t" ~meth:"echo"
+       ~params:(Json.String "hi") service
+   with
+  | Ok body ->
+      check Alcotest.bool "extension answered" true
+        (Json.member "echo" body = Some (Json.String "hi"))
+  | Error e -> Alcotest.failf "echo: %s" (Sw_arch.Error.to_string e));
+  (* unknown methods list builtins and mounted extensions *)
+  (match
+     Sw_core.Service.handle ~client:"t" ~meth:"nonsense" ~params:Json.Null
+       service
+   with
+  | Error (Error.Invalid msg) ->
+      let contains affix =
+        let n = String.length affix and m = String.length msg in
+        let rec at i = i + n <= m && (String.sub msg i n = affix || at (i + 1)) in
+        at 0
+      in
+      check Alcotest.bool "profile listed" true (contains "profile");
+      check Alcotest.bool "echo listed" true (contains "echo")
+  | _ -> Alcotest.fail "unknown method must earn invalid");
+  (* an extension cannot shadow a builtin *)
+  match
+    Sw_core.Service.create ~extensions:[ ("compile", echo) ] ~session ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "shadowing builtin must be rejected"
+
+(* ------------------------------------------------------------------ *)
 (* Graceful drain: mid-burst SIGTERM-equivalent, store stays clean      *)
 (* ------------------------------------------------------------------ *)
 
@@ -286,7 +364,7 @@ let test_drain_store_integrity () =
   let session =
     Sw_core.Session.create ~store ~arch:(Config.tiny ()) ()
   in
-  let service = Sw_core.Service.create ~session in
+  let service = Sw_core.Service.create ~session () in
   let server =
     Server.create ~handler:(Sw_core.Service.handler service) ()
   in
@@ -344,6 +422,10 @@ let tests =
       test_handle_line_sheds;
     Alcotest.test_case "loopback smoke: ping, compile, unknown" `Quick
       test_loopback_smoke;
+    Alcotest.test_case "profile method: measures, total on bad params" `Quick
+      test_profile_method;
+    Alcotest.test_case "extensions dispatch and are listed" `Quick
+      test_extension_dispatch;
     Alcotest.test_case "graceful drain leaves the store clean" `Quick
       test_drain_store_integrity;
   ]
